@@ -1,0 +1,44 @@
+// ic-bench runs the live-system microbenchmarks (Figures 4, 11, 12)
+// against a real in-process deployment.
+//
+// Usage:
+//
+//	ic-bench [-fig 4|11|11f|12|all] [-samples 5] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"infinicache/internal/exps"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which microbenchmark to run")
+	samples := flag.Int("samples", 5, "samples per cell")
+	quick := flag.Bool("quick", false, "use the reduced grid")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	want := func(name string) bool {
+		return *fig == "all" || strings.EqualFold(*fig, name)
+	}
+	if want("4") {
+		fmt.Println(exps.Figure4(*samples, *seed))
+	}
+	if want("11") {
+		cfg := exps.DefaultMicroConfig()
+		if *quick {
+			cfg = exps.QuickMicroConfig()
+		}
+		cfg.Samples = *samples
+		fmt.Println(exps.Figure11(cfg))
+	}
+	if want("11f") {
+		fmt.Println(exps.Figure11f(*samples, *seed))
+	}
+	if want("12") {
+		fmt.Println(exps.Figure12([]int{1, 2, 4, 8}, 2, *seed))
+	}
+}

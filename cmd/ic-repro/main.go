@@ -1,0 +1,89 @@
+// ic-repro regenerates every table and figure from the paper's
+// evaluation, writing one text report per experiment.
+//
+// Usage:
+//
+//	ic-repro [-out results] [-hours 50] [-fig all|1|4|8|9|11|12|13|14|15|16|17|table1|availability] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"infinicache/internal/exps"
+)
+
+func main() {
+	out := flag.String("out", "results", "output directory")
+	hours := flag.Int("hours", exps.TraceHours, "trace replay length in hours")
+	fig := flag.String("fig", "all", "which experiment to run")
+	quick := flag.Bool("quick", false, "smaller grids / fewer samples")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	write := func(name, content string) {
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	want := func(name string) bool {
+		return *fig == "all" || strings.EqualFold(*fig, name)
+	}
+
+	samples := 10
+	micro := exps.DefaultMicroConfig()
+	if *quick {
+		samples = 3
+		micro = exps.QuickMicroConfig()
+	}
+
+	if want("1") {
+		write("figure01_trace.txt", exps.Figure1(*hours, *seed))
+	}
+	if want("4") {
+		write("figure04_vm_contention.txt", exps.Figure4(samples, *seed))
+	}
+	if want("8") {
+		write("figure08_reclaim_timeline.txt", exps.Figure8(*seed))
+	}
+	if want("9") {
+		write("figure09_reclaim_distribution.txt", exps.Figure9(*seed))
+	}
+	if want("11") {
+		write("figure11_microbenchmark.txt", exps.Figure11(micro))
+		write("figure11f_vs_elasticache.txt", exps.Figure11f(samples, *seed))
+	}
+	if want("12") {
+		write("figure12_scalability.txt", exps.Figure12([]int{1, 2, 4, 8}, 2, *seed))
+	}
+	if want("13") {
+		write("figure13_cost.txt", exps.Figure13(*hours, *seed))
+	}
+	if want("14") {
+		write("figure14_fault_tolerance.txt", exps.Figure14(*hours, *seed))
+	}
+	if want("15") {
+		write("figure15_latency_cdf.txt", exps.Figure15(*hours, *seed))
+	}
+	if want("16") {
+		write("figure16_normalized_latency.txt", exps.Figure16(*hours, *seed))
+	}
+	if want("17") {
+		write("figure17_cost_crossover.txt", exps.Figure17())
+	}
+	if want("table1") {
+		write("table1_hit_ratios.txt", exps.Table1(*hours, *seed))
+	}
+	if want("availability") {
+		write("availability_model.txt", exps.AvailabilityAnalysis())
+	}
+}

@@ -1,0 +1,83 @@
+// ic-sim replays a trace (synthetic or CSV) against the modeled
+// InfiniCache deployment and prints Table 1/Figure 13-style results.
+//
+// Usage:
+//
+//	ic-sim [-hours 50] [-trace file.csv] [-nodes 400] [-mem 1536]
+//	       [-d 10] [-p 2] [-backup 5m] [-warm 1m] [-large-only]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"infinicache/internal/exps"
+	"infinicache/internal/sim"
+	"infinicache/internal/workload"
+)
+
+func main() {
+	hours := flag.Int("hours", 50, "synthetic trace length (ignored with -trace)")
+	traceFile := flag.String("trace", "", "CSV trace to replay (timestamp_ns,op,key,size_bytes)")
+	nodes := flag.Int("nodes", 400, "Lambda pool size")
+	mem := flag.Int("mem", 1536, "Lambda memory MB")
+	d := flag.Int("d", 10, "data shards")
+	p := flag.Int("p", 2, "parity shards")
+	backup := flag.Duration("backup", 5*time.Minute, "T_bak (0 disables backup)")
+	warm := flag.Duration("warm", time.Minute, "T_warm")
+	largeOnly := flag.Bool("large-only", false, "replay only objects >= 10 MB")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var trace *workload.Trace
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trace, err = workload.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		trace = exps.CanonicalTrace(*hours, *seed)
+	}
+	if *largeOnly {
+		trace = trace.LargeOnly()
+	}
+	st := trace.ComputeStats()
+	fmt.Printf("trace: %d records, %d objects, WSS %d GB, %.0f GETs/hour\n\n",
+		st.Records, st.DistinctObjects, st.WorkingSetBytes>>30, st.GetsPerHour)
+
+	res := sim.Run(sim.Config{
+		Nodes:          *nodes,
+		NodeMemoryMB:   *mem,
+		DataShards:     *d,
+		ParityShards:   *p,
+		WarmupInterval: *warm,
+		BackupInterval: *backup,
+		ReclaimPolicy:  exps.CanonicalPolicy(),
+		Seed:           *seed,
+	}, trace)
+
+	fmt.Printf("InfiniCache (%d x %d MB, RS(%d+%d), warm %v, backup %v):\n",
+		*nodes, *mem, *d, *p, *warm, *backup)
+	fmt.Printf("  hit ratio:   %.1f%% (%d hits / %d gets)\n", res.HitRatio()*100, res.Hits, res.Gets)
+	fmt.Printf("  cold misses: %d\n", res.ColdMisses)
+	fmt.Printf("  RESETs:      %d\n", res.Resets)
+	fmt.Printf("  recoveries:  %d chunks\n", res.Recoveries)
+	fmt.Printf("  reclaims:    %d instances\n", res.Reclaims)
+	fmt.Printf("  cost:        $%.2f total (serving $%.2f, warm-up $%.2f, backup $%.2f)\n",
+		res.TotalCost(), res.ServingCost, res.WarmupCost, res.BackupCost)
+	if res.Gets > 0 {
+		fmt.Printf("  availability: %.2f%% of accesses\n", 100*(1-float64(res.Resets)/float64(res.Gets)))
+	}
+
+	ec := sim.RunElastiCache("cache.r5.24xlarge", trace, *seed+1)
+	fmt.Printf("\nElastiCache (cache.r5.24xlarge): hit %.1f%%, cost $%.2f (%.0fx more expensive)\n",
+		ec.HitRatio()*100, ec.TotalCost, ec.TotalCost/res.TotalCost())
+}

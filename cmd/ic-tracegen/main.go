@@ -1,0 +1,52 @@
+// ic-tracegen synthesises IBM-Docker-registry-like traces (Figure 1
+// characteristics) and writes them as CSV.
+//
+// Usage:
+//
+//	ic-tracegen [-hours 50] [-objects 18000] [-rate 3654] [-large-only]
+//	            [-seed 1] [-o trace.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"infinicache/internal/workload"
+)
+
+func main() {
+	hours := flag.Int("hours", 50, "trace duration in hours")
+	objects := flag.Int("objects", 0, "catalogue size (0 = Dallas-like default)")
+	rate := flag.Float64("rate", 0, "mean GETs per hour (0 = default 3654)")
+	largeOnly := flag.Bool("large-only", false, "only objects >= 10 MB")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "trace.csv", "output file (- for stdout)")
+	flag.Parse()
+
+	tr := workload.Generate(workload.Config{
+		Objects:         *objects,
+		Duration:        time.Duration(*hours) * time.Hour,
+		MeanGetsPerHour: *rate,
+		LargeOnly:       *largeOnly,
+		Seed:            *seed,
+	})
+	st := tr.ComputeStats()
+	fmt.Fprintf(os.Stderr, "generated %d records, %d objects, WSS %d GB, %.0f GETs/hour, %.0f%% large bytes\n",
+		st.Records, st.DistinctObjects, st.WorkingSetBytes>>30, st.GetsPerHour, st.LargeBytePct*100)
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteCSV(w); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package infinicache is a reproduction of "InfiniCache: Exploiting
+// Ephemeral Serverless Functions to Build a Cost-Effective Memory Cache"
+// (Wang et al., USENIX FAST 2020): an in-memory object cache built
+// entirely on ephemeral serverless functions.
+//
+// The public API wraps a full local deployment — an emulated serverless
+// platform (internal/lambdaemu), one or more proxies (internal/proxy),
+// and erasure-coding clients (internal/client) — behind a simple
+// Get/Put/GetOrLoad interface:
+//
+//	cache, err := infinicache.New(infinicache.Config{})
+//	if err != nil { ... }
+//	defer cache.Close()
+//
+//	client, err := cache.NewClient()
+//	if err != nil { ... }
+//	if err := client.Put("my-object", data); err != nil { ... }
+//	data, err = client.Get("my-object")
+//
+// Objects are Reed-Solomon encoded into d+p chunks spread over a pool of
+// emulated Lambda functions; the platform reclaims functions per a
+// configurable policy, and the cache defends itself with parity chunks,
+// periodic warm-ups, and the paper's delta-sync backup protocol.
+package infinicache
+
+import (
+	"time"
+
+	"infinicache/internal/client"
+	"infinicache/internal/core"
+	"infinicache/internal/lambdaemu"
+	"infinicache/internal/vclock"
+)
+
+// Config mirrors the paper's deployment knobs. The zero value gives a
+// small single-proxy cluster with RS(10+2), 1-minute warm-ups and
+// 5-minute backups at real-time pacing.
+type Config struct {
+	// Proxies is the number of proxies (default 1).
+	Proxies int
+	// NodesPerProxy is the Lambda pool size per proxy (default 20).
+	NodesPerProxy int
+	// NodeMemoryMB sizes each cache-node function (default 1536, the
+	// paper's production configuration).
+	NodeMemoryMB int
+	// DataShards and ParityShards pick the RS code (default 10+2).
+	DataShards   int
+	ParityShards int
+	// WarmupInterval is T_warm (default 1 minute; 0 disables).
+	WarmupInterval time.Duration
+	// BackupInterval is T_bak (default 5 minutes; 0 disables).
+	BackupInterval time.Duration
+	// ReclaimPolicy drives provider-side reclamation (default none).
+	ReclaimPolicy lambdaemu.ReclaimPolicy
+	// TimeScale compresses virtual time (e.g. 0.01 runs 100x faster
+	// than the wall clock); 0 means real time.
+	TimeScale float64
+	// EnableRecovery re-inserts EC-reconstructed chunks after degraded
+	// reads (default true).
+	EnableRecovery bool
+	// Seed makes placement and policies deterministic.
+	Seed int64
+}
+
+// Cache is a running InfiniCache deployment.
+type Cache struct {
+	d *core.Deployment
+}
+
+// Client is the application-facing cache handle (GET/PUT/GetOrLoad/Del).
+type Client = client.Client
+
+// Stats re-exports the client counters.
+type Stats = client.Stats
+
+// Errors re-exported from the client library.
+var (
+	// ErrMiss: the key is not cached.
+	ErrMiss = client.ErrMiss
+	// ErrLost: the key was cached but reclamation destroyed more than
+	// p chunks; reload it from the backing store.
+	ErrLost = client.ErrLost
+)
+
+// New starts a deployment.
+func New(cfg Config) (*Cache, error) {
+	if cfg.NodesPerProxy == 0 {
+		cfg.NodesPerProxy = 20
+	}
+	if cfg.DataShards == 0 && cfg.ParityShards == 0 {
+		cfg.DataShards, cfg.ParityShards = 10, 2
+	}
+	if cfg.WarmupInterval == 0 {
+		cfg.WarmupInterval = time.Minute
+	}
+	if cfg.BackupInterval == 0 {
+		cfg.BackupInterval = 5 * time.Minute
+	}
+	d, err := core.New(core.Config{
+		Proxies:        cfg.Proxies,
+		NodesPerProxy:  cfg.NodesPerProxy,
+		NodeMemoryMB:   cfg.NodeMemoryMB,
+		DataShards:     cfg.DataShards,
+		ParityShards:   cfg.ParityShards,
+		WarmupInterval: cfg.WarmupInterval,
+		BackupInterval: cfg.BackupInterval,
+		ReclaimPolicy:  cfg.ReclaimPolicy,
+		TimeScale:      cfg.TimeScale,
+		EnableRecovery: cfg.EnableRecovery,
+		Seed:           cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{d: d}, nil
+}
+
+// NewClient returns a cache client; each client maintains its own proxy
+// connections and can be used concurrently.
+func (c *Cache) NewClient() (*Client, error) { return c.d.NewClient() }
+
+// Deployment exposes the underlying deployment for advanced use
+// (fault injection, platform stats, proxy metrics).
+func (c *Cache) Deployment() *core.Deployment { return c.d }
+
+// Clock returns the deployment's (virtual) clock.
+func (c *Cache) Clock() vclock.Clock { return c.d.Clock() }
+
+// Close shuts everything down.
+func (c *Cache) Close() { c.d.Close() }

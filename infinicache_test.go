@@ -1,0 +1,99 @@
+package infinicache_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	infinicache "infinicache"
+)
+
+func newTestCache(t *testing.T) *infinicache.Cache {
+	t.Helper()
+	c, err := infinicache.New(infinicache.Config{
+		NodesPerProxy: 8,
+		NodeMemoryMB:  256,
+		DataShards:    4,
+		ParityShards:  2,
+		TimeScale:     0.02,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	cache := newTestCache(t)
+	cl, err := cache.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	obj := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(obj)
+	if err := cl.Put("hello", obj); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Get("hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, obj) {
+		t.Fatal("round trip corrupted the object")
+	}
+	if _, err := cl.Get("missing"); !errors.Is(err, infinicache.ErrMiss) {
+		t.Fatalf("expected ErrMiss, got %v", err)
+	}
+}
+
+func TestPublicAPIGetOrLoad(t *testing.T) {
+	cache := newTestCache(t)
+	cl, err := cache.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	loads := 0
+	obj := []byte("backing store payload")
+	loader := func() ([]byte, error) { loads++; return obj, nil }
+	for i := 0; i < 3; i++ {
+		got, err := cl.GetOrLoad("lazy", loader)
+		if err != nil || !bytes.Equal(got, obj) {
+			t.Fatalf("GetOrLoad #%d: %v", i, err)
+		}
+	}
+	if loads != 1 {
+		t.Fatalf("loader ran %d times, want 1", loads)
+	}
+	if cl.Stats().Hits.Load() != 2 {
+		t.Fatalf("hits = %d, want 2", cl.Stats().Hits.Load())
+	}
+}
+
+func TestPublicAPIFaultInjection(t *testing.T) {
+	cache := newTestCache(t)
+	cl, err := cache.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	obj := make([]byte, 256<<10)
+	rand.New(rand.NewSource(2)).Read(obj)
+	if err := cl.Put("resilient", obj); err != nil {
+		t.Fatal(err)
+	}
+	// Kill up to p nodes through the exposed deployment.
+	d := cache.Deployment()
+	d.Platform.ForceReclaim("p0-node0")
+	d.Platform.ForceReclaim("p0-node1")
+	got, err := cl.Get("resilient")
+	if err != nil || !bytes.Equal(got, obj) {
+		t.Fatalf("get after reclaim: %v", err)
+	}
+}

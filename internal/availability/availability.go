@@ -1,0 +1,100 @@
+// Package availability implements the analytical data-availability model
+// of §4.3 (Equations 1-3): the probability that an erasure-coded object
+// becomes unavailable when the provider reclaims r of the Nλ Lambda
+// nodes, integrated over the observed distribution of per-interval
+// reclaim counts.
+package availability
+
+import (
+	"math"
+
+	"infinicache/internal/distrib"
+)
+
+// Model fixes the deployment geometry.
+type Model struct {
+	NLambda int // Nλ: pool size (e.g. 400)
+	N       int // n: chunks per object (d+p, e.g. 12)
+	M       int // m: minimum chunk losses that lose the object (p+1)
+}
+
+// PTerm returns p_i of Equation 1: the probability that, with r nodes
+// reclaimed, exactly i of them hold chunks of a given object.
+//
+//	p_i = C(r,i) * C(Nλ-r, n-i) / C(Nλ, n)
+func (m Model) PTerm(r, i int) float64 {
+	if i < 0 || i > m.N || i > r || m.N-i > m.NLambda-r {
+		return 0
+	}
+	ln := distrib.LnChoose(r, i) +
+		distrib.LnChoose(m.NLambda-r, m.N-i) -
+		distrib.LnChoose(m.NLambda, m.N)
+	return math.Exp(ln)
+}
+
+// PLossGivenR is Equation 1's P(r) = Σ_{i=m..n} p_i: the probability an
+// object is unavailable given exactly r reclaimed nodes.
+func (m Model) PLossGivenR(r int) float64 {
+	sum := 0.0
+	for i := m.M; i <= m.N; i++ {
+		sum += m.PTerm(r, i)
+	}
+	return sum
+}
+
+// PLossGivenRApprox is the simplification P(r) ≈ p_m justified in §4.3
+// (the terms decay by >10x, e.g. p3/p4 = 18.8 for the case study).
+func (m Model) PLossGivenRApprox(r int) float64 {
+	return m.PTerm(r, m.M)
+}
+
+// ReclaimDist is the distribution pd(r) of nodes reclaimed per interval.
+type ReclaimDist interface {
+	// PMF returns P[R = r].
+	PMF(r int) float64
+}
+
+// PoissonReclaims is pd(r) ~ Poisson(lambda) (Oct/Dec/Jan regimes).
+type PoissonReclaims struct{ Lambda float64 }
+
+// PMF implements ReclaimDist.
+func (p PoissonReclaims) PMF(r int) float64 { return distrib.PoissonPMF(p.Lambda, r) }
+
+// ZipfReclaims is pd(r) ~ truncated Zipf (Aug/Sep/Nov regimes).
+type ZipfReclaims struct{ Z *distrib.Zipf }
+
+// PMF implements ReclaimDist.
+func (z ZipfReclaims) PMF(r int) float64 { return z.Z.PMF(r) }
+
+// EmpiricalReclaims is pd(r) estimated from a measured histogram (the
+// §4.1 study output feeds straight in).
+type EmpiricalReclaims struct{ P map[int]float64 }
+
+// PMF implements ReclaimDist.
+func (e EmpiricalReclaims) PMF(r int) float64 { return e.P[r] }
+
+// PLoss is Equation 2/3: Pl = Σ_r P(r) pd(r), the per-interval
+// probability of losing an object. When approx is true the P(r) ≈ p_m
+// simplification of Equation 3 is used.
+func (m Model) PLoss(pd ReclaimDist, approx bool) float64 {
+	sum := 0.0
+	for r := m.M; r <= m.NLambda; r++ {
+		p := pd.PMF(r)
+		if p == 0 {
+			continue
+		}
+		if approx {
+			sum += m.PLossGivenRApprox(r) * p
+		} else {
+			sum += m.PLossGivenR(r) * p
+		}
+	}
+	return sum
+}
+
+// Availability converts a per-interval loss probability into
+// availability over k consecutive intervals: (1 - Pl)^k. The paper
+// quotes per-minute Pl and hourly availability (k = 60).
+func Availability(pLoss float64, intervals int) float64 {
+	return math.Pow(1-pLoss, float64(intervals))
+}

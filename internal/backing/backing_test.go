@@ -1,0 +1,82 @@
+package backing
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"infinicache/internal/vclock"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := New(vclock.NewScaled(0.001), 1)
+	s.Put("k", []byte("value"))
+	got, err := s.Get("k")
+	if err != nil || !bytes.Equal(got, []byte("value")) {
+		t.Fatalf("get: %v", err)
+	}
+	if !s.Has("k") || s.Len() != 1 {
+		t.Fatal("Has/Len wrong")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := New(vclock.NewScaled(0.001), 1)
+	if _, err := s.Get("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := New(vclock.NewScaled(0.001), 1)
+	orig := []byte{1, 2, 3}
+	s.Put("k", orig)
+	got, _ := s.Get("k")
+	got[0] = 99
+	again, _ := s.Get("k")
+	if again[0] != 1 {
+		t.Fatal("Get aliases stored bytes")
+	}
+	orig[1] = 98
+	again, _ = s.Get("k")
+	if again[1] != 2 {
+		t.Fatal("Put aliases caller bytes")
+	}
+}
+
+func TestTransferTimeScalesWithSize(t *testing.T) {
+	s := New(vclock.NewScaled(0.001), 1)
+	s.JitterSigma = 0
+	small := s.TransferTime(1 << 10)
+	big := s.TransferTime(100 << 20)
+	if big < 10*small {
+		t.Fatalf("transfer time not size-dependent: %v vs %v", small, big)
+	}
+	// 100 MB at 8 MB/s is ~12.5s plus first byte.
+	if big < 10*time.Second || big > 20*time.Second {
+		t.Fatalf("100MB transfer = %v, want ~12.5s", big)
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	s := New(vclock.NewScaled(0.001), 1)
+	base := s.FirstByte + time.Duration(float64(1<<20)/s.Bandwidth*float64(time.Second))
+	for i := 0; i < 200; i++ {
+		d := s.TransferTime(1 << 20)
+		if d < base/2 || d > base*3 {
+			t.Fatalf("jittered transfer %v out of [%v, %v]", d, base/2, base*3)
+		}
+	}
+}
+
+func TestCounters(t *testing.T) {
+	s := New(vclock.NewScaled(0.001), 1)
+	s.Put("a", []byte("x"))
+	s.Get("a")
+	s.Get("missing")
+	gets, puts := s.Counters()
+	if gets != 2 || puts != 1 {
+		t.Fatalf("counters = %d gets, %d puts", gets, puts)
+	}
+}

@@ -1,0 +1,443 @@
+// Package client implements the InfiniCache client library (§3.1): the
+// GET/PUT API the application links against. It erasure-codes objects
+// with a Reed-Solomon codec, balances requests over proxies with a
+// consistent-hashing ring, chooses random non-repeating Lambda placements
+// for chunks, decodes first-d responses, re-inserts reconstructed chunks
+// (EC recovery), and RESETs lost objects from the backing store.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"infinicache/internal/ec"
+	"infinicache/internal/hashring"
+	"infinicache/internal/protocol"
+	"infinicache/internal/vclock"
+)
+
+// ProxyInfo describes one proxy a client can talk to.
+type ProxyInfo struct {
+	Addr     string
+	PoolSize int // number of Lambda nodes behind that proxy
+}
+
+// Config parameterises a Client.
+type Config struct {
+	Proxies []ProxyInfo
+	// DataShards (d) and ParityShards (p) select the RS(d+p) code.
+	DataShards   int
+	ParityShards int
+	Clock        vclock.Clock
+	// RequestTimeout bounds one GET or PUT operation (virtual time).
+	RequestTimeout time.Duration
+	// EnableRecovery re-encodes and re-inserts chunks the proxy reported
+	// lost during a degraded GET.
+	EnableRecovery bool
+	Seed           int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Clock == nil {
+		c.Clock = vclock.NewReal()
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+}
+
+// Stats counts client-side cache outcomes.
+type Stats struct {
+	Gets       atomic.Int64
+	Hits       atomic.Int64
+	ColdMisses atomic.Int64 // key never inserted (or evicted)
+	Losses     atomic.Int64 // object lost to reclamation (> p chunks)
+	Resets     atomic.Int64 // loss-triggered re-inserts via GetOrLoad
+	Puts       atomic.Int64
+	Decodes    atomic.Int64 // GETs that needed EC reconstruction
+	Recoveries atomic.Int64 // chunks re-inserted by EC recovery
+}
+
+// Common errors.
+var (
+	ErrMiss     = errors.New("client: cache miss")
+	ErrLost     = errors.New("client: object lost (reclaimed chunks exceed parity)")
+	ErrTimeout  = errors.New("client: request timed out")
+	ErrRejected = errors.New("client: proxy rejected request")
+)
+
+// Client is the InfiniCache client library handle. Safe for concurrent
+// use by multiple goroutines.
+type Client struct {
+	cfg   Config
+	codec *ec.Codec
+	ring  *hashring.Ring
+
+	mu    sync.Mutex
+	conns map[string]*proxyConn
+	rng   *rand.Rand
+
+	seq    atomic.Uint64
+	putGen atomic.Int64
+
+	stats Stats
+}
+
+// New creates a client.
+func New(cfg Config) (*Client, error) {
+	cfg.fillDefaults()
+	if len(cfg.Proxies) == 0 {
+		return nil, errors.New("client: need at least one proxy")
+	}
+	codec, err := ec.New(cfg.DataShards, cfg.ParityShards)
+	if err != nil {
+		return nil, err
+	}
+	total := cfg.DataShards + cfg.ParityShards
+	ring := hashring.New(0)
+	for _, p := range cfg.Proxies {
+		if p.PoolSize < total {
+			return nil, fmt.Errorf("client: proxy %s pool %d smaller than d+p=%d", p.Addr, p.PoolSize, total)
+		}
+		ring.Add(p.Addr)
+	}
+	return &Client{
+		cfg:   cfg,
+		codec: codec,
+		ring:  ring,
+		conns: make(map[string]*proxyConn),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// Stats returns the client's counters.
+func (c *Client) Stats() *Stats { return &c.stats }
+
+// Codec exposes the client's erasure codec (examples and tests use it).
+func (c *Client) Codec() *ec.Codec { return c.codec }
+
+// Close tears down all proxy connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	conns := c.conns
+	c.conns = make(map[string]*proxyConn)
+	c.mu.Unlock()
+	for _, pc := range conns {
+		pc.close()
+	}
+	return nil
+}
+
+// proxyFor locates the proxy owning key on the CH ring.
+func (c *Client) proxyFor(key string) (ProxyInfo, error) {
+	addr := c.ring.Locate(key)
+	for _, p := range c.cfg.Proxies {
+		if p.Addr == addr {
+			return p, nil
+		}
+	}
+	return ProxyInfo{}, fmt.Errorf("client: no proxy for key %q", key)
+}
+
+// placement draws a vector of non-repeating Lambda indexes (IDλ, §3.1).
+func (c *Client) placement(poolSize, n int) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Perm(poolSize)[:n]
+}
+
+// Put erasure-codes value and stores its chunks across the pool behind
+// the key's proxy. It overwrites any previous version atomically from
+// this client's perspective (waiting for every chunk acknowledgement).
+func (c *Client) Put(key string, value []byte) error {
+	if len(value) == 0 {
+		return errors.New("client: empty value")
+	}
+	c.stats.Puts.Add(1)
+	info, err := c.proxyFor(key)
+	if err != nil {
+		return err
+	}
+	pc, err := c.conn(info.Addr)
+	if err != nil {
+		return err
+	}
+	shards, err := c.codec.Split(value)
+	if err != nil {
+		return err
+	}
+	if err := c.codec.Encode(shards); err != nil {
+		return err
+	}
+	total := len(shards)
+	nodes := c.placement(info.PoolSize, total)
+	gen := c.putGen.Add(1)
+
+	return c.putChunks(pc, key, int64(len(value)), shards, nodes, gen, false)
+}
+
+// putChunks sends a set of chunks and waits for all acknowledgements.
+// Indexes of shards that are nil are skipped (recovery path re-inserts a
+// sparse subset).
+func (c *Client) putChunks(pc *proxyConn, key string, objSize int64, shards [][]byte, nodes []int, gen int64, recovery bool) error {
+	type result struct {
+		idx int
+		err error
+	}
+	deadline := c.cfg.Clock.Now().Add(c.cfg.RequestTimeout)
+	results := make(chan result, len(shards))
+	inflight := 0
+	rec := int64(0)
+	if recovery {
+		rec = 1
+	}
+	for i, shard := range shards {
+		if shard == nil {
+			continue
+		}
+		inflight++
+		go func(i int, shard []byte) {
+			seq := c.seq.Add(1)
+			ch := pc.register(seq, 2)
+			defer pc.deregister(seq)
+			msg := &protocol.Message{
+				Type: protocol.TSet,
+				Seq:  seq,
+				Key:  key,
+				Args: []int64{
+					int64(i), int64(len(shards)), int64(nodes[i]),
+					objSize, int64(c.codec.DataShards()), gen, rec,
+				},
+				Payload: shard,
+			}
+			if err := pc.conn.Send(msg); err != nil {
+				results <- result{i, err}
+				return
+			}
+			remain := deadline.Sub(c.cfg.Clock.Now())
+			select {
+			case resp, ok := <-ch:
+				if !ok {
+					results <- result{i, errors.New("client: connection closed")}
+					return
+				}
+				if resp.Type == protocol.TAck {
+					results <- result{i, nil}
+				} else {
+					results <- result{i, fmt.Errorf("%w: %s", ErrRejected, resp.Payload)}
+				}
+			case <-c.cfg.Clock.After(remain):
+				results <- result{i, ErrTimeout}
+			}
+		}(i, shard)
+	}
+	var firstErr error
+	for k := 0; k < inflight; k++ {
+		if r := <-results; r.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("chunk %d: %w", r.idx, r.err)
+		}
+	}
+	return firstErr
+}
+
+// errTransient marks proxy-reported conditions worth retrying (chunk
+// timeouts during backup connection swaps).
+var errTransient = errors.New("client: transient proxy failure")
+
+// getRetries is how many times Get retries a transient failure.
+const getRetries = 3
+
+// Get fetches and reassembles an object. ErrMiss means the key is not
+// cached; ErrLost means it was cached but reclamation destroyed more
+// than p chunks (the caller should RESET it from the backing store).
+// Transient proxy failures (e.g. chunk timeouts during a backup
+// connection swap) are retried internally.
+func (c *Client) Get(key string) ([]byte, error) {
+	c.stats.Gets.Add(1)
+	var err error
+	var obj []byte
+	for attempt := 0; attempt < getRetries; attempt++ {
+		obj, err = c.getOnce(key)
+		if !errors.Is(err, errTransient) {
+			return obj, err
+		}
+	}
+	return nil, fmt.Errorf("%w (after %d attempts): %v", ErrRejected, getRetries, err)
+}
+
+func (c *Client) getOnce(key string) ([]byte, error) {
+	info, err := c.proxyFor(key)
+	if err != nil {
+		return nil, err
+	}
+	pc, err := c.conn(info.Addr)
+	if err != nil {
+		return nil, err
+	}
+	seq := c.seq.Add(1)
+	total := c.codec.TotalShards()
+	ch := pc.register(seq, total+2)
+	defer pc.deregister(seq)
+
+	if err := pc.conn.Send(&protocol.Message{Type: protocol.TGet, Seq: seq, Key: key}); err != nil {
+		return nil, err
+	}
+
+	d := c.codec.DataShards()
+	shards := make([][]byte, total)
+	var objSize int64 = -1
+	received := 0
+	deadline := c.cfg.Clock.Now().Add(c.cfg.RequestTimeout)
+
+	for received < d {
+		remain := deadline.Sub(c.cfg.Clock.Now())
+		if remain <= 0 {
+			return nil, ErrTimeout
+		}
+		select {
+		case msg, ok := <-ch:
+			if !ok {
+				return nil, errors.New("client: connection closed")
+			}
+			switch msg.Type {
+			case protocol.TData:
+				idx := int(msg.Arg(0))
+				if idx < 0 || idx >= total || shards[idx] != nil {
+					continue
+				}
+				shards[idx] = msg.Payload
+				objSize = msg.Arg(1)
+				received++
+			case protocol.TMiss:
+				if msg.Arg(0) == 1 {
+					c.stats.Losses.Add(1)
+					return nil, ErrLost
+				}
+				c.stats.ColdMisses.Add(1)
+				return nil, ErrMiss
+			case protocol.TErr:
+				if msg.Arg(0) == 1 {
+					return nil, errTransient
+				}
+				return nil, fmt.Errorf("%w: %s", ErrRejected, msg.Payload)
+			}
+		case <-c.cfg.Clock.After(remain):
+			return nil, ErrTimeout
+		}
+	}
+
+	// Reassemble: if the first d shards all arrived, no decoding is
+	// needed; otherwise run EC reconstruction (first-d trade-off, §3.2).
+	needDecode := false
+	for i := 0; i < d; i++ {
+		if shards[i] == nil {
+			needDecode = true
+			break
+		}
+	}
+	if needDecode {
+		c.stats.Decodes.Add(1)
+		if err := c.codec.ReconstructData(shards); err != nil {
+			return nil, fmt.Errorf("client: decode: %w", err)
+		}
+	}
+	obj, err := c.codec.Join(shards, int(objSize))
+	if err != nil {
+		return nil, fmt.Errorf("client: join: %w", err)
+	}
+	c.stats.Hits.Add(1)
+
+	if c.cfg.EnableRecovery {
+		c.maybeRecover(pc, key, info, objSize, shards)
+	}
+	return obj, nil
+}
+
+// maybeRecover re-encodes and re-inserts chunks that did not arrive
+// (either lost to reclamation or straggling); this is the EC recovery
+// activity plotted in Figure 14.
+func (c *Client) maybeRecover(pc *proxyConn, key string, info ProxyInfo, objSize int64, shards [][]byte) {
+	var missing []int
+	for i, s := range shards {
+		if s == nil {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	// Rebuild every shard, then re-insert only the missing ones.
+	if err := c.codec.Reconstruct(shards); err != nil {
+		return
+	}
+	sparse := make([][]byte, len(shards))
+	for _, i := range missing {
+		sparse[i] = shards[i]
+	}
+	nodes := c.placement(info.PoolSize, len(shards))
+	gen := c.putGen.Add(1)
+	if err := c.putChunks(pc, key, objSize, sparse, nodes, gen, true); err == nil {
+		c.stats.Recoveries.Add(int64(len(missing)))
+	}
+}
+
+// Del invalidates an object (the client library's overwrite/invalidation
+// duty, §3.1).
+func (c *Client) Del(key string) error {
+	info, err := c.proxyFor(key)
+	if err != nil {
+		return err
+	}
+	pc, err := c.conn(info.Addr)
+	if err != nil {
+		return err
+	}
+	seq := c.seq.Add(1)
+	ch := pc.register(seq, 1)
+	defer pc.deregister(seq)
+	if err := pc.conn.Send(&protocol.Message{Type: protocol.TDel, Seq: seq, Key: key}); err != nil {
+		return err
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return errors.New("client: connection closed")
+		}
+		if resp.Type != protocol.TAck {
+			return ErrRejected
+		}
+		return nil
+	case <-c.cfg.Clock.After(c.cfg.RequestTimeout):
+		return ErrTimeout
+	}
+}
+
+// GetOrLoad returns the cached object, or loads it with loader and
+// inserts it on a miss (read-only write-through caching, §3.1). A
+// loss-triggered reload is a RESET in the paper's terminology.
+func (c *Client) GetOrLoad(key string, loader func() ([]byte, error)) ([]byte, error) {
+	obj, err := c.Get(key)
+	if err == nil {
+		return obj, nil
+	}
+	isLoss := errors.Is(err, ErrLost)
+	if !isLoss && !errors.Is(err, ErrMiss) {
+		return nil, err
+	}
+	obj, err = loader()
+	if err != nil {
+		return nil, err
+	}
+	if isLoss {
+		c.stats.Resets.Add(1)
+	}
+	if perr := c.Put(key, obj); perr != nil {
+		// The object is still valid for the caller even if caching failed.
+		return obj, nil
+	}
+	return obj, nil
+}

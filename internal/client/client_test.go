@@ -1,0 +1,164 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"infinicache/internal/vclock"
+)
+
+// Full request-path behaviour is exercised end-to-end in
+// internal/core's integration suite; these tests cover the client's
+// local logic: validation, placement, and proxy selection.
+
+func validConfig() Config {
+	return Config{
+		Proxies:      []ProxyInfo{{Addr: "127.0.0.1:1", PoolSize: 16}},
+		DataShards:   4,
+		ParityShards: 2,
+		Clock:        vclock.NewReal(),
+		Seed:         1,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := validConfig()
+	if _, err := New(cfg); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Proxies = nil
+	if _, err := New(bad); err == nil {
+		t.Fatal("no proxies accepted")
+	}
+	bad = cfg
+	bad.Proxies = []ProxyInfo{{Addr: "x", PoolSize: 3}} // < d+p
+	if _, err := New(bad); err == nil {
+		t.Fatal("undersized pool accepted")
+	}
+	bad = cfg
+	bad.DataShards = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("zero data shards accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{
+		Proxies:      []ProxyInfo{{Addr: "x", PoolSize: 8}},
+		DataShards:   4,
+		ParityShards: 2,
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cfg.Clock == nil {
+		t.Fatal("clock default missing")
+	}
+	if c.cfg.RequestTimeout != 60*time.Second {
+		t.Fatalf("timeout default = %v", c.cfg.RequestTimeout)
+	}
+}
+
+func TestPlacementNonRepeating(t *testing.T) {
+	c, err := New(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		nodes := c.placement(16, 6)
+		if len(nodes) != 6 {
+			t.Fatalf("placement returned %d nodes", len(nodes))
+		}
+		seen := map[int]bool{}
+		for _, n := range nodes {
+			if n < 0 || n >= 16 {
+				t.Fatalf("node index %d out of pool", n)
+			}
+			if seen[n] {
+				t.Fatalf("repeated node %d in placement %v (IDλ must be non-repetitive, §3.1)", n, nodes)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestPlacementCoversPool(t *testing.T) {
+	// Over many draws every pool slot should be used (uniform random).
+	c, err := New(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[int]bool{}
+	for trial := 0; trial < 200; trial++ {
+		for _, n := range c.placement(16, 6) {
+			used[n] = true
+		}
+	}
+	if len(used) != 16 {
+		t.Fatalf("placement used only %d of 16 nodes", len(used))
+	}
+}
+
+func TestProxyForConsistency(t *testing.T) {
+	cfg := Config{
+		Proxies: []ProxyInfo{
+			{Addr: "proxy-a:1", PoolSize: 16},
+			{Addr: "proxy-b:1", PoolSize: 16},
+			{Addr: "proxy-c:1", PoolSize: 16},
+		},
+		DataShards:   4,
+		ParityShards: 2,
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same key -> same proxy, always; different keys spread.
+	first, err := c.proxyFor("object-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		got, err := c.proxyFor("object-1")
+		if err != nil || got.Addr != first.Addr {
+			t.Fatalf("proxy selection unstable: %v %v", got, err)
+		}
+	}
+	spread := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		info, _ := c.proxyFor(string(rune('a'+i%26)) + "-key")
+		spread[info.Addr] = true
+	}
+	if len(spread) < 2 {
+		t.Fatal("consistent hashing sent every key to one proxy")
+	}
+}
+
+func TestStatsZeroInitialized(t *testing.T) {
+	c, err := New(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.Gets.Load() != 0 || s.Hits.Load() != 0 || s.Puts.Load() != 0 {
+		t.Fatal("fresh client has non-zero stats")
+	}
+	if c.Codec().DataShards() != 4 || c.Codec().ParityShards() != 2 {
+		t.Fatal("codec geometry wrong")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	c, err := New(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package client
+
+import (
+	"net"
+	"sync"
+
+	"infinicache/internal/protocol"
+)
+
+// proxyConn is one connection to a proxy with a response dispatcher: a
+// single reader goroutine routes frames to per-request channels by
+// sequence number (a GET receives several TData frames on one seq).
+type proxyConn struct {
+	conn *protocol.Conn
+
+	mu      sync.Mutex
+	waiters map[uint64]chan *protocol.Message
+	closed  bool
+}
+
+// conn returns (dialing if needed) the connection to addr.
+func (c *Client) conn(addr string) (*proxyConn, error) {
+	c.mu.Lock()
+	if pc, ok := c.conns[addr]; ok {
+		c.mu.Unlock()
+		return pc, nil
+	}
+	c.mu.Unlock()
+
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	pconn := protocol.NewConn(raw)
+	if err := pconn.Send(&protocol.Message{Type: protocol.TJoinClient}); err != nil {
+		pconn.Close()
+		return nil, err
+	}
+	pc := &proxyConn{
+		conn:    pconn,
+		waiters: make(map[uint64]chan *protocol.Message),
+	}
+	go pc.readLoop()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if existing, ok := c.conns[addr]; ok {
+		// Raced with another goroutine; keep theirs.
+		go pc.close()
+		return existing, nil
+	}
+	c.conns[addr] = pc
+	return pc, nil
+}
+
+func (pc *proxyConn) readLoop() {
+	for {
+		m, err := pc.conn.Recv()
+		if err != nil {
+			pc.close()
+			return
+		}
+		pc.mu.Lock()
+		ch := pc.waiters[m.Seq]
+		pc.mu.Unlock()
+		if ch == nil {
+			continue // response to an abandoned request
+		}
+		select {
+		case ch <- m:
+		default:
+			// Waiter's buffer full (stale frames); drop.
+		}
+	}
+}
+
+// register allocates the response channel for seq.
+func (pc *proxyConn) register(seq uint64, buf int) chan *protocol.Message {
+	ch := make(chan *protocol.Message, buf)
+	pc.mu.Lock()
+	if pc.closed {
+		close(ch)
+	} else {
+		pc.waiters[seq] = ch
+	}
+	pc.mu.Unlock()
+	return ch
+}
+
+func (pc *proxyConn) deregister(seq uint64) {
+	pc.mu.Lock()
+	delete(pc.waiters, seq)
+	pc.mu.Unlock()
+}
+
+func (pc *proxyConn) close() {
+	pc.mu.Lock()
+	if pc.closed {
+		pc.mu.Unlock()
+		return
+	}
+	pc.closed = true
+	chans := make([]chan *protocol.Message, 0, len(pc.waiters))
+	for _, ch := range pc.waiters {
+		chans = append(chans, ch)
+	}
+	pc.waiters = make(map[uint64]chan *protocol.Message)
+	pc.mu.Unlock()
+	pc.conn.Close()
+	for _, ch := range chans {
+		close(ch)
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the wall-clock deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestBackupCreatesPeerReplicas drives the full Figure 10 protocol: after
+// T_bak, warm-up invocations trigger delta-sync backups that spawn peer
+// replica instances holding copies of the cached chunks.
+func TestBackupCreatesPeerReplicas(t *testing.T) {
+	d, c := testDeployment(t, func(cfg *Config) {
+		cfg.NodesPerProxy = 6
+		cfg.DataShards = 4
+		cfg.ParityShards = 2
+		cfg.WarmupInterval = 3 * time.Second        // virtual
+		cfg.BackupInterval = 6 * time.Second        // virtual
+		cfg.TimeScale = 0.01                        // 100x compression
+		cfg.ColdStartDelay = 50 * time.Millisecond  // virtual
+		cfg.WarmInvokeDelay = 10 * time.Millisecond // virtual
+	})
+	obj := randObj(42, 512<<10)
+	if err := c.Put("backed-up", obj); err != nil {
+		t.Fatal(err)
+	}
+
+	// Backups fire once T_bak has elapsed past the first post-data
+	// invocation; with 100x compression, seconds of wall time suffice.
+	waitFor(t, 30*time.Second, "backup completions", func() bool {
+		return d.Proxies[0].Stats().BackupsDone.Load() >= 6
+	})
+
+	// Every node that holds a chunk should now have a peer replica.
+	replicated := 0
+	for i := 0; i < 6; i++ {
+		if d.Platform.InstanceCount(NodeName(0, i)) >= 2 {
+			replicated++
+		}
+	}
+	if replicated < 4 {
+		t.Fatalf("only %d/6 nodes have peer replicas after backups", replicated)
+	}
+}
+
+// TestBackupSurvivesSourceReclaim is the point of the whole mechanism:
+// after a backup, reclaiming one replica of every node must not lose the
+// object, even with zero parity headroom left.
+func TestBackupSurvivesSourceReclaim(t *testing.T) {
+	d, c := testDeployment(t, func(cfg *Config) {
+		cfg.NodesPerProxy = 6
+		cfg.DataShards = 4
+		cfg.ParityShards = 2
+		cfg.WarmupInterval = 3 * time.Second
+		cfg.BackupInterval = 6 * time.Second
+		cfg.TimeScale = 0.01
+		cfg.ColdStartDelay = 50 * time.Millisecond
+		cfg.WarmInvokeDelay = 10 * time.Millisecond
+	})
+	obj := randObj(43, 512<<10)
+	if err := c.Put("durable", obj); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 30*time.Second, "completed backups on all nodes", func() bool {
+		return d.Proxies[0].Stats().BackupsDone.Load() >= 6
+	})
+
+	// Reclaim the OLDEST instance (the original source) of every node:
+	// without backup this would destroy all 6 chunks (> p = 2).
+	for i := 0; i < 6; i++ {
+		if n := d.Platform.ForceReclaimN(NodeName(0, i), 1); n != 1 {
+			t.Fatalf("node %d: reclaimed %d instances", i, n)
+		}
+	}
+
+	got, err := c.Get("durable")
+	if err != nil {
+		t.Fatalf("get after reclaiming all sources: %v", err)
+	}
+	if !bytes.Equal(got, obj) {
+		t.Fatal("object corrupted after failover to peer replicas")
+	}
+}
+
+// TestBackupDeltaSync checks that a second backup round only moves the
+// delta: the destination replica keeps chunks from round one and the
+// subsequent rounds complete quickly because nothing new must move.
+func TestBackupDeltaSync(t *testing.T) {
+	d, c := testDeployment(t, func(cfg *Config) {
+		cfg.NodesPerProxy = 6
+		cfg.DataShards = 4
+		cfg.ParityShards = 2
+		cfg.WarmupInterval = 2 * time.Second
+		cfg.BackupInterval = 4 * time.Second
+		cfg.TimeScale = 0.01
+		cfg.ColdStartDelay = 50 * time.Millisecond
+		cfg.WarmInvokeDelay = 10 * time.Millisecond
+	})
+	if err := c.Put("delta-1", randObj(1, 128<<10)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 30*time.Second, "first backup wave", func() bool {
+		return d.Proxies[0].Stats().BackupsDone.Load() >= 6
+	})
+	// Insert more data, then let further backup rounds replicate it.
+	obj2 := randObj(2, 128<<10)
+	if err := c.Put("delta-2", obj2); err != nil {
+		t.Fatal(err)
+	}
+	first := d.Proxies[0].Stats().BackupsDone.Load()
+	waitFor(t, 30*time.Second, "second backup wave", func() bool {
+		return d.Proxies[0].Stats().BackupsDone.Load() >= first+6
+	})
+	// Reclaim one replica everywhere; both objects must survive.
+	for i := 0; i < 6; i++ {
+		d.Platform.ForceReclaimN(NodeName(0, i), 1)
+	}
+	for _, key := range []string{"delta-1", "delta-2"} {
+		if _, err := c.Get(key); err != nil {
+			t.Fatalf("get %s after reclaim: %v", key, err)
+		}
+	}
+}
+
+// TestServingDuringBackup verifies availability is not interrupted while
+// a backup is in flight (the §4.2 "high availability" property): GETs
+// issued continuously during backup rounds keep succeeding.
+func TestServingDuringBackup(t *testing.T) {
+	d, c := testDeployment(t, func(cfg *Config) {
+		cfg.NodesPerProxy = 6
+		cfg.DataShards = 4
+		cfg.ParityShards = 2
+		cfg.WarmupInterval = time.Second
+		cfg.BackupInterval = 2 * time.Second
+		cfg.TimeScale = 0.01
+		cfg.ColdStartDelay = 50 * time.Millisecond
+		cfg.WarmInvokeDelay = 10 * time.Millisecond
+	})
+	objs := map[string][]byte{}
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("live-%d", i)
+		objs[key] = randObj(int64(i), 256<<10)
+		if err := c.Put(key, objs[key]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(4 * time.Second) // spans several backup rounds
+	gets := 0
+	for time.Now().Before(deadline) {
+		for key, want := range objs {
+			got, err := c.Get(key)
+			if err != nil {
+				t.Fatalf("get %s during backup era: %v", key, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("object %s corrupted during backup era", key)
+			}
+			gets++
+		}
+	}
+	if d.Proxies[0].Stats().Backups.Load() == 0 {
+		t.Fatal("no backups happened during the serving window")
+	}
+	t.Logf("served %d GETs across %d backup rounds", gets, d.Proxies[0].Stats().Backups.Load())
+}

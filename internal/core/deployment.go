@@ -1,0 +1,211 @@
+// Package core assembles a complete InfiniCache deployment (Figure 2):
+// an emulated serverless platform, one or more proxies each managing a
+// pool of Lambda cache-node functions, the periodic warm-up driver
+// (T_warm, §4.2), and client construction. This is the layer examples,
+// benchmarks and the public API build on.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"infinicache/internal/client"
+	"infinicache/internal/lambdaemu"
+	"infinicache/internal/lambdanode"
+	"infinicache/internal/proxy"
+	"infinicache/internal/vclock"
+)
+
+// Config describes a deployment.
+type Config struct {
+	// Proxies is the number of proxies; each manages NodesPerProxy
+	// Lambda functions.
+	Proxies       int
+	NodesPerProxy int
+	// NodeMemoryMB sizes every cache-node Lambda function (and its
+	// accounting capacity at the proxy). The paper's production setup
+	// uses 400 x 1536 MB.
+	NodeMemoryMB int
+	// DataShards/ParityShards select the RS(d+p) code for clients made
+	// via NewClient.
+	DataShards   int
+	ParityShards int
+	// WarmupInterval is T_warm; 0 disables the warm-up driver.
+	WarmupInterval time.Duration
+	// BackupInterval is T_bak; 0 disables delta-sync backups.
+	BackupInterval time.Duration
+	// ReclaimPolicy drives provider-side reclamation; nil disables it.
+	ReclaimPolicy lambdaemu.ReclaimPolicy
+	// TimeScale compresses virtual time (0.1 = 10x faster than wall
+	// clock); 0 or 1 runs in real time.
+	TimeScale float64
+	// Clock overrides the clock entirely (wins over TimeScale).
+	Clock vclock.Clock
+	// Platform tuning (zero values take lambdaemu defaults).
+	ColdStartDelay  time.Duration
+	WarmInvokeDelay time.Duration
+	HostMemoryMB    int
+	// Runtime tuning.
+	BufferTime time.Duration
+	// EnableRecovery turns on client-side EC chunk recovery.
+	EnableRecovery bool
+	Seed           int64
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Proxies <= 0 {
+		c.Proxies = 1
+	}
+	if c.NodesPerProxy <= 0 {
+		return fmt.Errorf("core: NodesPerProxy must be positive")
+	}
+	if c.NodeMemoryMB <= 0 {
+		c.NodeMemoryMB = 1536
+	}
+	if c.DataShards <= 0 {
+		c.DataShards = 10
+	}
+	if c.ParityShards < 0 {
+		return fmt.Errorf("core: negative parity shards")
+	}
+	if c.DataShards+c.ParityShards > c.NodesPerProxy {
+		return fmt.Errorf("core: pool of %d nodes cannot hold %d chunks",
+			c.NodesPerProxy, c.DataShards+c.ParityShards)
+	}
+	if c.Clock == nil {
+		if c.TimeScale > 0 && c.TimeScale != 1 {
+			c.Clock = vclock.NewScaled(c.TimeScale)
+		} else {
+			c.Clock = vclock.NewReal()
+		}
+	}
+	return nil
+}
+
+// Deployment is a running InfiniCache cluster.
+type Deployment struct {
+	cfg      Config
+	Platform *lambdaemu.Platform
+	Proxies  []*proxy.Proxy
+
+	stopWarm chan struct{}
+	warmWG   sync.WaitGroup
+	closeOne sync.Once
+}
+
+// NodeName returns the function name of node i in proxy p's pool.
+func NodeName(proxyIdx, nodeIdx int) string {
+	return fmt.Sprintf("p%d-node%d", proxyIdx, nodeIdx)
+}
+
+// New builds and starts a deployment: registers every cache-node
+// function, starts the proxies, and launches the warm-up driver.
+func New(cfg Config) (*Deployment, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	platform := lambdaemu.New(lambdaemu.Config{
+		Clock:           cfg.Clock,
+		ReclaimPolicy:   cfg.ReclaimPolicy,
+		Seed:            cfg.Seed,
+		ColdStartDelay:  cfg.ColdStartDelay,
+		WarmInvokeDelay: cfg.WarmInvokeDelay,
+		HostMemoryMB:    cfg.HostMemoryMB,
+	})
+	handler := lambdanode.NewHandler(lambdanode.Config{
+		BackupInterval: cfg.BackupInterval,
+		BufferTime:     cfg.BufferTime,
+	})
+
+	d := &Deployment{
+		cfg:      cfg,
+		Platform: platform,
+		stopWarm: make(chan struct{}),
+	}
+	for pi := 0; pi < cfg.Proxies; pi++ {
+		names := make([]string, cfg.NodesPerProxy)
+		for ni := range names {
+			names[ni] = NodeName(pi, ni)
+			if _, err := platform.Register(names[ni], lambdaemu.FunctionConfig{MemoryMB: cfg.NodeMemoryMB}, handler); err != nil {
+				d.Close()
+				return nil, err
+			}
+		}
+		px, err := proxy.New(proxy.Config{
+			Clock:        cfg.Clock,
+			Invoker:      platform,
+			Nodes:        names,
+			NodeMemoryMB: cfg.NodeMemoryMB,
+		})
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.Proxies = append(d.Proxies, px)
+	}
+	if cfg.WarmupInterval > 0 {
+		d.warmWG.Add(1)
+		go d.warmer()
+	}
+	return d, nil
+}
+
+// warmer re-invokes every node each T_warm to keep instances cached by
+// the provider (§4.2 technique 2).
+func (d *Deployment) warmer() {
+	defer d.warmWG.Done()
+	for {
+		select {
+		case <-d.stopWarm:
+			return
+		case <-d.cfg.Clock.After(d.cfg.WarmupInterval):
+		}
+		for _, p := range d.Proxies {
+			p.Warmup()
+		}
+	}
+}
+
+// Clock returns the deployment's virtual clock.
+func (d *Deployment) Clock() vclock.Clock { return d.cfg.Clock }
+
+// ProxyInfos lists the proxies for client construction.
+func (d *Deployment) ProxyInfos() []client.ProxyInfo {
+	infos := make([]client.ProxyInfo, len(d.Proxies))
+	for i, p := range d.Proxies {
+		infos[i] = client.ProxyInfo{Addr: p.Addr(), PoolSize: p.PoolSize()}
+	}
+	return infos
+}
+
+// NewClient builds a client wired to every proxy in the deployment.
+func (d *Deployment) NewClient() (*client.Client, error) {
+	return client.New(client.Config{
+		Proxies:        d.ProxyInfos(),
+		DataShards:     d.cfg.DataShards,
+		ParityShards:   d.cfg.ParityShards,
+		Clock:          d.cfg.Clock,
+		EnableRecovery: d.cfg.EnableRecovery,
+		Seed:           d.cfg.Seed + 101,
+	})
+}
+
+// TotalNodes returns the number of cache-node functions deployed.
+func (d *Deployment) TotalNodes() int {
+	return d.cfg.Proxies * d.cfg.NodesPerProxy
+}
+
+// Close stops the warmer, proxies and platform.
+func (d *Deployment) Close() {
+	d.closeOne.Do(func() {
+		close(d.stopWarm)
+		d.warmWG.Wait()
+		for _, p := range d.Proxies {
+			p.Close()
+		}
+		if d.Platform != nil {
+			d.Platform.Close()
+		}
+	})
+}

@@ -1,0 +1,130 @@
+// Package costmodel implements the paper's cost analysis (§4.3,
+// Equations 4-6) and the pricing constants of §2.2, plus the
+// ElastiCache/S3 comparators used by Figures 13 and 17.
+//
+// All amounts are US dollars.
+package costmodel
+
+import (
+	"time"
+
+	"infinicache/internal/lambdaemu"
+)
+
+// AWS Lambda pricing as quoted in §2.2 of the paper.
+const (
+	// PricePerInvocation: "$0.02 per 1 million invocations".
+	PricePerInvocation = 0.02 / 1e6
+	// PricePerGBSecond: "$0.0000166667 per second for each GB of RAM",
+	// rounded up to the nearest 100 ms.
+	PricePerGBSecond = 0.0000166667
+)
+
+// ElastiCache instance pricing (on-demand us-east-1 rates from the
+// paper's era; $10.368/hour x 50 hours reproduces the paper's $518.40
+// for cache.r5.24xlarge; smaller sizes scale linearly).
+var ElastiCachePricePerHour = map[string]float64{
+	"cache.r5.xlarge":   0.432,
+	"cache.r5.8xlarge":  3.456,
+	"cache.r5.24xlarge": 10.368,
+}
+
+// ElastiCacheMemoryGB maps instance types to usable memory (the paper
+// quotes 635.61 GB for r5.24xlarge).
+var ElastiCacheMemoryGB = map[string]float64{
+	"cache.r5.xlarge":   26.32,
+	"cache.r5.8xlarge":  209.55,
+	"cache.r5.24xlarge": 635.61,
+}
+
+// LambdaCost prices a usage record: invocations plus GB-seconds (already
+// ceil100-rounded by the ledger).
+func LambdaCost(u lambdaemu.Usage) float64 {
+	return float64(u.Invocations)*PricePerInvocation + u.GBSeconds*PricePerGBSecond
+}
+
+// Ceil100Seconds rounds a duration up to 100 ms steps and returns
+// seconds — the ceil100(.) operator of Equation 4.
+func Ceil100Seconds(d time.Duration) float64 {
+	return lambdaemu.CeilBillingCycle(d).Seconds()
+}
+
+// Lambda describes one cache-node deployment for the analytic model.
+type Lambda struct {
+	Nodes    int     // Nλ, number of Lambda functions in the pool
+	MemoryGB float64 // M
+}
+
+// ServingCost is Equation 4: Cser = n*creq + n*ceil100(t)/1000 * M * cd,
+// generalised to per-hour cost given the hourly chunk-invocation rate
+// and the per-invocation duration. nser counts Lambda invocations (one
+// client GET of an RS(d+p) object costs up to d+p of them).
+func (l Lambda) ServingCost(invocationsPerHour float64, perInvocation time.Duration) float64 {
+	return invocationsPerHour*PricePerInvocation +
+		invocationsPerHour*Ceil100Seconds(perInvocation)*l.MemoryGB*PricePerGBSecond
+}
+
+// WarmupCost is Equation 5: every node is re-invoked 60/Twarm times per
+// hour; a warm-up runs a few ms, billed as one 100 ms cycle.
+func (l Lambda) WarmupCost(warmInterval time.Duration) float64 {
+	if warmInterval <= 0 {
+		return 0
+	}
+	fw := float64(time.Hour) / float64(warmInterval)
+	n := float64(l.Nodes)
+	return n*fw*PricePerInvocation + n*fw*0.1*l.MemoryGB*PricePerGBSecond
+}
+
+// BackupCost is Equation 6: every node backs up 60/Tbak times per hour;
+// each backup bills tbak of duration on the source and destination pair
+// (captured as a single effective duration).
+func (l Lambda) BackupCost(backupInterval, backupDuration time.Duration) float64 {
+	if backupInterval <= 0 {
+		return 0
+	}
+	fbak := float64(time.Hour) / float64(backupInterval)
+	n := float64(l.Nodes)
+	return n*fbak*PricePerInvocation +
+		n*fbak*Ceil100Seconds(backupDuration)*l.MemoryGB*PricePerGBSecond
+}
+
+// HourlyCost composes Equations 4-6: C = Cser + Cw + Cbak.
+func (l Lambda) HourlyCost(invocationsPerHour float64, perInvocation time.Duration,
+	warmInterval, backupInterval, backupDuration time.Duration) float64 {
+	return l.ServingCost(invocationsPerHour, perInvocation) +
+		l.WarmupCost(warmInterval) +
+		l.BackupCost(backupInterval, backupDuration)
+}
+
+// ElastiCacheHourly returns the hourly price of an instance type
+// (0 for unknown types).
+func ElastiCacheHourly(instanceType string) float64 {
+	return ElastiCachePricePerHour[instanceType]
+}
+
+// CrossoverAccessRate finds the client-request rate (requests per hour)
+// at which InfiniCache's hourly cost overtakes an ElastiCache instance
+// (Figure 17: ~312 K requests/hour for the paper's configuration). Each
+// client request fans out to chunksPerRequest Lambda invocations.
+// Returns -1 if there is no crossover below maxRate.
+func CrossoverAccessRate(l Lambda, chunksPerRequest int, perInvocation time.Duration,
+	warmInterval, backupInterval, backupDuration time.Duration,
+	elastiCacheHourly float64, maxRate float64) float64 {
+	lo, hi := 0.0, maxRate
+	cost := func(rate float64) float64 {
+		return l.HourlyCost(rate*float64(chunksPerRequest), perInvocation,
+			warmInterval, backupInterval, backupDuration)
+	}
+	if cost(hi) < elastiCacheHourly {
+		return -1
+	}
+	for i := 0; i < 64; i++ {
+		mid := (lo + hi) / 2
+		if cost(mid) < elastiCacheHourly {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,151 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"infinicache/internal/lambdaemu"
+)
+
+// The paper's production configuration: 400 x 1.5 GB Lambdas.
+var paperPool = Lambda{Nodes: 400, MemoryGB: 1.5}
+
+func TestLambdaCostFromLedger(t *testing.T) {
+	l := lambdaemu.NewLedger()
+	l.Record("f", 1536, 150*time.Millisecond) // billed 0.2s * 1.5GB = 0.3 GBs
+	got := LambdaCost(l.Total())
+	want := PricePerInvocation + 0.3*PricePerGBSecond
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("cost = %v, want %v", got, want)
+	}
+}
+
+func TestCeil100Seconds(t *testing.T) {
+	if Ceil100Seconds(130*time.Millisecond) != 0.2 {
+		t.Fatal("ceil100(130ms) != 0.2s")
+	}
+	if Ceil100Seconds(0) != 0 {
+		t.Fatal("ceil100(0) != 0")
+	}
+}
+
+func TestWarmupCostEquation5(t *testing.T) {
+	// Twarm = 1 min: fw = 60/hour. Cw = N*fw*creq + N*fw*0.1*M*cd.
+	got := paperPool.WarmupCost(time.Minute)
+	want := 400*60*PricePerInvocation + 400*60*0.1*1.5*PricePerGBSecond
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("warmup cost = %v, want %v", got, want)
+	}
+	// ~$0.06/hour: tiny, as Figure 13 shows.
+	if got < 0.05 || got > 0.08 {
+		t.Errorf("warmup cost/hour = $%.4f, expected ~$0.06", got)
+	}
+	if paperPool.WarmupCost(0) != 0 {
+		t.Error("disabled warmup should cost 0")
+	}
+}
+
+func TestBackupCostEquation6(t *testing.T) {
+	// Tbak = 5 min: fbak = 12/hour; with ~2 s backups the backup cost
+	// dominates (§5.2: "the backup cost is a dominating factor").
+	got := paperPool.BackupCost(5*time.Minute, 2*time.Second)
+	want := 400*12*PricePerInvocation + 400*12*2.0*1.5*PricePerGBSecond
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("backup cost = %v, want %v", got, want)
+	}
+	warm := paperPool.WarmupCost(time.Minute)
+	if got < 3*warm {
+		t.Errorf("backup ($%.3f) should dominate warm-up ($%.3f)", got, warm)
+	}
+	if paperPool.BackupCost(0, time.Second) != 0 {
+		t.Error("disabled backup should cost 0")
+	}
+}
+
+func TestFigure13TotalCostShape(t *testing.T) {
+	// Reconstruct the headline comparison: over 50 hours, ElastiCache
+	// (cache.r5.24xlarge) costs $518.40 while InfiniCache's total for
+	// the all-objects workload lands in the tens of dollars — a >25x
+	// cost-effectiveness gap.
+	hours := 50.0
+	ecTotal := ElastiCacheHourly("cache.r5.24xlarge") * hours
+	if math.Abs(ecTotal-518.40) > 0.01 {
+		t.Fatalf("ElastiCache 50h = $%.2f, paper says $518.40", ecTotal)
+	}
+	// All-objects workload: 3,654 GETs/hour x 12 chunk invocations,
+	// ~100 ms per chunk invocation, Twarm=1min, Tbak=5min, ~2s backups.
+	icHourly := paperPool.HourlyCost(3654*12, 100*time.Millisecond,
+		time.Minute, 5*time.Minute, 2*time.Second)
+	icTotal := icHourly * hours
+	if icTotal < 10 || icTotal > 40 {
+		t.Errorf("InfiniCache 50h = $%.2f, paper reports $20.52", icTotal)
+	}
+	ratio := ecTotal / icTotal
+	if ratio < 15 || ratio > 50 {
+		t.Errorf("cost-effectiveness = %.1fx, paper reports 31x (all objects)", ratio)
+	}
+}
+
+func TestFigure13NoBackupCheaper(t *testing.T) {
+	// Disabling backup must cut cost hard (paper: $16.51 -> $5.41 for
+	// the large-only workload, 96x vs ElastiCache).
+	withBak := paperPool.HourlyCost(750*12, 100*time.Millisecond,
+		time.Minute, 5*time.Minute, 2*time.Second) * 50
+	noBak := paperPool.HourlyCost(750*12, 100*time.Millisecond,
+		time.Minute, 0, 0) * 50
+	if noBak >= withBak/2 {
+		t.Errorf("no-backup $%.2f vs backup $%.2f; paper shows a ~3x reduction", noBak, withBak)
+	}
+	ecTotal := ElastiCacheHourly("cache.r5.24xlarge") * 50
+	if ratio := ecTotal / noBak; ratio < 50 {
+		t.Errorf("no-backup cost-effectiveness %.0fx, paper reports 96x", ratio)
+	}
+}
+
+func TestFigure13BackupDominatesLargeOnly(t *testing.T) {
+	// §5.2: for large-only, backup+warmup ≈ 88.3% of total cost.
+	serving := paperPool.ServingCost(750*12, 100*time.Millisecond)
+	warm := paperPool.WarmupCost(time.Minute)
+	bak := paperPool.BackupCost(5*time.Minute, 2*time.Second)
+	frac := (warm + bak) / (serving + warm + bak)
+	if frac < 0.75 || frac > 0.97 {
+		t.Errorf("backup+warmup share = %.3f, paper reports ~0.883", frac)
+	}
+}
+
+func TestFigure17Crossover(t *testing.T) {
+	// The hourly cost curve crosses ElastiCache's $10.368 at ~312 K
+	// client requests/hour (86 req/s) with 12-chunk requests.
+	rate := CrossoverAccessRate(paperPool, 12, 100*time.Millisecond,
+		time.Minute, 5*time.Minute, 2*time.Second,
+		ElastiCacheHourly("cache.r5.24xlarge"), 1e6)
+	if rate < 0 {
+		t.Fatal("no crossover found")
+	}
+	if rate < 200_000 || rate > 450_000 {
+		t.Errorf("crossover at %.0f req/hour, paper reports ~312K", rate)
+	}
+}
+
+func TestCrossoverNoneBelowMax(t *testing.T) {
+	// A tiny pool with negligible overheads stays cheaper than a huge
+	// ElastiCache bill at any rate below the cap.
+	small := Lambda{Nodes: 1, MemoryGB: 0.125}
+	rate := CrossoverAccessRate(small, 1, 100*time.Millisecond, 0, 0, 0, 1e9, 1000)
+	if rate != -1 {
+		t.Fatalf("expected no crossover, got %v", rate)
+	}
+}
+
+func TestHourlyCostMonotoneInRate(t *testing.T) {
+	prev := -1.0
+	for rate := 0.0; rate <= 400000; rate += 40000 {
+		c := paperPool.HourlyCost(rate*12, 100*time.Millisecond,
+			time.Minute, 5*time.Minute, 2*time.Second)
+		if c < prev {
+			t.Fatalf("cost not monotone at rate %.0f", rate)
+		}
+		prev = c
+	}
+}

@@ -1,0 +1,135 @@
+// Package distrib provides the probability distributions used to model
+// AWS Lambda's function-reclaiming behaviour (§4.1 of the paper):
+// per-minute reclaim counts followed a Zipf distribution in the
+// Aug/Sep/Nov 2019 measurements and a Poisson distribution in
+// Oct/Dec 2019 and Jan 2020. The same PMFs feed the analytical
+// availability model of §4.3 (Equations 2 and 3).
+package distrib
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Poisson samples from a Poisson distribution with mean lambda using
+// Knuth's product-of-uniforms method (adequate for the small means that
+// per-minute reclaim rates exhibit).
+func Poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		// Normal approximation for large means keeps the loop bounded.
+		k := int(math.Round(rng.NormFloat64()*math.Sqrt(lambda) + lambda))
+		if k < 0 {
+			k = 0
+		}
+		return k
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// PoissonPMF returns P[X = k] for X ~ Poisson(lambda).
+func PoissonPMF(lambda float64, k int) float64 {
+	if k < 0 || lambda <= 0 {
+		if k == 0 && lambda <= 0 {
+			return 1
+		}
+		return 0
+	}
+	lg, _ := math.Lgamma(float64(k) + 1)
+	return math.Exp(float64(k)*math.Log(lambda) - lambda - lg)
+}
+
+// Zipf is a truncated Zipf(s) distribution over the support {0, 1, ..., max}:
+// P[X = k] ∝ 1/(k+1)^s. With s around 2-3 most minutes see zero or one
+// reclaim while rare minutes see many, matching Figure 9's heavy tail.
+type Zipf struct {
+	S   float64
+	Max int
+	pmf []float64 // memoised probabilities
+	cdf []float64
+}
+
+// NewZipf constructs the truncated Zipf distribution.
+func NewZipf(s float64, max int) *Zipf {
+	if max < 0 {
+		max = 0
+	}
+	z := &Zipf{S: s, Max: max}
+	z.pmf = make([]float64, max+1)
+	z.cdf = make([]float64, max+1)
+	sum := 0.0
+	for k := 0; k <= max; k++ {
+		z.pmf[k] = 1 / math.Pow(float64(k+1), s)
+		sum += z.pmf[k]
+	}
+	cum := 0.0
+	for k := 0; k <= max; k++ {
+		z.pmf[k] /= sum
+		cum += z.pmf[k]
+		z.cdf[k] = cum
+	}
+	return z
+}
+
+// PMF returns P[X = k].
+func (z *Zipf) PMF(k int) float64 {
+	if k < 0 || k > z.Max {
+		return 0
+	}
+	return z.pmf[k]
+}
+
+// Sample draws one value.
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, z.Max
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Mean returns E[X].
+func (z *Zipf) Mean() float64 {
+	m := 0.0
+	for k, p := range z.pmf {
+		m += float64(k) * p
+	}
+	return m
+}
+
+// LnChoose returns ln C(n, k) computed with log-gamma so that the
+// hypergeometric terms of Equation 1 stay finite for C(400, 12)-scale
+// binomials.
+func LnChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln, _ := math.Lgamma(float64(n) + 1)
+	lk, _ := math.Lgamma(float64(k) + 1)
+	lnk, _ := math.Lgamma(float64(n-k) + 1)
+	return ln - lk - lnk
+}
+
+// Choose returns C(n, k) as a float64 (may overflow to +Inf for huge
+// arguments; use LnChoose for ratios).
+func Choose(n, k int) float64 {
+	return math.Exp(LnChoose(n, k))
+}

@@ -1,0 +1,159 @@
+package distrib
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPoissonMeanMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, lambda := range []float64{0.3, 1, 5, 36.0 / 60} {
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += Poisson(rng, lambda)
+		}
+		mean := float64(sum) / n
+		if math.Abs(mean-lambda) > 0.05*math.Max(lambda, 1) {
+			t.Errorf("Poisson(%v) empirical mean %.3f", lambda, mean)
+		}
+	}
+}
+
+func TestPoissonLargeLambdaNormalApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const lambda = 100.0
+	const n = 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := Poisson(rng, lambda)
+		if v < 0 {
+			t.Fatal("negative Poisson sample")
+		}
+		sum += float64(v)
+	}
+	mean := sum / n
+	if math.Abs(mean-lambda) > 2 {
+		t.Errorf("Poisson(100) empirical mean %.2f", mean)
+	}
+}
+
+func TestPoissonNonPositiveLambda(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if Poisson(rng, 0) != 0 || Poisson(rng, -1) != 0 {
+		t.Fatal("non-positive lambda should sample 0")
+	}
+}
+
+func TestPoissonPMFSumsToOne(t *testing.T) {
+	for _, lambda := range []float64{0.5, 2, 10} {
+		sum := 0.0
+		for k := 0; k < 200; k++ {
+			p := PoissonPMF(lambda, k)
+			if p < 0 || p > 1 {
+				t.Fatalf("PMF(%v,%d) = %v out of range", lambda, k, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("PoissonPMF(%v) sums to %v", lambda, sum)
+		}
+	}
+	if PoissonPMF(1, -1) != 0 {
+		t.Fatal("PMF of negative k should be 0")
+	}
+}
+
+func TestZipfPMFNormalized(t *testing.T) {
+	z := NewZipf(2, 50)
+	sum := 0.0
+	for k := 0; k <= 50; k++ {
+		sum += z.PMF(k)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("Zipf PMF sums to %v", sum)
+	}
+	if z.PMF(-1) != 0 || z.PMF(51) != 0 {
+		t.Fatal("out-of-support PMF should be 0")
+	}
+	// Monotone decreasing.
+	for k := 1; k <= 50; k++ {
+		if z.PMF(k) > z.PMF(k-1) {
+			t.Fatalf("Zipf PMF not decreasing at %d", k)
+		}
+	}
+}
+
+func TestZipfSampleDistribution(t *testing.T) {
+	z := NewZipf(2, 50)
+	rng := rand.New(rand.NewSource(4))
+	const n = 100000
+	counts := make([]int, 51)
+	for i := 0; i < n; i++ {
+		v := z.Sample(rng)
+		if v < 0 || v > 50 {
+			t.Fatalf("sample %d out of support", v)
+		}
+		counts[v]++
+	}
+	// Empirical P[0] should be close to theoretical.
+	emp := float64(counts[0]) / n
+	if math.Abs(emp-z.PMF(0)) > 0.01 {
+		t.Errorf("P[0] empirical %.3f vs theoretical %.3f", emp, z.PMF(0))
+	}
+	// Heavy tail: zero dominates but large values occur.
+	if counts[0] < n/2 {
+		t.Error("Zipf(2) should be zero-dominated")
+	}
+}
+
+func TestZipfMean(t *testing.T) {
+	z := NewZipf(2, 50)
+	m := z.Mean()
+	if m <= 0 || m > 5 {
+		t.Fatalf("Zipf(2,50) mean = %v, expected small positive", m)
+	}
+}
+
+func TestZipfDegenerateSupport(t *testing.T) {
+	z := NewZipf(2, 0)
+	rng := rand.New(rand.NewSource(5))
+	if z.Sample(rng) != 0 {
+		t.Fatal("support {0} must sample 0")
+	}
+	z = NewZipf(2, -3)
+	if z.Max != 0 {
+		t.Fatal("negative max should clamp to 0")
+	}
+}
+
+func TestLnChooseAgainstExact(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 2, 10}, {10, 0, 1}, {10, 10, 1}, {52, 5, 2598960},
+	}
+	for _, c := range cases {
+		got := Choose(c.n, c.k)
+		if math.Abs(got-c.want)/c.want > 1e-9 {
+			t.Errorf("Choose(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+	if !math.IsInf(LnChoose(5, 6), -1) || !math.IsInf(LnChoose(5, -1), -1) {
+		t.Fatal("out-of-range LnChoose should be -Inf")
+	}
+}
+
+func TestLnChoosePaperRatio(t *testing.T) {
+	// §4.3: with Nλ=400, RS(10+2) (n=12, m=3) and r=12 reclaimed,
+	// p3/p4 = 18.8.
+	lnP := func(i int) float64 {
+		return LnChoose(12, i) + LnChoose(400-12, 12-i) - LnChoose(400, 12)
+	}
+	ratio := math.Exp(lnP(3) - lnP(4))
+	if math.Abs(ratio-18.8) > 0.1 {
+		t.Fatalf("p3/p4 = %.2f, paper reports 18.8", ratio)
+	}
+}

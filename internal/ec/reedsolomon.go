@@ -1,0 +1,282 @@
+// Package ec implements systematic Reed-Solomon erasure coding over
+// GF(2^8), built from scratch on internal/gf256.
+//
+// InfiniCache encodes every object with an RS(d+p) code: d data shards and
+// p parity shards (the paper evaluates (10+1), (10+2), (10+4), (4+2), (5+1)
+// and a (10+0) plain-split baseline). Any d of the d+p shards reconstruct
+// the object, which gives the cache both fault tolerance against Lambda
+// reclamation and the "first-d" straggler mitigation used by the proxy.
+//
+// The encoding matrix is derived from a Vandermonde matrix and then
+// normalised (by multiplying with the inverse of its top d x d square) so
+// the code is systematic: the first d shards are the data itself. The
+// normalisation preserves the MDS property that any d rows are invertible.
+package ec
+
+import (
+	"errors"
+	"fmt"
+
+	"infinicache/internal/gf256"
+)
+
+// Codec is an RS(d+p) encoder/decoder. It is immutable after creation and
+// safe for concurrent use.
+type Codec struct {
+	d, p int
+	// matrix is the (d+p) x d encoding matrix; its top d rows are identity.
+	matrix *gf256.Matrix
+	// parity aliases the bottom p rows of matrix.
+	parity *gf256.Matrix
+}
+
+// Common errors returned by the codec.
+var (
+	ErrInvalidShardCount = errors.New("ec: data shards must be >= 1 and parity shards >= 0")
+	ErrTooManyShards     = errors.New("ec: data + parity shards must not exceed 256")
+	ErrShardCount        = errors.New("ec: wrong number of shards supplied")
+	ErrShardSize         = errors.New("ec: shards must be non-empty and of equal size")
+	ErrTooFewShards      = errors.New("ec: too few shards to reconstruct")
+	ErrShortData         = errors.New("ec: not enough data to fill requested size")
+)
+
+// New returns an RS codec with d data shards and p parity shards.
+// p may be zero, in which case the codec degenerates to plain striping
+// (the paper's (10+0) baseline).
+func New(d, p int) (*Codec, error) {
+	if d < 1 || p < 0 {
+		return nil, ErrInvalidShardCount
+	}
+	if d+p > 256 {
+		return nil, ErrTooManyShards
+	}
+	vm := gf256.Vandermonde(d+p, d)
+	top := vm.SubMatrix(0, d, 0, d)
+	topInv, err := top.Invert()
+	if err != nil {
+		// Cannot happen: distinct Vandermonde rows are always invertible.
+		return nil, fmt.Errorf("ec: vandermonde top square not invertible: %w", err)
+	}
+	matrix := vm.Mul(topInv)
+	c := &Codec{
+		d:      d,
+		p:      p,
+		matrix: matrix,
+	}
+	if p > 0 {
+		c.parity = matrix.SubMatrix(d, d+p, 0, d)
+	}
+	return c, nil
+}
+
+// DataShards returns d.
+func (c *Codec) DataShards() int { return c.d }
+
+// ParityShards returns p.
+func (c *Codec) ParityShards() int { return c.p }
+
+// TotalShards returns d+p.
+func (c *Codec) TotalShards() int { return c.d + c.p }
+
+// String returns the conventional "(d+p)" notation.
+func (c *Codec) String() string { return fmt.Sprintf("(%d+%d)", c.d, c.p) }
+
+func (c *Codec) checkShards(shards [][]byte, allowNil bool) (size int, err error) {
+	if len(shards) != c.d+c.p {
+		return 0, ErrShardCount
+	}
+	size = -1
+	for _, s := range shards {
+		if s == nil {
+			if !allowNil {
+				return 0, ErrShardSize
+			}
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, ErrShardSize
+		}
+	}
+	if size <= 0 {
+		return 0, ErrShardSize
+	}
+	return size, nil
+}
+
+// Encode computes the p parity shards from the first d shards in place.
+// shards must hold d+p equal-length slices; the first d contain data and
+// the last p are overwritten with parity.
+func (c *Codec) Encode(shards [][]byte) error {
+	if _, err := c.checkShards(shards, false); err != nil {
+		return err
+	}
+	for i := 0; i < c.p; i++ {
+		row := c.parity.Row(i)
+		out := shards[c.d+i]
+		for j := range out {
+			out[j] = 0
+		}
+		for j, coef := range row {
+			gf256.MulAddSlice(coef, shards[j], out)
+		}
+	}
+	return nil
+}
+
+// Verify reports whether the parity shards are consistent with the data
+// shards.
+func (c *Codec) Verify(shards [][]byte) (bool, error) {
+	size, err := c.checkShards(shards, false)
+	if err != nil {
+		return false, err
+	}
+	scratch := make([]byte, size)
+	for i := 0; i < c.p; i++ {
+		row := c.parity.Row(i)
+		for j := range scratch {
+			scratch[j] = 0
+		}
+		for j, coef := range row {
+			gf256.MulAddSlice(coef, shards[j], scratch)
+		}
+		for j := range scratch {
+			if scratch[j] != shards[c.d+i][j] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Reconstruct fills every nil entry in shards (data and parity) from the
+// surviving shards. At least d shards must be present.
+func (c *Codec) Reconstruct(shards [][]byte) error {
+	return c.reconstruct(shards, false)
+}
+
+// ReconstructData fills only the nil data shards, leaving missing parity
+// shards nil. This is the GET-path operation: the client only needs the
+// data shards back to reassemble the object.
+func (c *Codec) ReconstructData(shards [][]byte) error {
+	return c.reconstruct(shards, true)
+}
+
+func (c *Codec) reconstruct(shards [][]byte, dataOnly bool) error {
+	size, err := c.checkShards(shards, true)
+	if err != nil {
+		return err
+	}
+
+	present := 0
+	for _, s := range shards {
+		if s != nil {
+			present++
+		}
+	}
+	if present == len(shards) {
+		return nil // nothing to do
+	}
+	if present < c.d {
+		return ErrTooFewShards
+	}
+
+	// Gather d surviving rows of the encoding matrix and the matching shards.
+	rows := make([]int, 0, c.d)
+	sub := make([][]byte, 0, c.d)
+	for i := 0; i < c.d+c.p && len(rows) < c.d; i++ {
+		if shards[i] != nil {
+			rows = append(rows, i)
+			sub = append(sub, shards[i])
+		}
+	}
+	dec, err := c.matrix.SelectRows(rows).Invert()
+	if err != nil {
+		return fmt.Errorf("ec: reconstruct: %w", err)
+	}
+
+	// Recover missing data shards: data_j = dec.Row(j) . sub
+	for j := 0; j < c.d; j++ {
+		if shards[j] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		for k, coef := range dec.Row(j) {
+			gf256.MulAddSlice(coef, sub[k], out)
+		}
+		shards[j] = out
+	}
+	if dataOnly {
+		return nil
+	}
+	// Recover missing parity shards from the (now complete) data shards.
+	for i := 0; i < c.p; i++ {
+		idx := c.d + i
+		if shards[idx] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		for j, coef := range c.parity.Row(i) {
+			gf256.MulAddSlice(coef, shards[j], out)
+		}
+		shards[idx] = out
+	}
+	return nil
+}
+
+// Split partitions data into d+p equal-size shards: the first d hold the
+// (zero-padded) data and the final p are allocated for parity. The input
+// slice is copied, never aliased.
+func (c *Codec) Split(data []byte) ([][]byte, error) {
+	if len(data) == 0 {
+		return nil, errors.New("ec: cannot split empty data")
+	}
+	shardSize := (len(data) + c.d - 1) / c.d
+	shards := make([][]byte, c.d+c.p)
+	for i := range shards {
+		shards[i] = make([]byte, shardSize)
+	}
+	for i := 0; i < c.d; i++ {
+		lo := i * shardSize
+		if lo >= len(data) {
+			break
+		}
+		hi := lo + shardSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		copy(shards[i], data[lo:hi])
+	}
+	return shards, nil
+}
+
+// Join reassembles the original object of length size from the data
+// shards (shards[0:d]). Parity shards are ignored.
+func (c *Codec) Join(shards [][]byte, size int) ([]byte, error) {
+	if len(shards) < c.d {
+		return nil, ErrShardCount
+	}
+	out := make([]byte, 0, size)
+	for i := 0; i < c.d && len(out) < size; i++ {
+		s := shards[i]
+		if s == nil {
+			return nil, ErrTooFewShards
+		}
+		need := size - len(out)
+		if need > len(s) {
+			need = len(s)
+		}
+		out = append(out, s[:need]...)
+	}
+	if len(out) < size {
+		return nil, ErrShortData
+	}
+	return out, nil
+}
+
+// ShardSize returns the per-shard size the codec uses for an object of
+// objectSize bytes.
+func (c *Codec) ShardSize(objectSize int) int {
+	return (objectSize + c.d - 1) / c.d
+}

@@ -1,0 +1,390 @@
+package ec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		d, p int
+		err  error
+	}{
+		{0, 1, ErrInvalidShardCount},
+		{-1, 0, ErrInvalidShardCount},
+		{1, -1, ErrInvalidShardCount},
+		{200, 57, ErrTooManyShards},
+		{10, 2, nil},
+		{10, 0, nil},
+		{1, 255, nil},
+	}
+	for _, c := range cases {
+		_, err := New(c.d, c.p)
+		if err != c.err {
+			t.Errorf("New(%d,%d) err = %v, want %v", c.d, c.p, err, c.err)
+		}
+	}
+}
+
+func TestEncodeVerifyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, geom := range [][2]int{{10, 1}, {10, 2}, {10, 4}, {4, 2}, {5, 1}, {1, 1}, {2, 3}} {
+		c, err := New(geom[0], geom[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards := make([][]byte, c.TotalShards())
+		for i := range shards {
+			shards[i] = randBytes(rng, 1024)
+		}
+		if err := c.Encode(shards); err != nil {
+			t.Fatalf("%s: encode: %v", c, err)
+		}
+		ok, err := c.Verify(shards)
+		if err != nil || !ok {
+			t.Fatalf("%s: verify = %v, %v; want true, nil", c, ok, err)
+		}
+		// Corrupt one byte; verification must fail.
+		shards[0][0] ^= 0x01
+		ok, err = c.Verify(shards)
+		if err != nil || ok {
+			t.Fatalf("%s: verify after corruption = %v, %v; want false, nil", c, ok, err)
+		}
+	}
+}
+
+func TestReconstructAllLossPatterns(t *testing.T) {
+	// Exhaustively drop every subset of <= p shards for RS(4+2) and
+	// check full recovery.
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	orig := make([][]byte, 6)
+	for i := range orig {
+		orig[i] = randBytes(rng, 333)
+	}
+	if err := c.Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	for mask := 0; mask < 1<<6; mask++ {
+		lost := 0
+		for b := 0; b < 6; b++ {
+			if mask&(1<<b) != 0 {
+				lost++
+			}
+		}
+		if lost == 0 || lost > 2 {
+			continue
+		}
+		shards := make([][]byte, 6)
+		for i := range shards {
+			if mask&(1<<i) != 0 {
+				shards[i] = nil
+			} else {
+				shards[i] = append([]byte(nil), orig[i]...)
+			}
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatalf("mask %06b: reconstruct: %v", mask, err)
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], orig[i]) {
+				t.Fatalf("mask %06b: shard %d mismatch", mask, i)
+			}
+		}
+	}
+}
+
+func TestReconstructDataOnly(t *testing.T) {
+	c, _ := New(10, 2)
+	rng := rand.New(rand.NewSource(3))
+	orig := make([][]byte, 12)
+	for i := range orig {
+		orig[i] = randBytes(rng, 64)
+	}
+	if err := c.Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	shards := make([][]byte, 12)
+	for i := range shards {
+		shards[i] = append([]byte(nil), orig[i]...)
+	}
+	shards[3] = nil  // data shard
+	shards[11] = nil // parity shard
+	if err := c.ReconstructData(shards); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(shards[3], orig[3]) {
+		t.Fatal("data shard not recovered")
+	}
+	if shards[11] != nil {
+		t.Fatal("ReconstructData must leave parity shards nil")
+	}
+}
+
+func TestReconstructTooFewShards(t *testing.T) {
+	c, _ := New(10, 2)
+	shards := make([][]byte, 12)
+	for i := 0; i < 9; i++ { // only 9 < d=10 present
+		shards[i] = make([]byte, 8)
+	}
+	if err := c.Reconstruct(shards); err != ErrTooFewShards {
+		t.Fatalf("err = %v, want ErrTooFewShards", err)
+	}
+}
+
+func TestReconstructNoopWhenComplete(t *testing.T) {
+	c, _ := New(4, 1)
+	rng := rand.New(rand.NewSource(4))
+	shards := make([][]byte, 5)
+	for i := range shards {
+		shards[i] = randBytes(rng, 16)
+	}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	before := make([][]byte, 5)
+	for i := range shards {
+		before[i] = append([]byte(nil), shards[i]...)
+	}
+	if err := c.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if !bytes.Equal(shards[i], before[i]) {
+			t.Fatal("Reconstruct modified complete shards")
+		}
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c, _ := New(10, 2)
+	for _, size := range []int{1, 9, 10, 11, 4096, 1 << 20, 1<<20 + 17} {
+		data := randBytes(rng, size)
+		shards, err := c.Split(data)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if len(shards) != 12 {
+			t.Fatalf("size %d: got %d shards", size, len(shards))
+		}
+		if err := c.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Join(shards, size)
+		if err != nil {
+			t.Fatalf("size %d: join: %v", size, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("size %d: join mismatch", size)
+		}
+	}
+}
+
+func TestSplitDoesNotAliasInput(t *testing.T) {
+	c, _ := New(2, 1)
+	data := []byte{1, 2, 3, 4}
+	shards, err := c.Split(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards[0][0] = 99
+	if data[0] != 1 {
+		t.Fatal("Split aliased caller data")
+	}
+}
+
+func TestSplitEmpty(t *testing.T) {
+	c, _ := New(2, 1)
+	if _, err := c.Split(nil); err == nil {
+		t.Fatal("expected error splitting empty data")
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	c, _ := New(3, 1)
+	if _, err := c.Join([][]byte{{1}}, 3); err != ErrShardCount {
+		t.Fatalf("short shard list: err = %v, want ErrShardCount", err)
+	}
+	shards := [][]byte{{1}, nil, {3}, {0}}
+	if _, err := c.Join(shards, 3); err != ErrTooFewShards {
+		t.Fatalf("nil data shard: err = %v, want ErrTooFewShards", err)
+	}
+	shards = [][]byte{{1}, {2}, {3}, {0}}
+	if _, err := c.Join(shards, 10); err != ErrShortData {
+		t.Fatalf("oversize request: err = %v, want ErrShortData", err)
+	}
+}
+
+func TestZeroParityPlainSplit(t *testing.T) {
+	// RS(10+0) is the paper's no-EC baseline: Split/Join must round-trip
+	// and Encode must be a no-op.
+	c, err := New(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	data := randBytes(rng, 100*1024)
+	shards, err := c.Split(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Join(shards, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("plain split round-trip failed")
+	}
+	// Losing any shard is unrecoverable with p=0.
+	shards[0] = nil
+	if err := c.Reconstruct(shards); err != ErrTooFewShards {
+		t.Fatalf("err = %v, want ErrTooFewShards", err)
+	}
+}
+
+func TestEncodeShardSizeMismatch(t *testing.T) {
+	c, _ := New(2, 1)
+	shards := [][]byte{make([]byte, 4), make([]byte, 5), make([]byte, 4)}
+	if err := c.Encode(shards); err != ErrShardSize {
+		t.Fatalf("err = %v, want ErrShardSize", err)
+	}
+}
+
+func TestEncodeWrongShardCount(t *testing.T) {
+	c, _ := New(2, 1)
+	if err := c.Encode([][]byte{{1}, {2}}); err != ErrShardCount {
+		t.Fatalf("err = %v, want ErrShardCount", err)
+	}
+}
+
+// Property: for random geometry, random data, and a random admissible loss
+// pattern, reconstruction recovers the original object exactly.
+func TestPropertyReconstructRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(12)
+		p := r.Intn(5)
+		c, err := New(d, p)
+		if err != nil {
+			return false
+		}
+		size := 1 + r.Intn(10000)
+		data := randBytes(r, size)
+		shards, err := c.Split(data)
+		if err != nil {
+			return false
+		}
+		if err := c.Encode(shards); err != nil {
+			return false
+		}
+		// Drop up to p shards at random.
+		for _, idx := range r.Perm(d + p)[:r.Intn(p+1)] {
+			shards[idx] = nil
+		}
+		if err := c.ReconstructData(shards); err != nil {
+			return false
+		}
+		got, err := c.Join(shards, size)
+		return err == nil && bytes.Equal(got, data)
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reconstructing from exactly d arbitrary surviving shards works
+// regardless of which d survive (the MDS property).
+func TestPropertyMDSAnyDShardsSuffice(t *testing.T) {
+	c, err := New(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(123))
+	data := randBytes(rng, 12345)
+	orig, err := c.Split(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 40; trial++ {
+		keep := rng.Perm(14)[:10]
+		shards := make([][]byte, 14)
+		for _, k := range keep {
+			shards[k] = append([]byte(nil), orig[k]...)
+		}
+		if err := c.ReconstructData(shards); err != nil {
+			t.Fatalf("keep %v: %v", keep, err)
+		}
+		got, err := c.Join(shards, len(data))
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("keep %v: join mismatch (%v)", keep, err)
+		}
+	}
+}
+
+func BenchmarkEncode10p2_1MB(b *testing.B) {
+	benchEncode(b, 10, 2, 1<<20)
+}
+
+func BenchmarkEncode10p1_10MB(b *testing.B) {
+	benchEncode(b, 10, 1, 10<<20)
+}
+
+func benchEncode(b *testing.B, d, p, size int) {
+	c, err := New(d, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	data := randBytes(rng, size)
+	shards, err := c.Split(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct10p2_1MB(b *testing.B) {
+	c, _ := New(10, 2)
+	rng := rand.New(rand.NewSource(1))
+	data := randBytes(rng, 1<<20)
+	orig, _ := c.Split(data)
+	if err := c.Encode(orig); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shards := make([][]byte, 12)
+		copy(shards, orig)
+		shards[0], shards[5] = nil, nil
+		if err := c.ReconstructData(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package exps
+
+import (
+	"strings"
+	"testing"
+)
+
+// The trace-driven harnesses use a short window in tests; cmd/ic-repro
+// runs the full 50 hours.
+const testHours = 6
+
+func TestFigure1Report(t *testing.T) {
+	out := Figure1(testHours, 1)
+	for _, want := range []string{"object-size CDF", "access-count CDF", "reuse-interval CDF", "WSS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Figure1 output missing %q", want)
+		}
+	}
+}
+
+func TestFigure8Report(t *testing.T) {
+	out := Figure8(1)
+	if !strings.Contains(out, "9min warmup") || !strings.Contains(out, "Poisson 36/h") {
+		t.Fatal("Figure8 output missing scenarios")
+	}
+}
+
+func TestFigure9Report(t *testing.T) {
+	out := Figure9(1)
+	if !strings.Contains(out, "Zipf regime") || !strings.Contains(out, "Poisson regime") {
+		t.Fatal("Figure9 output missing regimes")
+	}
+}
+
+func TestFigure13Report(t *testing.T) {
+	out := Figure13(testHours, 1)
+	for _, want := range []string{"ElastiCache", "InfiniCache (all objects)", "cost effectiveness", "backup+warm-up share"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Figure13 output missing %q", want)
+		}
+	}
+}
+
+func TestFigure14Report(t *testing.T) {
+	out := Figure14(testHours, 1)
+	if !strings.Contains(out, "RESETs") || !strings.Contains(out, "availability") {
+		t.Fatal("Figure14 output incomplete")
+	}
+}
+
+func TestTable1Report(t *testing.T) {
+	out := Table1(testHours, 1)
+	for _, want := range []string{"All objects", "Large obj. only", "EC hit", "IC w/o backup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table1 output missing %q", want)
+		}
+	}
+}
+
+func TestFigure15Report(t *testing.T) {
+	out := Figure15(testHours, 1)
+	if !strings.Contains(out, "InfiniCache") || !strings.Contains(out, "AWS S3") {
+		t.Fatal("Figure15 output incomplete")
+	}
+}
+
+func TestFigure16Report(t *testing.T) {
+	out := Figure16(testHours, 1)
+	for _, want := range []string{"<1MB", ">=100MB", "ElastiCache"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Figure16 output missing %q", want)
+		}
+	}
+}
+
+func TestFigure17Report(t *testing.T) {
+	out := Figure17()
+	if !strings.Contains(out, "crossover") {
+		t.Fatal("Figure17 output missing crossover")
+	}
+}
+
+func TestAvailabilityReport(t *testing.T) {
+	out := AvailabilityAnalysis()
+	if !strings.Contains(out, "p3/p4") || !strings.Contains(out, "hourly avail") {
+		t.Fatal("availability analysis incomplete")
+	}
+}
+
+func TestFigure4LiveReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live microbenchmark")
+	}
+	out := Figure4(2, 1)
+	if !strings.Contains(out, "pool") {
+		t.Fatal("Figure4 output incomplete")
+	}
+}
+
+func TestFigure11LiveReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live microbenchmark")
+	}
+	cfg := MicroConfig{
+		MemoriesMB: []int{1024},
+		Codes:      [][2]int{{4, 2}},
+		SizesMB:    []int{10},
+		Samples:    2,
+		Seed:       1,
+	}
+	out := Figure11(cfg)
+	if !strings.Contains(out, "(4+2)") {
+		t.Fatal("Figure11 output incomplete")
+	}
+}
+
+func TestFigure12LiveReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live microbenchmark")
+	}
+	out := Figure12([]int{1, 2}, 1, 1)
+	if !strings.Contains(out, "GB/s") {
+		t.Fatal("Figure12 output incomplete")
+	}
+}

@@ -1,0 +1,117 @@
+// Package gf256 implements arithmetic over the Galois field GF(2^8).
+//
+// The field is constructed modulo the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the same polynomial used by most
+// Reed-Solomon storage codecs. All 255 non-zero elements are powers of the
+// generator element 2, which lets multiplication and division run off
+// exp/log tables built once at package init.
+package gf256
+
+// Poly is the primitive polynomial used to construct the field,
+// x^8 + x^4 + x^3 + x^2 + 1.
+const Poly = 0x11D
+
+var (
+	// expTable[i] = 2^i for i in [0, 510); doubled so Mul can skip a mod.
+	expTable [510]byte
+	// logTable[x] = log2(x) for x in [1, 256); logTable[0] is unused.
+	logTable [256]byte
+	// mulTable[a][b] = a*b. 64 KiB; makes hot encode loops table-driven.
+	mulTable [256][256]byte
+	// invTable[x] = multiplicative inverse of x; invTable[0] unused.
+	invTable [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Poly
+		}
+	}
+	for i := 255; i < 510; i++ {
+		expTable[i] = expTable[i-255]
+	}
+	for a := 1; a < 256; a++ {
+		la := int(logTable[a])
+		for b := 1; b < 256; b++ {
+			mulTable[a][b] = expTable[la+int(logTable[b])]
+		}
+	}
+	for x := 1; x < 256; x++ {
+		invTable[x] = expTable[255-int(logTable[x])]
+	}
+}
+
+// Add returns a+b in GF(2^8). Addition is XOR; it is its own inverse.
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a-b in GF(2^8); identical to Add in characteristic 2.
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a*b in GF(2^8).
+func Mul(a, b byte) byte { return mulTable[a][b] }
+
+// Div returns a/b in GF(2^8). Div panics if b is zero.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+255-int(logTable[b])]
+}
+
+// Inv returns the multiplicative inverse of a. Inv panics if a is zero.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: zero has no inverse")
+	}
+	return invTable[a]
+}
+
+// Exp returns 2^n for n >= 0.
+func Exp(n int) byte { return expTable[n%255] }
+
+// Log returns log2(a). Log panics if a is zero.
+func Log(a byte) int {
+	if a == 0 {
+		panic("gf256: log of zero")
+	}
+	return int(logTable[a])
+}
+
+// MulRow returns mulTable[c][:], the row of products {c*x : x in [0,256)}.
+// Callers use it to multiply long byte slices by a constant without a
+// two-level table lookup per byte.
+func MulRow(c byte) *[256]byte { return &mulTable[c] }
+
+// MulSlice sets dst[i] = c * src[i] for all i. len(dst) must equal len(src).
+func MulSlice(c byte, src, dst []byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	row := &mulTable[c]
+	for i, s := range src {
+		dst[i] = row[s]
+	}
+}
+
+// MulAddSlice sets dst[i] ^= c * src[i] for all i (a fused multiply-add,
+// the inner loop of Reed-Solomon encoding).
+func MulAddSlice(c byte, src, dst []byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulAddSlice length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	row := &mulTable[c]
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}

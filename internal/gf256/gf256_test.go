@@ -1,0 +1,181 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	if Add(0x53, 0xCA) != 0x53^0xCA {
+		t.Fatalf("Add(0x53,0xCA) = %#x, want %#x", Add(0x53, 0xCA), 0x53^0xCA)
+	}
+	if Sub(0x53, 0xCA) != Add(0x53, 0xCA) {
+		t.Fatal("Sub must equal Add in characteristic 2")
+	}
+}
+
+func TestMulIdentityAndZero(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		if got := Mul(byte(a), 1); got != byte(a) {
+			t.Fatalf("Mul(%d, 1) = %d, want %d", a, got, a)
+		}
+		if got := Mul(byte(a), 0); got != 0 {
+			t.Fatalf("Mul(%d, 0) = %d, want 0", a, got)
+		}
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	f := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	f := func(a, b, c byte) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributive(t *testing.T) {
+	f := func(a, b, c byte) bool { return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulMatchesSlowMultiplication(t *testing.T) {
+	// Carry-less "Russian peasant" multiplication modulo Poly.
+	slow := func(a, b byte) byte {
+		var r byte
+		for b > 0 {
+			if b&1 != 0 {
+				r ^= a
+			}
+			high := a&0x80 != 0
+			a <<= 1
+			if high {
+				a ^= byte(Poly & 0xFF)
+			}
+			b >>= 1
+		}
+		return r
+	}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := Mul(byte(a), byte(b)), slow(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv := Inv(byte(a))
+		if got := Mul(byte(a), inv); got != 1 {
+			t.Fatalf("a*Inv(a) = %d for a=%d, want 1", got, a)
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestDivRoundTrip(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Mul(Div(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	Div(1, 0)
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if got := Exp(Log(byte(a))); got != byte(a) {
+			t.Fatalf("Exp(Log(%d)) = %d", a, got)
+		}
+	}
+}
+
+func TestExpPeriod255(t *testing.T) {
+	for n := 0; n < 255; n++ {
+		if Exp(n) != Exp(n+255) {
+			t.Fatalf("Exp not periodic at n=%d", n)
+		}
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{0, 1, 2, 0xFF, 0x80, 7}
+	dst := make([]byte, len(src))
+	MulSlice(0x1D, src, dst)
+	for i := range src {
+		if dst[i] != Mul(0x1D, src[i]) {
+			t.Fatalf("MulSlice[%d] = %d, want %d", i, dst[i], Mul(0x1D, src[i]))
+		}
+	}
+}
+
+func TestMulAddSlice(t *testing.T) {
+	src := []byte{3, 9, 27, 81, 243}
+	dst := []byte{1, 1, 1, 1, 1}
+	want := make([]byte, len(src))
+	for i := range src {
+		want[i] = dst[i] ^ Mul(0x35, src[i])
+	}
+	MulAddSlice(0x35, src, dst)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MulAddSlice[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestMulAddSliceZeroCoefficientIsNoop(t *testing.T) {
+	src := []byte{1, 2, 3}
+	dst := []byte{4, 5, 6}
+	MulAddSlice(0, src, dst)
+	if dst[0] != 4 || dst[1] != 5 || dst[2] != 6 {
+		t.Fatal("MulAddSlice with zero coefficient modified dst")
+	}
+}
+
+func TestMulSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MulSlice(1, []byte{1, 2}, []byte{1})
+}
+
+func TestMulRow(t *testing.T) {
+	row := MulRow(7)
+	for x := 0; x < 256; x++ {
+		if row[x] != Mul(7, byte(x)) {
+			t.Fatalf("MulRow(7)[%d] = %d, want %d", x, row[x], Mul(7, byte(x)))
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package gf256
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Matrix is a dense matrix over GF(2^8), stored row-major.
+type Matrix struct {
+	Rows, Cols int
+	Data       []byte // len == Rows*Cols
+}
+
+// NewMatrix returns a zeroed rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("gf256: invalid matrix dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]byte, rows*cols)}
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Vandermonde returns the rows x cols matrix with entry (r,c) = r^c.
+// Any cols distinct rows of a Vandermonde matrix form an invertible
+// submatrix, which is the property Reed-Solomon construction relies on.
+func Vandermonde(rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		e := byte(1)
+		for c := 0; c < cols; c++ {
+			m.Set(r, c, e)
+			e = Mul(e, byte(r))
+		}
+	}
+	return m
+}
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) byte { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at (r, c).
+func (m *Matrix) Set(r, c int, v byte) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view (not a copy) of row r.
+func (m *Matrix) Row(r int) []byte { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	n := NewMatrix(m.Rows, m.Cols)
+	copy(n.Data, m.Data)
+	return n
+}
+
+// Mul returns the matrix product m * other.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.Cols != other.Rows {
+		panic(fmt.Sprintf("gf256: cannot multiply %dx%d by %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for r := 0; r < m.Rows; r++ {
+		mrow := m.Row(r)
+		orow := out.Row(r)
+		for k, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			MulAddSlice(mv, other.Row(k), orow)
+		}
+	}
+	return out
+}
+
+// SubMatrix returns a copy of the rectangle [r0, r1) x [c0, c1).
+func (m *Matrix) SubMatrix(r0, r1, c0, c1 int) *Matrix {
+	out := NewMatrix(r1-r0, c1-c0)
+	for r := r0; r < r1; r++ {
+		copy(out.Row(r-r0), m.Row(r)[c0:c1])
+	}
+	return out
+}
+
+// SelectRows returns a copy of m restricted to the given rows, in order.
+func (m *Matrix) SelectRows(rows []int) *Matrix {
+	out := NewMatrix(len(rows), m.Cols)
+	for i, r := range rows {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// ErrSingular is returned when a matrix cannot be inverted.
+var ErrSingular = errors.New("gf256: matrix is singular")
+
+// Invert returns the inverse of a square matrix using Gauss-Jordan
+// elimination over GF(2^8). It returns ErrSingular for singular input.
+func (m *Matrix) Invert() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("gf256: cannot invert non-square %dx%d matrix", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	work := m.Clone()
+	out := Identity(n)
+
+	for col := 0; col < n; col++ {
+		// Find a pivot at or below the diagonal.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(work, pivot, col)
+			swapRows(out, pivot, col)
+		}
+		// Scale the pivot row so the diagonal becomes 1.
+		if d := work.At(col, col); d != 1 {
+			inv := Inv(d)
+			MulSlice(inv, work.Row(col), work.Row(col))
+			MulSlice(inv, out.Row(col), out.Row(col))
+		}
+		// Eliminate the column from every other row.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			if f := work.At(r, col); f != 0 {
+				MulAddSlice(f, work.Row(col), work.Row(r))
+				MulAddSlice(f, out.Row(col), out.Row(r))
+			}
+		}
+	}
+	return out, nil
+}
+
+func swapRows(m *Matrix, a, b int) {
+	ra, rb := m.Row(a), m.Row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+// IsIdentity reports whether m is a square identity matrix.
+func (m *Matrix) IsIdentity() bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			want := byte(0)
+			if r == c {
+				want = 1
+			}
+			if m.At(r, c) != want {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,110 @@
+package gf256
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIdentityIsIdentity(t *testing.T) {
+	if !Identity(5).IsIdentity() {
+		t.Fatal("Identity(5) failed IsIdentity")
+	}
+}
+
+func TestMatrixMulByIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatrix(4, 4)
+	for i := range m.Data {
+		m.Data[i] = byte(rng.Intn(256))
+	}
+	got := m.Mul(Identity(4))
+	for i := range m.Data {
+		if got.Data[i] != m.Data[i] {
+			t.Fatal("M * I != M")
+		}
+	}
+	got = Identity(4).Mul(m)
+	for i := range m.Data {
+		if got.Data[i] != m.Data[i] {
+			t.Fatal("I * M != M")
+		}
+	}
+}
+
+func TestMatrixInvertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		m := NewMatrix(n, n)
+		for i := range m.Data {
+			m.Data[i] = byte(rng.Intn(256))
+		}
+		inv, err := m.Invert()
+		if err != nil {
+			continue // singular random matrix; skip
+		}
+		if !m.Mul(inv).IsIdentity() {
+			t.Fatalf("trial %d: M * M^-1 != I (n=%d)", trial, n)
+		}
+		if !inv.Mul(m).IsIdentity() {
+			t.Fatalf("trial %d: M^-1 * M != I (n=%d)", trial, n)
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 2) // duplicate row => singular
+	if _, err := m.Invert(); err != ErrSingular {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestInvertNonSquare(t *testing.T) {
+	if _, err := NewMatrix(2, 3).Invert(); err == nil {
+		t.Fatal("expected error inverting non-square matrix")
+	}
+}
+
+func TestVandermondeSubmatricesInvertible(t *testing.T) {
+	// The defining property for RS codes: any d distinct rows of a
+	// Vandermonde matrix over distinct points form an invertible matrix.
+	const rows, cols = 14, 10
+	vm := Vandermonde(rows, cols)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		perm := rng.Perm(rows)[:cols]
+		sub := vm.SelectRows(perm)
+		if _, err := sub.Invert(); err != nil {
+			t.Fatalf("vandermonde submatrix rows %v not invertible: %v", perm, err)
+		}
+	}
+}
+
+func TestSubMatrixAndSelectRows(t *testing.T) {
+	m := Vandermonde(4, 3)
+	sub := m.SubMatrix(1, 3, 0, 2)
+	if sub.Rows != 2 || sub.Cols != 2 {
+		t.Fatalf("SubMatrix dims = %dx%d, want 2x2", sub.Rows, sub.Cols)
+	}
+	if sub.At(0, 1) != m.At(1, 1) || sub.At(1, 0) != m.At(2, 0) {
+		t.Fatal("SubMatrix copied wrong elements")
+	}
+	sel := m.SelectRows([]int{3, 0})
+	if sel.At(0, 0) != m.At(3, 0) || sel.At(1, 2) != m.At(0, 2) {
+		t.Fatal("SelectRows copied wrong rows")
+	}
+}
+
+func TestSubMatrixIsACopy(t *testing.T) {
+	m := Vandermonde(3, 3)
+	sub := m.SubMatrix(0, 2, 0, 2)
+	orig := m.At(0, 0)
+	sub.Set(0, 0, orig^0xFF)
+	if m.At(0, 0) != orig {
+		t.Fatal("SubMatrix aliases parent storage")
+	}
+}

@@ -1,0 +1,166 @@
+package hashring
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestEmptyRing(t *testing.T) {
+	r := New(0)
+	if got := r.Locate("key"); got != "" {
+		t.Fatalf("Locate on empty ring = %q, want \"\"", got)
+	}
+	if r.LocateN("key", 3) != nil {
+		t.Fatal("LocateN on empty ring should be nil")
+	}
+	if r.Len() != 0 {
+		t.Fatal("empty ring Len != 0")
+	}
+}
+
+func TestSingleMemberOwnsEverything(t *testing.T) {
+	r := New(0)
+	r.Add("proxy-0")
+	for i := 0; i < 100; i++ {
+		if got := r.Locate(fmt.Sprintf("key-%d", i)); got != "proxy-0" {
+			t.Fatalf("Locate = %q, want proxy-0", got)
+		}
+	}
+}
+
+func TestDeterministicPlacement(t *testing.T) {
+	build := func() *Ring {
+		r := New(100)
+		for i := 0; i < 5; i++ {
+			r.Add(fmt.Sprintf("proxy-%d", i))
+		}
+		return r
+	}
+	a, b := build(), build()
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("obj/%d", i)
+		if a.Locate(k) != b.Locate(k) {
+			t.Fatalf("placement for %q differs between identical rings", k)
+		}
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	r := New(10)
+	r.Add("m")
+	n := len(r.hashes)
+	r.Add("m")
+	if len(r.hashes) != n {
+		t.Fatal("duplicate Add changed the ring")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	r := New(50)
+	r.Add("a")
+	r.Add("b")
+	r.Remove("a")
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.Locate(fmt.Sprintf("k%d", i)); got != "b" {
+			t.Fatalf("Locate = %q after removing a", got)
+		}
+	}
+	r.Remove("nonexistent") // must not panic
+}
+
+func TestBalance(t *testing.T) {
+	// With enough virtual nodes, key ownership should be roughly uniform.
+	r := New(200)
+	const members = 8
+	for i := 0; i < members; i++ {
+		r.Add(fmt.Sprintf("proxy-%d", i))
+	}
+	counts := make(map[string]int)
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[r.Locate(fmt.Sprintf("object-%d", i))]++
+	}
+	want := float64(keys) / members
+	for m, c := range counts {
+		dev := math.Abs(float64(c)-want) / want
+		if dev > 0.35 {
+			t.Errorf("member %s owns %d keys (%.0f%% deviation from uniform)", m, c, dev*100)
+		}
+	}
+}
+
+func TestMinimalDisruption(t *testing.T) {
+	// Consistent hashing's defining property: removing one of n members
+	// should remap only ~1/n of the keys.
+	r := New(200)
+	const members = 10
+	for i := 0; i < members; i++ {
+		r.Add(fmt.Sprintf("proxy-%d", i))
+	}
+	const keys = 10000
+	before := make([]string, keys)
+	for i := 0; i < keys; i++ {
+		before[i] = r.Locate(fmt.Sprintf("k%d", i))
+	}
+	r.Remove("proxy-3")
+	moved := 0
+	for i := 0; i < keys; i++ {
+		after := r.Locate(fmt.Sprintf("k%d", i))
+		if after != before[i] {
+			moved++
+			if before[i] != "proxy-3" {
+				t.Fatalf("key k%d moved from %s to %s though %s was not removed", i, before[i], after, before[i])
+			}
+		}
+	}
+	frac := float64(moved) / keys
+	if frac > 0.25 {
+		t.Errorf("removal remapped %.1f%% of keys, want ~10%%", frac*100)
+	}
+}
+
+func TestLocateN(t *testing.T) {
+	r := New(50)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("p%d", i))
+	}
+	got := r.LocateN("some-key", 3)
+	if len(got) != 3 {
+		t.Fatalf("LocateN returned %d members, want 3", len(got))
+	}
+	seen := map[string]bool{}
+	for _, m := range got {
+		if seen[m] {
+			t.Fatalf("LocateN returned duplicate member %s", m)
+		}
+		seen[m] = true
+	}
+	if got[0] != r.Locate("some-key") {
+		t.Fatal("LocateN[0] must equal Locate")
+	}
+	// Requesting more members than exist caps at membership size.
+	if got := r.LocateN("k", 10); len(got) != 4 {
+		t.Fatalf("LocateN(10) = %d members, want 4", len(got))
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := New(50)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 200; i++ {
+			r.Add(fmt.Sprintf("m%d", i%7))
+			r.Remove(fmt.Sprintf("m%d", (i+3)%7))
+		}
+		close(done)
+	}()
+	for i := 0; i < 2000; i++ {
+		r.Locate(fmt.Sprintf("k%d", i))
+		r.Members()
+	}
+	<-done
+}

@@ -1,0 +1,96 @@
+package lambdaemu
+
+import (
+	"sync"
+	"time"
+)
+
+// BillingCycle is AWS Lambda's charging quantum: execution time is rounded
+// up to the nearest 100 ms (§2.2).
+const BillingCycle = 100 * time.Millisecond
+
+// CeilBillingCycle rounds d up to the nearest billing cycle (the
+// ceil100(.) operator of Equation 4). Zero stays zero.
+func CeilBillingCycle(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	cycles := (d + BillingCycle - 1) / BillingCycle
+	return cycles * BillingCycle
+}
+
+// Usage accumulates billable activity for one function or a whole
+// platform.
+type Usage struct {
+	Invocations    int64
+	BilledDuration time.Duration // sum of ceil100 durations
+	RawDuration    time.Duration // sum of un-rounded durations
+	GBSeconds      float64       // billed duration x memory in GB
+}
+
+func (u *Usage) add(memMB int, dur time.Duration) {
+	billed := CeilBillingCycle(dur)
+	u.Invocations++
+	u.RawDuration += dur
+	u.BilledDuration += billed
+	u.GBSeconds += billed.Seconds() * float64(memMB) / 1024
+}
+
+// Add merges another usage record into u.
+func (u *Usage) Add(o Usage) {
+	u.Invocations += o.Invocations
+	u.BilledDuration += o.BilledDuration
+	u.RawDuration += o.RawDuration
+	u.GBSeconds += o.GBSeconds
+}
+
+// Ledger is the platform's thread-safe billing record.
+type Ledger struct {
+	mu     sync.Mutex
+	total  Usage
+	byFunc map[string]*Usage
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{byFunc: make(map[string]*Usage)}
+}
+
+// Record charges one invocation of a function with the given memory and
+// (virtual) execution duration.
+func (l *Ledger) Record(function string, memMB int, dur time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total.add(memMB, dur)
+	u := l.byFunc[function]
+	if u == nil {
+		u = &Usage{}
+		l.byFunc[function] = u
+	}
+	u.add(memMB, dur)
+}
+
+// Total returns the platform-wide usage.
+func (l *Ledger) Total() Usage {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// ForFunction returns usage for one function.
+func (l *Ledger) ForFunction(name string) Usage {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if u := l.byFunc[name]; u != nil {
+		return *u
+	}
+	return Usage{}
+}
+
+// Reset zeroes the ledger (used between benchmark phases).
+func (l *Ledger) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total = Usage{}
+	l.byFunc = make(map[string]*Usage)
+}

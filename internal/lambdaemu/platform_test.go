@@ -1,0 +1,383 @@
+package lambdaemu
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"infinicache/internal/vclock"
+)
+
+func fastPlatform(policy ReclaimPolicy) *Platform {
+	return New(Config{
+		Clock:           vclock.NewScaled(0.001), // 1000x compression
+		ColdStartDelay:  time.Millisecond,
+		WarmInvokeDelay: time.Millisecond,
+		ReclaimPolicy:   policy,
+		Seed:            1,
+	})
+}
+
+func TestRegisterValidation(t *testing.T) {
+	p := New(Config{Clock: vclock.NewReal()})
+	defer p.Close()
+	if _, err := p.Register("f", FunctionConfig{MemoryMB: 0}, nil); err == nil {
+		t.Fatal("zero memory accepted")
+	}
+	if _, err := p.Register("f", FunctionConfig{MemoryMB: 4096}, nil); err == nil {
+		t.Fatal("over-host memory accepted")
+	}
+	if _, err := p.Register("f", FunctionConfig{MemoryMB: 256}, func(*Context, []byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Register("f", FunctionConfig{MemoryMB: 256}, func(*Context, []byte) {}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestInvokeUnknownFunction(t *testing.T) {
+	p := fastPlatform(nil)
+	defer p.Close()
+	if err := p.Invoke("ghost", nil); err == nil {
+		t.Fatal("invoking unknown function succeeded")
+	}
+}
+
+func TestWarmStateSurvivesBetweenInvocations(t *testing.T) {
+	p := fastPlatform(nil)
+	defer p.Close()
+	got := make(chan int, 10)
+	_, err := p.Register("counter", FunctionConfig{MemoryMB: 256}, func(ctx *Context, _ []byte) {
+		n, _ := ctx.Locals()["n"].(int)
+		n++
+		ctx.Locals()["n"] = n
+		got <- n
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := p.Invoke("counter", nil); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case n := <-got:
+			if n != i {
+				t.Fatalf("invocation %d saw counter %d (state not retained)", i, n)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("invocation timed out")
+		}
+	}
+	if c := p.InstanceCount("counter"); c != 1 {
+		t.Fatalf("instances = %d, want 1 (reuse warm)", c)
+	}
+}
+
+func TestAutoScalingSpawnsPeerReplica(t *testing.T) {
+	p := fastPlatform(nil)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan string, 4)
+	_, err := p.Register("busy", FunctionConfig{MemoryMB: 256}, func(ctx *Context, _ []byte) {
+		started <- ctx.InstanceID()
+		<-block
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Invoke("busy", nil); err != nil {
+		t.Fatal(err)
+	}
+	id1 := <-started
+	// Second invoke while the first instance is busy must auto-scale.
+	if err := p.Invoke("busy", nil); err != nil {
+		t.Fatal(err)
+	}
+	id2 := <-started
+	if id1 == id2 {
+		t.Fatalf("expected a peer replica, got same instance %s", id1)
+	}
+	if c := p.InstanceCount("busy"); c != 2 {
+		t.Fatalf("instances = %d, want 2", c)
+	}
+	close(block)
+}
+
+func TestBinPackingFirstFit(t *testing.T) {
+	p := fastPlatform(nil)
+	defer p.Close()
+	var wg sync.WaitGroup
+	// 256 MB functions: 11 fit on a 3008 MB host.
+	for i := 0; i < 11; i++ {
+		name := fmt.Sprintf("f%d", i)
+		wg.Add(1)
+		if _, err := p.Register(name, FunctionConfig{MemoryMB: 256}, func(*Context, []byte) { wg.Done() }); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Invoke(name, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if hc := p.HostCount(); hc != 1 {
+		t.Fatalf("11 x 256MB functions used %d hosts, want 1", hc)
+	}
+	// One more overflows onto a second host.
+	wg.Add(1)
+	if _, err := p.Register("f11", FunctionConfig{MemoryMB: 256}, func(*Context, []byte) { wg.Done() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Invoke("f11", nil); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if hc := p.HostCount(); hc != 2 {
+		t.Fatalf("12th function: hosts = %d, want 2", hc)
+	}
+}
+
+func TestLargeFunctionsGetExclusiveHosts(t *testing.T) {
+	// §3.1: with >= 1.5 GB functions every VM host is exclusive.
+	p := fastPlatform(nil)
+	defer p.Close()
+	var wg sync.WaitGroup
+	names := []string{"big0", "big1", "big2"}
+	for _, name := range names {
+		wg.Add(1)
+		if _, err := p.Register(name, FunctionConfig{MemoryMB: 1536}, func(*Context, []byte) { wg.Done() }); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Invoke(name, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if hc := p.HostsTouched(names); hc != 3 {
+		t.Fatalf("3 x 1.5GB functions touched %d hosts, want 3 (exclusive)", hc)
+	}
+}
+
+func TestBillingLedgerRoundsUp(t *testing.T) {
+	// A gentler time compression than fastPlatform: at 1000x, scheduler
+	// noise of 1 ms wall time inflates to 1 s of virtual billed time.
+	p := New(Config{
+		Clock:           vclock.NewScaled(0.1),
+		ColdStartDelay:  time.Millisecond,
+		WarmInvokeDelay: time.Millisecond,
+		Seed:            1,
+	})
+	defer p.Close()
+	done := make(chan struct{}, 1)
+	_, err := p.Register("work", FunctionConfig{MemoryMB: 1024}, func(ctx *Context, _ []byte) {
+		ctx.Clock().Sleep(130 * time.Millisecond) // virtual
+		done <- struct{}{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Invoke("work", nil); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	// Give runInvocation a moment to record.
+	deadline := time.Now().Add(5 * time.Second)
+	var u Usage
+	for time.Now().Before(deadline) {
+		u = p.Ledger().ForFunction("work")
+		if u.Invocations == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if u.Invocations != 1 {
+		t.Fatalf("invocations = %d", u.Invocations)
+	}
+	if u.BilledDuration != 200*time.Millisecond {
+		t.Fatalf("billed = %v, want 200ms (ceil100 of ~130ms)", u.BilledDuration)
+	}
+	wantGBs := 0.2 * 1.0 // 0.2s * 1GB
+	if diff := u.GBSeconds - wantGBs; diff < -0.001 || diff > 0.001 {
+		t.Fatalf("GBSeconds = %v, want %v", u.GBSeconds, wantGBs)
+	}
+}
+
+func TestHandlerPanicIsContained(t *testing.T) {
+	p := fastPlatform(nil)
+	defer p.Close()
+	_, err := p.Register("boom", FunctionConfig{MemoryMB: 128}, func(*Context, []byte) {
+		panic("function error")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Invoke("boom", nil); err != nil {
+		t.Fatal(err)
+	}
+	// The instance must become idle again and be reusable.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.Ledger().ForFunction("boom").Invocations == 1 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("panicking invocation never completed")
+}
+
+func TestForceReclaimDropsStateAndSignalsDone(t *testing.T) {
+	p := fastPlatform(nil)
+	defer p.Close()
+	ready := make(chan *Context, 1)
+	_, err := p.Register("victim", FunctionConfig{MemoryMB: 256}, func(ctx *Context, _ []byte) {
+		ctx.Locals()["data"] = "cached"
+		ready <- ctx
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Invoke("victim", nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx := <-ready
+	// Wait for idle.
+	for p.Ledger().ForFunction("victim").Invocations == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if n := p.ForceReclaim("victim"); n != 1 {
+		t.Fatalf("ForceReclaim = %d, want 1", n)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("Done() not signalled on reclaim")
+	}
+	if !ctx.Reclaimed() {
+		t.Fatal("Reclaimed() = false after reclaim")
+	}
+	if p.InstanceCount("victim") != 0 {
+		t.Fatal("instance still alive after reclaim")
+	}
+	log := p.ReclaimLog()
+	if len(log) != 1 || log[0].Reason != "forced" || log[0].Function != "victim" {
+		t.Fatalf("reclaim log = %+v", log)
+	}
+	// Next invoke cold-starts a new instance with fresh state.
+	if err := p.Invoke("victim", nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := <-ready
+	if ctx2.InstanceID() == ctx.InstanceID() {
+		t.Fatal("reclaimed instance was resurrected with the same ID")
+	}
+}
+
+func TestReclaimFreesHostMemory(t *testing.T) {
+	p := fastPlatform(nil)
+	defer p.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if _, err := p.Register("a", FunctionConfig{MemoryMB: 1536}, func(*Context, []byte) { wg.Done() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Invoke("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	p.ForceReclaim("a")
+	// A second large function must fit into the freed host slot.
+	wg.Add(1)
+	if _, err := p.Register("b", FunctionConfig{MemoryMB: 1536}, func(*Context, []byte) { wg.Done() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Invoke("b", nil); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if hc := p.HostCount(); hc != 1 {
+		t.Fatalf("hosts = %d, want 1 (freed slot reused)", hc)
+	}
+}
+
+func TestReclaimTickPolicyDriven(t *testing.T) {
+	p := New(Config{
+		Clock:           vclock.NewScaled(0.0001),
+		ColdStartDelay:  time.Millisecond,
+		WarmInvokeDelay: time.Millisecond,
+		Seed:            7,
+		ReclaimPolicy:   PoissonPerMinute{RatePerMinute: 1000}, // reclaim everything idle
+	})
+	defer p.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		name := fmt.Sprintf("n%d", i)
+		if _, err := p.Register(name, FunctionConfig{MemoryMB: 256}, func(*Context, []byte) { wg.Done() }); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Invoke(name, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	// Let every instance settle to idle before ticking.
+	deadline := time.Now().Add(5 * time.Second)
+	reclaimed := 0
+	for time.Now().Before(deadline) && reclaimed < 5 {
+		reclaimed += p.ReclaimTick(1)
+		time.Sleep(time.Millisecond)
+	}
+	if reclaimed != 5 {
+		t.Fatalf("policy reclaimed %d instances, want 5", reclaimed)
+	}
+	if p.InstanceCount("") != 0 {
+		t.Fatal("alive instances remain")
+	}
+}
+
+func TestCloseIsIdempotentAndStopsInvokes(t *testing.T) {
+	p := fastPlatform(PoissonPerMinute{RatePerMinute: 0.1})
+	if _, err := p.Register("f", FunctionConfig{MemoryMB: 128}, func(*Context, []byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p.Close()
+	if err := p.Invoke("f", nil); err == nil {
+		t.Fatal("Invoke after Close succeeded")
+	}
+	if _, err := p.Register("g", FunctionConfig{MemoryMB: 128}, nil); err == nil {
+		t.Fatal("Register after Close succeeded")
+	}
+}
+
+func TestConcurrentInvocationsAreAllBilled(t *testing.T) {
+	p := fastPlatform(nil)
+	defer p.Close()
+	var ran atomic.Int64
+	if _, err := p.Register("f", FunctionConfig{MemoryMB: 128}, func(*Context, []byte) {
+		ran.Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := p.Invoke("f", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.Ledger().ForFunction("f").Invocations == n {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := p.Ledger().ForFunction("f").Invocations; got != n {
+		t.Fatalf("billed invocations = %d, want %d", got, n)
+	}
+	if ran.Load() != n {
+		t.Fatalf("handler ran %d times, want %d", ran.Load(), n)
+	}
+}

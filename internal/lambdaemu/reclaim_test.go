@@ -1,0 +1,258 @@
+package lambdaemu
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestCeilBillingCycle(t *testing.T) {
+	cases := []struct {
+		in, want time.Duration
+	}{
+		{0, 0},
+		{-time.Second, 0},
+		{time.Millisecond, 100 * time.Millisecond},
+		{100 * time.Millisecond, 100 * time.Millisecond},
+		{101 * time.Millisecond, 200 * time.Millisecond},
+		{999 * time.Millisecond, time.Second},
+	}
+	for _, c := range cases {
+		if got := CeilBillingCycle(c.in); got != c.want {
+			t.Errorf("CeilBillingCycle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLedgerAccumulation(t *testing.T) {
+	l := NewLedger()
+	l.Record("a", 1024, 150*time.Millisecond) // billed 200ms, 0.2 GBs
+	l.Record("a", 1024, 50*time.Millisecond)  // billed 100ms, 0.1 GBs
+	l.Record("b", 512, 100*time.Millisecond)  // billed 100ms, 0.05 GBs
+	total := l.Total()
+	if total.Invocations != 3 {
+		t.Fatalf("invocations = %d", total.Invocations)
+	}
+	if total.BilledDuration != 400*time.Millisecond {
+		t.Fatalf("billed = %v", total.BilledDuration)
+	}
+	if diff := total.GBSeconds - 0.35; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("GBSeconds = %v, want 0.35", total.GBSeconds)
+	}
+	a := l.ForFunction("a")
+	if a.Invocations != 2 || a.BilledDuration != 300*time.Millisecond {
+		t.Fatalf("function a usage = %+v", a)
+	}
+	if l.ForFunction("missing").Invocations != 0 {
+		t.Fatal("missing function should be zero usage")
+	}
+	l.Reset()
+	if l.Total().Invocations != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestUsageAdd(t *testing.T) {
+	var u Usage
+	u.Add(Usage{Invocations: 2, BilledDuration: time.Second, GBSeconds: 1.5})
+	u.Add(Usage{Invocations: 3, BilledDuration: time.Second, GBSeconds: 0.5})
+	if u.Invocations != 5 || u.BilledDuration != 2*time.Second || u.GBSeconds != 2.0 {
+		t.Fatalf("usage = %+v", u)
+	}
+}
+
+func TestSixHourSpikePolicy(t *testing.T) {
+	pol := SixHourSpike{PeakFraction: 1.0, Background: 0}
+	rng := rand.New(rand.NewSource(1))
+	// Off-peak minutes reclaim nothing (background 0).
+	if n := pol.Reclaims(100, 400, rng); n != 0 {
+		t.Fatalf("off-peak reclaims = %d", n)
+	}
+	// A full spike window should reclaim essentially the whole fleet.
+	alive := 400
+	total := 0
+	for m := 360; m < 370; m++ {
+		n := pol.Reclaims(m, alive, rng)
+		total += n
+		alive -= n
+	}
+	if total < 380 {
+		t.Fatalf("spike reclaimed %d of 400, want nearly all", total)
+	}
+	// Minute 0 of the run is not a spike.
+	if n := pol.Reclaims(0, 400, rng); n != 0 {
+		t.Fatalf("minute 0 reclaims = %d", n)
+	}
+}
+
+func TestSixHourSpikeCap(t *testing.T) {
+	pol := SixHourSpike{PeakFraction: 1.0, PeakCap: 20, Background: 0}
+	rng := rand.New(rand.NewSource(2))
+	alive := 400
+	total := 0
+	for m := 360; m < 370; m++ {
+		n := pol.Reclaims(m, alive, rng)
+		total += n
+		alive -= n
+	}
+	if total > 25 {
+		t.Fatalf("capped spike reclaimed %d, want <= ~20", total)
+	}
+}
+
+func TestZipfPerMinutePolicy(t *testing.T) {
+	pol := NewZipfPerMinute(2, 50)
+	rng := rand.New(rand.NewSource(3))
+	zeros, total := 0, 0
+	const minutes = 10000
+	for m := 0; m < minutes; m++ {
+		n := pol.Reclaims(m, 400, rng)
+		if n < 0 || n > 50 {
+			t.Fatalf("reclaims = %d out of range", n)
+		}
+		if n == 0 {
+			zeros++
+		}
+		total += n
+	}
+	if zeros < minutes/2 {
+		t.Errorf("Zipf policy: only %d/%d zero-minutes", zeros, minutes)
+	}
+	if total == 0 {
+		t.Error("Zipf policy never reclaimed anything")
+	}
+}
+
+func TestPoissonPerMinutePolicy(t *testing.T) {
+	pol := PoissonPerMinute{RatePerMinute: 36.0 / 60}
+	rng := rand.New(rand.NewSource(4))
+	total := 0
+	const minutes = 60 * 24
+	for m := 0; m < minutes; m++ {
+		total += pol.Reclaims(m, 400, rng)
+	}
+	// Expect ~36/hour * 24h = 864 +- noise.
+	if total < 700 || total > 1050 {
+		t.Errorf("Poisson policy reclaimed %d/day, want ~864", total)
+	}
+}
+
+func TestPolicyCappedByAlive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if n := (PoissonPerMinute{RatePerMinute: 100}).Reclaims(1, 3, rng); n > 3 {
+		t.Fatalf("reclaims %d > alive 3", n)
+	}
+	if n := NewZipfPerMinute(1.01, 50).Reclaims(1, 0, rng); n != 0 {
+		t.Fatalf("reclaims %d with 0 alive", n)
+	}
+}
+
+func TestNoReclaimPolicy(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if (NoReclaim{}).Reclaims(360, 400, rng) != 0 {
+		t.Fatal("NoReclaim reclaimed")
+	}
+	if (NoReclaim{}).Name() != "none" {
+		t.Fatal("name wrong")
+	}
+}
+
+// --- Study harness (Figures 8 and 9) ---
+
+func TestStudySixHourSpikesWith9MinWarmup(t *testing.T) {
+	res := RunStudy(StudyConfig{
+		Functions:      400,
+		WarmupEveryMin: 9,
+		DurationMin:    24 * 60,
+		Policy:         SixHourSpike{PeakFraction: 0.97, Background: 0.05},
+		Seed:           1,
+	})
+	if len(res.PerHour) != 24 {
+		t.Fatalf("hours = %d", len(res.PerHour))
+	}
+	// Hours 6, 12, 18 should dominate; "almost all the functions get
+	// reclaimed" at each spike.
+	for _, h := range []int{6, 12, 18} {
+		if res.PerHour[h] < 300 {
+			t.Errorf("hour %d reclaimed %d, want ~400 (spike)", h, res.PerHour[h])
+		}
+	}
+	// Off-peak hours should be far below the spikes.
+	if res.PerHour[3] > 50 {
+		t.Errorf("hour 3 reclaimed %d, want background level", res.PerHour[3])
+	}
+}
+
+func TestStudy1MinWarmupReducesPeaks(t *testing.T) {
+	// §4.1: with 1-minute warm-ups the peak reclaim count drops to ~22.
+	res := RunStudy(StudyConfig{
+		Functions:      400,
+		WarmupEveryMin: 1,
+		DurationMin:    24 * 60,
+		Policy:         SixHourSpike{PeakFraction: 1.0, PeakCap: 22, Background: 0.05},
+		Seed:           2,
+	})
+	maxHour := 0
+	for _, h := range res.PerHour {
+		if h > maxHour {
+			maxHour = h
+		}
+	}
+	if maxHour > 40 {
+		t.Fatalf("peak hourly reclaims = %d, want <= ~25", maxHour)
+	}
+	if res.TotalReclaims == 0 {
+		t.Fatal("no reclaims at all")
+	}
+}
+
+func TestStudyPoissonRegimeHourlyRate(t *testing.T) {
+	// 12/26/19 regime: continuous reclaiming at ~36/hour.
+	res := RunStudy(StudyConfig{
+		Functions:      400,
+		WarmupEveryMin: 1,
+		DurationMin:    24 * 60,
+		Policy:         PoissonPerMinute{RatePerMinute: 36.0 / 60},
+		Seed:           3,
+	})
+	mean := float64(res.TotalReclaims) / 24
+	if mean < 28 || mean > 44 {
+		t.Fatalf("hourly reclaim rate = %.1f, want ~36", mean)
+	}
+}
+
+func TestStudyNoWarmupExpiresByMaxIdle(t *testing.T) {
+	// Without warm-ups every function dies within ~27 minutes, once.
+	res := RunStudy(StudyConfig{
+		Functions:      100,
+		WarmupEveryMin: 0,
+		DurationMin:    120,
+		Policy:         NoReclaim{},
+		Seed:           4,
+	})
+	if res.TotalReclaims != 100 {
+		t.Fatalf("reclaims = %d, want 100 (each function expires once)", res.TotalReclaims)
+	}
+	for m, n := range res.PerMinute[:27] {
+		if n != 0 {
+			t.Fatalf("minute %d reclaimed %d before MaxIdle", m+1, n)
+		}
+	}
+}
+
+func TestStudyDeterministicWithSeed(t *testing.T) {
+	cfg := StudyConfig{
+		Functions: 200, WarmupEveryMin: 1, DurationMin: 600,
+		Policy: NewZipfPerMinute(2, 50), Seed: 42,
+	}
+	a := RunStudy(cfg)
+	b := RunStudy(cfg)
+	if a.TotalReclaims != b.TotalReclaims {
+		t.Fatal("study not deterministic")
+	}
+	for i := range a.PerMinute {
+		if a.PerMinute[i] != b.PerMinute[i] {
+			t.Fatalf("minute %d differs", i)
+		}
+	}
+}

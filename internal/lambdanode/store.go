@@ -1,0 +1,70 @@
+package lambdanode
+
+import (
+	"infinicache/internal/clockcache"
+)
+
+// store is the in-function chunk cache: a byte map plus a CLOCK priority
+// structure that keeps chunks in approximate MRU→LRU order for the
+// ordered backup of §4.2. The store itself is unbounded; the proxy owns
+// capacity accounting and evicts at object granularity (§3.2).
+type store struct {
+	chunks map[string][]byte
+	order  *clockcache.Cache
+	bytes  int64
+}
+
+func newStore() *store {
+	return &store{
+		chunks: make(map[string][]byte),
+		order:  clockcache.New(),
+	}
+}
+
+func (s *store) get(key string) ([]byte, bool) {
+	b, ok := s.chunks[key]
+	if ok {
+		s.order.Touch(key)
+	}
+	return b, ok
+}
+
+func (s *store) has(key string) bool {
+	_, ok := s.chunks[key]
+	return ok
+}
+
+func (s *store) set(key string, val []byte) {
+	if old, ok := s.chunks[key]; ok {
+		s.bytes -= int64(len(old))
+	}
+	s.chunks[key] = val
+	s.bytes += int64(len(val))
+	s.order.Add(key, int64(len(val)))
+}
+
+func (s *store) del(key string) bool {
+	old, ok := s.chunks[key]
+	if !ok {
+		return false
+	}
+	s.bytes -= int64(len(old))
+	delete(s.chunks, key)
+	s.order.Remove(key)
+	return true
+}
+
+func (s *store) len() int { return len(s.chunks) }
+
+// metaMRUFirst lists chunk metadata hottest-first, the order λs streams
+// keys to λd so the most valuable chunks migrate first.
+func (s *store) metaMRUFirst() []chunkMeta {
+	keys := s.order.KeysByPriority()
+	out := make([]chunkMeta, 0, len(keys))
+	for _, k := range keys {
+		if b, ok := s.chunks[k]; ok {
+			out = append(out, chunkMeta{Key: k, Size: int64(len(b))})
+		}
+	}
+	return out
+}

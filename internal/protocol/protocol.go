@@ -1,0 +1,294 @@
+// Package protocol defines the length-framed binary wire protocol spoken
+// between the InfiniCache client library, the proxy, and the Lambda
+// function runtime.
+//
+// The original system used a Redis-flavoured protocol; this implementation
+// uses a compact binary framing with the same message vocabulary as the
+// paper's Figures 6, 7 and 10: preflight PING/PONG, chunk GET/SET/DATA,
+// BYE on billed-duration expiry, and the backup handshake
+// (INITBACKUP/BACKUPCMD/HELLO/META).
+package protocol
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Type enumerates message types.
+type Type uint8
+
+// Message types. The comments note the paper step that uses each.
+const (
+	TInvalid Type = iota
+
+	// Connection management.
+	TJoinLambda // Lambda runtime -> proxy: first message after dialing (carries node ID)
+	TJoinClient // client -> proxy: identifies a client connection
+	TPing       // proxy -> Lambda: preflight validation (§3.3)
+	TPong       // Lambda -> proxy: preflight ack / post-invoke hello (steps 3, 8)
+	TBye        // Lambda -> proxy: billed-duration timer expiring (step 13)
+
+	// Data path.
+	TGet  // request a chunk (proxy -> Lambda) or an object (client -> proxy)
+	TSet  // store a chunk (proxy -> Lambda) or an object chunk (client -> proxy)
+	TDel  // invalidate an object (client -> proxy) or chunk (proxy -> Lambda)
+	TData // chunk payload response
+	TMiss // requested key not present
+	TAck  // generic success
+	TErr  // error with text payload
+
+	// Backup protocol (Figure 10).
+	TInitBackup // step 1: Lambda(source) -> proxy
+	TBackupCmd  // step 4: proxy -> Lambda(source), Addr = relay address
+	THello      // steps 8/11: destination -> source via relay, and dest -> proxy (step 9)
+	TMeta       // source -> destination: chunk keys MRU->LRU (step 11 reply)
+	TBackupDone // destination -> proxy: migration complete
+)
+
+var typeNames = map[Type]string{
+	TInvalid: "INVALID", TJoinLambda: "JOIN_LAMBDA", TJoinClient: "JOIN_CLIENT",
+	TPing: "PING", TPong: "PONG", TBye: "BYE", TGet: "GET", TSet: "SET",
+	TDel: "DEL", TData: "DATA", TMiss: "MISS", TAck: "ACK", TErr: "ERR",
+	TInitBackup: "INIT_BACKUP", TBackupCmd: "BACKUP_CMD", THello: "HELLO",
+	TMeta: "META", TBackupDone: "BACKUP_DONE",
+}
+
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// MaxPayload bounds a single frame's payload. InfiniCache chunks keep
+// frames small, but the unsharded ElastiCache baseline ships whole
+// objects in one frame, so the cap accommodates the largest benchmark
+// objects (256 MiB).
+const MaxPayload = 256 << 20
+
+// MaxKeyLen bounds the key and addr fields.
+const MaxKeyLen = 4096
+
+// Message is one protocol frame.
+//
+// Wire layout (big endian):
+//
+//	uint8  type
+//	uint64 seq
+//	uint16 len(key)  | key bytes
+//	uint16 len(addr) | addr bytes
+//	uint8  nargs     | nargs x int64
+//	uint32 len(payload) | payload bytes
+type Message struct {
+	Type    Type
+	Seq     uint64  // request/response correlation
+	Key     string  // object or chunk key
+	Addr    string  // network address (relay/proxy) for backup messages
+	Args    []int64 // small integers: sizes, chunk ids, flags
+	Payload []byte
+}
+
+// Arg returns Args[i], or 0 when absent.
+func (m *Message) Arg(i int) int64 {
+	if i < 0 || i >= len(m.Args) {
+		return 0
+	}
+	return m.Args[i]
+}
+
+// Errors.
+var (
+	ErrPayloadTooLarge = errors.New("protocol: payload exceeds MaxPayload")
+	ErrKeyTooLong      = errors.New("protocol: key or addr exceeds MaxKeyLen")
+	ErrTooManyArgs     = errors.New("protocol: more than 255 args")
+)
+
+// Write encodes m to w.
+func Write(w io.Writer, m *Message) error {
+	if len(m.Payload) > MaxPayload {
+		return ErrPayloadTooLarge
+	}
+	if len(m.Key) > MaxKeyLen || len(m.Addr) > MaxKeyLen {
+		return ErrKeyTooLong
+	}
+	if len(m.Args) > 255 {
+		return ErrTooManyArgs
+	}
+	// Assemble the fixed-size header region in one buffer to issue a
+	// bounded number of writes.
+	hdr := make([]byte, 0, 1+8+2+len(m.Key)+2+len(m.Addr)+1+8*len(m.Args)+4)
+	hdr = append(hdr, byte(m.Type))
+	hdr = binary.BigEndian.AppendUint64(hdr, m.Seq)
+	hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(m.Key)))
+	hdr = append(hdr, m.Key...)
+	hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(m.Addr)))
+	hdr = append(hdr, m.Addr...)
+	hdr = append(hdr, byte(len(m.Args)))
+	for _, a := range m.Args {
+		hdr = binary.BigEndian.AppendUint64(hdr, uint64(a))
+	}
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(m.Payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(m.Payload) > 0 {
+		if _, err := w.Write(m.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read decodes one message from r.
+func Read(r io.Reader) (*Message, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:1]); err != nil {
+		return nil, err
+	}
+	m := &Message{Type: Type(b[0])}
+	if _, err := io.ReadFull(r, b[:8]); err != nil {
+		return nil, err
+	}
+	m.Seq = binary.BigEndian.Uint64(b[:8])
+
+	readStr := func() (string, error) {
+		if _, err := io.ReadFull(r, b[:2]); err != nil {
+			return "", err
+		}
+		n := binary.BigEndian.Uint16(b[:2])
+		if n == 0 {
+			return "", nil
+		}
+		if int(n) > MaxKeyLen {
+			return "", ErrKeyTooLong
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	var err error
+	if m.Key, err = readStr(); err != nil {
+		return nil, err
+	}
+	if m.Addr, err = readStr(); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(r, b[:1]); err != nil {
+		return nil, err
+	}
+	nargs := int(b[0])
+	if nargs > 0 {
+		m.Args = make([]int64, nargs)
+		for i := 0; i < nargs; i++ {
+			if _, err := io.ReadFull(r, b[:8]); err != nil {
+				return nil, err
+			}
+			m.Args[i] = int64(binary.BigEndian.Uint64(b[:8]))
+		}
+	}
+	if _, err := io.ReadFull(r, b[:4]); err != nil {
+		return nil, err
+	}
+	plen := binary.BigEndian.Uint32(b[:4])
+	if plen > MaxPayload {
+		return nil, ErrPayloadTooLarge
+	}
+	if plen > 0 {
+		m.Payload = make([]byte, plen)
+		if _, err := io.ReadFull(r, m.Payload); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Conn is a message-oriented wrapper over a net.Conn with a buffered,
+// mutex-guarded writer (many goroutines may send) and a single-reader
+// contract for Recv.
+type Conn struct {
+	raw net.Conn
+	r   *bufio.Reader
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+
+	dead      atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewConn wraps a net.Conn.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{
+		raw: c,
+		r:   bufio.NewReaderSize(c, 64<<10),
+		w:   bufio.NewWriterSize(c, 64<<10),
+	}
+}
+
+// Send encodes and flushes one message. Safe for concurrent use.
+func (c *Conn) Send(m *Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := Write(c.w, m); err != nil {
+		c.dead.Store(true)
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		c.dead.Store(true)
+		return err
+	}
+	return nil
+}
+
+// Recv reads the next message. Only one goroutine may call Recv.
+func (c *Conn) Recv() (*Message, error) {
+	m, err := Read(c.r)
+	if err != nil {
+		c.dead.Store(true)
+	}
+	return m, err
+}
+
+// Dead reports whether the connection has been closed or has failed; a
+// dead connection must be redialed.
+func (c *Conn) Dead() bool { return c.dead.Load() }
+
+// Close closes the underlying connection; it is idempotent.
+func (c *Conn) Close() error {
+	c.dead.Store(true)
+	c.closeOnce.Do(func() { c.closeErr = c.raw.Close() })
+	return c.closeErr
+}
+
+// RemoteAddr exposes the underlying connection's remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
+
+// LocalAddr exposes the underlying connection's local address.
+func (c *Conn) LocalAddr() net.Addr { return c.raw.LocalAddr() }
+
+// Pump starts a reader goroutine that delivers inbound messages on the
+// returned channel; the channel closes when the connection errors or
+// closes. It takes over the single-reader slot of c.
+func Pump(c *Conn) <-chan *Message {
+	ch := make(chan *Message, 128)
+	go func() {
+		defer close(ch)
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				return
+			}
+			ch <- m
+		}
+	}()
+	return ch
+}

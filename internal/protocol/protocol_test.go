@@ -1,0 +1,235 @@
+package protocol
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, m *Message) *Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return got
+}
+
+func TestRoundTripAllFields(t *testing.T) {
+	m := &Message{
+		Type:    TSet,
+		Seq:     0xDEADBEEF12345678,
+		Key:     "object/42#chunk-3",
+		Addr:    "127.0.0.1:6378",
+		Args:    []int64{-1, 0, 1 << 40},
+		Payload: []byte("hello world"),
+	}
+	got := roundTrip(t, m)
+	if got.Type != m.Type || got.Seq != m.Seq || got.Key != m.Key || got.Addr != m.Addr {
+		t.Fatalf("got %+v, want %+v", got, m)
+	}
+	if !reflect.DeepEqual(got.Args, m.Args) {
+		t.Fatalf("args %v != %v", got.Args, m.Args)
+	}
+	if !bytes.Equal(got.Payload, m.Payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestRoundTripEmptyMessage(t *testing.T) {
+	got := roundTrip(t, &Message{Type: TPing})
+	if got.Type != TPing || got.Key != "" || got.Addr != "" || len(got.Args) != 0 || len(got.Payload) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seq uint64, key, addr string, args []int64, payload []byte) bool {
+		if len(key) > MaxKeyLen || len(addr) > MaxKeyLen || len(args) > 255 || len(payload) > MaxPayload {
+			return true // out of protocol bounds; covered by limit tests
+		}
+		m := &Message{Type: TData, Seq: seq, Key: key, Addr: addr, Args: args, Payload: payload}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Seq != seq || got.Key != key || got.Addr != addr {
+			return false
+		}
+		if len(args) != len(got.Args) {
+			return false
+		}
+		for i := range args {
+			if args[i] != got.Args[i] {
+				return false
+			}
+		}
+		return bytes.Equal(got.Payload, payload) || (len(payload) == 0 && len(got.Payload) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteLimits(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Message{Key: strings.Repeat("k", MaxKeyLen+1)}); err != ErrKeyTooLong {
+		t.Fatalf("long key err = %v", err)
+	}
+	if err := Write(&buf, &Message{Addr: strings.Repeat("a", MaxKeyLen+1)}); err != ErrKeyTooLong {
+		t.Fatalf("long addr err = %v", err)
+	}
+	if err := Write(&buf, &Message{Args: make([]int64, 256)}); err != ErrTooManyArgs {
+		t.Fatalf("many args err = %v", err)
+	}
+	if err := Write(&buf, &Message{Payload: make([]byte, MaxPayload+1)}); err != ErrPayloadTooLarge {
+		t.Fatalf("big payload err = %v", err)
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	m := &Message{Type: TData, Key: "k", Payload: []byte("0123456789")}
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes read successfully", cut)
+		}
+	}
+}
+
+func TestReadRejectsHugePayloadHeader(t *testing.T) {
+	// Craft a frame claiming a payload beyond MaxPayload.
+	var buf bytes.Buffer
+	buf.WriteByte(byte(TData))
+	buf.Write(make([]byte, 8)) // seq
+	buf.Write([]byte{0, 0})    // key len
+	buf.Write([]byte{0, 0})    // addr len
+	buf.WriteByte(0)           // nargs
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := Read(&buf); err != ErrPayloadTooLarge {
+		t.Fatalf("err = %v, want ErrPayloadTooLarge", err)
+	}
+}
+
+func TestArgHelper(t *testing.T) {
+	m := &Message{Args: []int64{7, 8}}
+	if m.Arg(0) != 7 || m.Arg(1) != 8 || m.Arg(2) != 0 || m.Arg(-1) != 0 {
+		t.Fatal("Arg helper wrong")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TPing.String() != "PING" {
+		t.Fatalf("TPing = %s", TPing)
+	}
+	if Type(200).String() != "Type(200)" {
+		t.Fatalf("unknown = %s", Type(200))
+	}
+}
+
+func TestConnSendRecvOverPipe(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	done := make(chan *Message, 1)
+	go func() {
+		m, err := cb.Recv()
+		if err != nil {
+			t.Error(err)
+			done <- nil
+			return
+		}
+		done <- m
+	}()
+	want := &Message{Type: TGet, Seq: 9, Key: "obj"}
+	if err := ca.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if got == nil || got.Type != TGet || got.Seq != 9 || got.Key != "obj" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestConnConcurrentSenders(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	const n = 50
+	var wg sync.WaitGroup
+	recvDone := make(chan map[uint64]bool, 1)
+	go func() {
+		seen := make(map[uint64]bool)
+		for i := 0; i < n; i++ {
+			m, err := cb.Recv()
+			if err != nil {
+				break
+			}
+			seen[m.Seq] = true
+		}
+		recvDone <- seen
+	}()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(seq uint64, sz int) {
+			defer wg.Done()
+			payload := make([]byte, sz)
+			if err := ca.Send(&Message{Type: TData, Seq: seq, Payload: payload}); err != nil {
+				t.Error(err)
+			}
+		}(uint64(i), rng.Intn(10000))
+	}
+	wg.Wait()
+	seen := <-recvDone
+	if len(seen) != n {
+		t.Fatalf("received %d distinct messages, want %d (frames interleaved?)", len(seen), n)
+	}
+}
+
+func TestConnCloseIdempotent(t *testing.T) {
+	a, _ := net.Pipe()
+	c := NewConn(a)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal("second close returned error:", err)
+	}
+}
+
+func BenchmarkWriteRead1MB(b *testing.B) {
+	m := &Message{Type: TData, Key: "bench", Payload: make([]byte, 1<<20)}
+	var buf bytes.Buffer
+	b.SetBytes(1 << 20)
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Write(&buf, m); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

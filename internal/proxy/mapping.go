@@ -1,0 +1,256 @@
+package proxy
+
+import (
+	"fmt"
+	"sync"
+
+	"infinicache/internal/clockcache"
+)
+
+// chunkLoc records where one erasure-coded chunk lives.
+type chunkLoc struct {
+	Node    int   // index into the proxy's node list
+	Size    int64 // bytes
+	Present bool  // false once known lost (node reclaimed / MISS)
+}
+
+// objMeta is the mapping-table entry for one object.
+type objMeta struct {
+	Key         string
+	Size        int64 // original object size
+	DataShards  int
+	TotalShards int
+	Chunks      []chunkLoc
+}
+
+// presentChunks counts chunks still believed present.
+func (o *objMeta) presentChunks() int {
+	n := 0
+	for _, c := range o.Chunks {
+		if c.Present {
+			n++
+		}
+	}
+	return n
+}
+
+// mappingTable is the proxy's record of chunk→Lambda associations plus
+// the pool-memory accounting and CLOCK eviction state (§3.2). All methods
+// are safe for concurrent use.
+type mappingTable struct {
+	mu       sync.Mutex
+	objects  map[string]*objMeta
+	lru      *clockcache.Cache
+	nodeUsed []int64
+	nodeCap  int64
+}
+
+func newMappingTable(nodes int, nodeCapBytes int64) *mappingTable {
+	return &mappingTable{
+		objects:  make(map[string]*objMeta),
+		lru:      clockcache.New(),
+		nodeUsed: make([]int64, nodes),
+		nodeCap:  nodeCapBytes,
+	}
+}
+
+// Len returns the number of mapped objects.
+func (t *mappingTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.objects)
+}
+
+// UsedBytes returns total accounted bytes across all nodes.
+func (t *mappingTable) UsedBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var s int64
+	for _, u := range t.nodeUsed {
+		s += u
+	}
+	return s
+}
+
+// NodeUsed returns the accounted bytes for one node.
+func (t *mappingTable) NodeUsed(node int) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.nodeUsed[node]
+}
+
+// Lookup returns a snapshot copy of the object's metadata and touches its
+// CLOCK bit.
+func (t *mappingTable) Lookup(key string) (objMeta, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	o, ok := t.objects[key]
+	if !ok {
+		return objMeta{}, false
+	}
+	t.lru.Touch(key)
+	cp := *o
+	cp.Chunks = append([]chunkLoc(nil), o.Chunks...)
+	return cp, true
+}
+
+// delta describes eviction work produced while reserving space: chunks
+// that must be deleted from nodes.
+type evictedChunk struct {
+	Node int
+	Key  string // chunk key
+}
+
+// BeginObject prepares the table for a fresh PUT of key: any existing
+// entry is dropped (cache invalidation upon overwrite, §3.1) and its
+// chunk deletions are returned for asynchronous execution.
+func (t *mappingTable) BeginObject(key string, size int64, d, total int) []evictedChunk {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var dels []evictedChunk
+	if old, ok := t.objects[key]; ok {
+		dels = t.dropLocked(old)
+	}
+	t.objects[key] = &objMeta{
+		Key:         key,
+		Size:        size,
+		DataShards:  d,
+		TotalShards: total,
+		Chunks:      make([]chunkLoc, total),
+	}
+	t.lru.Add(key, size)
+	return dels
+}
+
+// dropLocked removes an object, releasing its memory accounting, and
+// returns the chunk deletions to push to nodes.
+func (t *mappingTable) dropLocked(o *objMeta) []evictedChunk {
+	var dels []evictedChunk
+	for i, c := range o.Chunks {
+		if c.Size > 0 {
+			t.nodeUsed[c.Node] -= c.Size
+			if c.Present {
+				dels = append(dels, evictedChunk{Node: c.Node, Key: ChunkKey(o.Key, i)})
+			}
+		}
+	}
+	delete(t.objects, o.Key)
+	t.lru.Remove(o.Key)
+	return dels
+}
+
+// Drop removes an object outright (DEL path), returning chunk deletions.
+func (t *mappingTable) Drop(key string) []evictedChunk {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	o, ok := t.objects[key]
+	if !ok {
+		return nil
+	}
+	return t.dropLocked(o)
+}
+
+// ErrNoCapacity is wrapped by Reserve failures.
+var ErrNoCapacity = fmt.Errorf("proxy: chunk exceeds pool capacity")
+
+// Reserve accounts size bytes on node, evicting cold objects (CLOCK, at
+// object granularity) while the *pool* lacks free memory — §3.2: "the
+// proxy starts to evict objects as long as there is not enough free
+// memory in the Lambda pool". Eviction is pool-level rather than
+// per-node: chunks are placed randomly, so per-node occupancy stays
+// near the pool average and the Lambda's memory headroom absorbs the
+// variance; per-node usage remains tracked for accounting. protect is
+// the object key being written, which must not evict itself.
+func (t *mappingTable) Reserve(node int, size int64, protect string) ([]evictedChunk, int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	poolCap := t.nodeCap * int64(len(t.nodeUsed))
+	if size > poolCap {
+		return nil, 0, fmt.Errorf("%w: %d bytes > pool capacity %d", ErrNoCapacity, size, poolCap)
+	}
+	used := func() int64 {
+		var s int64
+		for _, u := range t.nodeUsed {
+			s += u
+		}
+		return s
+	}
+	var dels []evictedChunk
+	evicted := 0
+	for used()+size > poolCap {
+		victim := t.lru.Evict()
+		if victim == nil {
+			break
+		}
+		if victim.Key == protect {
+			// Re-add the in-flight object and try the next victim; if
+			// it is the only resident object the loop exits via nil.
+			t.lru.Add(victim.Key, victim.Size)
+			if t.lru.Len() == 1 {
+				break
+			}
+			continue
+		}
+		o, ok := t.objects[victim.Key]
+		if !ok {
+			continue
+		}
+		dels = append(dels, t.dropLocked(o)...)
+		evicted++
+	}
+	if used()+size > poolCap {
+		return dels, evicted, fmt.Errorf("%w: pool full", ErrNoCapacity)
+	}
+	t.nodeUsed[node] += size
+	return dels, evicted, nil
+}
+
+// CommitChunk records a stored chunk's location. Reserve must have been
+// called for the same size beforehand.
+func (t *mappingTable) CommitChunk(key string, idx, node int, size int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	o, ok := t.objects[key]
+	if !ok || idx < 0 || idx >= len(o.Chunks) {
+		// Object was dropped (eviction race) — release the reservation.
+		t.nodeUsed[node] -= size
+		return
+	}
+	old := o.Chunks[idx]
+	if old.Size > 0 {
+		t.nodeUsed[old.Node] -= old.Size
+	}
+	o.Chunks[idx] = chunkLoc{Node: node, Size: size, Present: true}
+}
+
+// ReleaseChunk undoes a reservation after a failed store.
+func (t *mappingTable) ReleaseChunk(node int, size int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nodeUsed[node] -= size
+}
+
+// MarkChunkLost flags a chunk as gone (node answered MISS after a
+// reclaim). It returns how many chunks remain present.
+func (t *mappingTable) MarkChunkLost(key string, idx int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	o, ok := t.objects[key]
+	if !ok || idx < 0 || idx >= len(o.Chunks) {
+		return 0
+	}
+	c := &o.Chunks[idx]
+	if c.Present {
+		c.Present = false
+		// The bytes are no longer on the node.
+		t.nodeUsed[c.Node] -= c.Size
+		c.Size = 0
+	}
+	return o.presentChunks()
+}
+
+// ChunkKey derives the unique chunk identifier IDobj_chunk (§3.1):
+// object key concatenated with the chunk sequence number.
+func ChunkKey(objKey string, idx int) string {
+	return fmt.Sprintf("%s#%d", objKey, idx)
+}

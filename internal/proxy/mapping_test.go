@@ -1,0 +1,197 @@
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func newTable() *mappingTable {
+	// 4 nodes x 1 MB.
+	return newMappingTable(4, 1<<20)
+}
+
+func TestChunkKey(t *testing.T) {
+	if got := ChunkKey("obj", 3); got != "obj#3" {
+		t.Fatalf("ChunkKey = %q", got)
+	}
+}
+
+func TestBeginCommitLookup(t *testing.T) {
+	tb := newTable()
+	dels := tb.BeginObject("a", 1000, 2, 3)
+	if len(dels) != 0 {
+		t.Fatal("fresh BeginObject returned deletions")
+	}
+	if _, _, err := tb.Reserve(0, 500, "a"); err != nil {
+		t.Fatal(err)
+	}
+	tb.CommitChunk("a", 0, 0, 500)
+	if _, _, err := tb.Reserve(1, 500, "a"); err != nil {
+		t.Fatal(err)
+	}
+	tb.CommitChunk("a", 1, 1, 500)
+
+	meta, ok := tb.Lookup("a")
+	if !ok {
+		t.Fatal("object not found")
+	}
+	if meta.Size != 1000 || meta.DataShards != 2 || meta.TotalShards != 3 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if !meta.Chunks[0].Present || !meta.Chunks[1].Present || meta.Chunks[2].Present {
+		t.Fatalf("chunk presence wrong: %+v", meta.Chunks)
+	}
+	if tb.NodeUsed(0) != 500 || tb.NodeUsed(1) != 500 {
+		t.Fatal("node accounting wrong")
+	}
+}
+
+func TestLookupReturnsSnapshot(t *testing.T) {
+	tb := newTable()
+	tb.BeginObject("a", 10, 1, 1)
+	tb.Reserve(0, 10, "a")
+	tb.CommitChunk("a", 0, 0, 10)
+	meta, _ := tb.Lookup("a")
+	meta.Chunks[0].Present = false
+	again, _ := tb.Lookup("a")
+	if !again.Chunks[0].Present {
+		t.Fatal("Lookup leaked internal state")
+	}
+}
+
+func TestOverwriteReturnsDeletions(t *testing.T) {
+	tb := newTable()
+	tb.BeginObject("a", 100, 1, 2)
+	tb.Reserve(0, 50, "a")
+	tb.CommitChunk("a", 0, 0, 50)
+	tb.Reserve(1, 50, "a")
+	tb.CommitChunk("a", 1, 1, 50)
+
+	dels := tb.BeginObject("a", 200, 1, 2)
+	if len(dels) != 2 {
+		t.Fatalf("overwrite returned %d deletions, want 2", len(dels))
+	}
+	if tb.NodeUsed(0) != 0 || tb.NodeUsed(1) != 0 {
+		t.Fatal("old accounting not released")
+	}
+}
+
+func TestDrop(t *testing.T) {
+	tb := newTable()
+	tb.BeginObject("a", 100, 1, 1)
+	tb.Reserve(2, 100, "a")
+	tb.CommitChunk("a", 0, 2, 100)
+	dels := tb.Drop("a")
+	if len(dels) != 1 || dels[0].Node != 2 || dels[0].Key != "a#0" {
+		t.Fatalf("dels = %+v", dels)
+	}
+	if _, ok := tb.Lookup("a"); ok {
+		t.Fatal("object still mapped after Drop")
+	}
+	if tb.Drop("a") != nil {
+		t.Fatal("second Drop should be empty")
+	}
+}
+
+func TestReserveEvictsAtPoolPressure(t *testing.T) {
+	tb := newTable() // pool = 4 MB
+	// Fill the pool with 4 x 1 MB objects (one chunk each).
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("o%d", i)
+		tb.BeginObject(key, 1<<20, 1, 1)
+		if _, _, err := tb.Reserve(i, 1<<20, key); err != nil {
+			t.Fatalf("reserve %d: %v", i, err)
+		}
+		tb.CommitChunk(key, 0, i, 1<<20)
+	}
+	// A new object must evict at least one victim.
+	tb.BeginObject("new", 1<<20, 1, 1)
+	dels, evicted, err := tb.Reserve(0, 1<<20, "new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted == 0 || len(dels) == 0 {
+		t.Fatal("no eviction under pool pressure")
+	}
+	if tb.Len() > 5 {
+		t.Fatalf("table holds %d objects", tb.Len())
+	}
+}
+
+func TestReserveNeverEvictsProtected(t *testing.T) {
+	tb := newMappingTable(1, 1000)
+	tb.BeginObject("self", 900, 1, 2)
+	if _, _, err := tb.Reserve(0, 600, "self"); err != nil {
+		t.Fatal(err)
+	}
+	tb.CommitChunk("self", 0, 0, 600)
+	// Second chunk exceeds the pool; the only candidate victim is the
+	// protected object itself, so Reserve must fail rather than evict it.
+	_, _, err := tb.Reserve(0, 600, "self")
+	if !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("err = %v, want ErrNoCapacity", err)
+	}
+	if _, ok := tb.Lookup("self"); !ok {
+		t.Fatal("protected object was evicted")
+	}
+}
+
+func TestReserveRejectsOversize(t *testing.T) {
+	tb := newTable()
+	if _, _, err := tb.Reserve(0, 5<<20, "x"); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("err = %v, want ErrNoCapacity", err)
+	}
+}
+
+func TestReleaseChunk(t *testing.T) {
+	tb := newTable()
+	tb.Reserve(1, 100, "a")
+	tb.ReleaseChunk(1, 100)
+	if tb.NodeUsed(1) != 0 {
+		t.Fatal("release did not undo reservation")
+	}
+}
+
+func TestCommitWithoutObjectReleases(t *testing.T) {
+	tb := newTable()
+	tb.Reserve(1, 100, "ghost")
+	tb.CommitChunk("ghost", 0, 1, 100) // object never began: must release
+	if tb.NodeUsed(1) != 0 {
+		t.Fatal("orphan commit leaked accounting")
+	}
+}
+
+func TestMarkChunkLost(t *testing.T) {
+	tb := newTable()
+	tb.BeginObject("a", 100, 2, 3)
+	for i := 0; i < 3; i++ {
+		tb.Reserve(i, 40, "a")
+		tb.CommitChunk("a", i, i, 40)
+	}
+	if left := tb.MarkChunkLost("a", 0); left != 2 {
+		t.Fatalf("present after loss = %d, want 2", left)
+	}
+	if tb.NodeUsed(0) != 0 {
+		t.Fatal("lost chunk still accounted")
+	}
+	// Double-mark is idempotent.
+	if left := tb.MarkChunkLost("a", 0); left != 2 {
+		t.Fatal("double MarkChunkLost changed count")
+	}
+	if tb.MarkChunkLost("missing", 0) != 0 {
+		t.Fatal("unknown object should report 0")
+	}
+}
+
+func TestUsedBytesAggregates(t *testing.T) {
+	tb := newTable()
+	tb.BeginObject("a", 100, 1, 2)
+	tb.Reserve(0, 60, "a")
+	tb.CommitChunk("a", 0, 0, 60)
+	tb.Reserve(3, 60, "a")
+	tb.CommitChunk("a", 1, 3, 60)
+	if tb.UsedBytes() != 120 {
+		t.Fatalf("UsedBytes = %d, want 120", tb.UsedBytes())
+	}
+}

@@ -1,0 +1,388 @@
+package proxy
+
+import (
+	"sync/atomic"
+	"time"
+
+	"infinicache/internal/lambdanode"
+	"infinicache/internal/protocol"
+)
+
+// nodeState labels from Figure 6: a connection is Sleeping (node not
+// running), Active (node running), or Maybe (a backup destination has
+// replaced the source; the source's fate is ignored).
+type nodeState int
+
+const (
+	stateSleeping nodeState = iota
+	stateActive
+	stateMaybe
+)
+
+func (s nodeState) String() string {
+	switch s {
+	case stateSleeping:
+		return "Sleeping"
+	case stateActive:
+		return "Active"
+	case stateMaybe:
+		return "Maybe"
+	}
+	return "?"
+}
+
+// joinedConn is an inbound Lambda connection handed from the accept loop
+// to the node's manager.
+type joinedConn struct {
+	conn       *protocol.Conn
+	instanceID string
+	backup     bool // JOIN carried the backup flag (Figure 10 step 9)
+}
+
+// nodeRequest is one chunk operation (GET/SET/DEL) bound for a node.
+// respCh receives the node's reply, or nil after exhausted retries.
+type nodeRequest struct {
+	msg    *protocol.Message
+	respCh chan *protocol.Message
+}
+
+// nodeManager owns all interaction with one Lambda cache node: the
+// single persistent connection, the Figure 6 state machine with lazy
+// PING/PONG validation, re-invocation on timeout, serialized chunk
+// requests, and backup coordination.
+type nodeManager struct {
+	p    *Proxy
+	idx  int
+	name string
+
+	reqCh  chan *nodeRequest
+	connCh chan *joinedConn
+	delCh  chan string // chunk keys to delete lazily (eviction)
+
+	// stateMirror publishes the current state for observers (the warm-up
+	// driver skips nodes that are not Sleeping — warming a running
+	// function would auto-scale a useless empty replica).
+	stateMirror atomic.Int32
+
+	// Loop-local state (only the run goroutine touches these).
+	conn       *protocol.Conn
+	inbox      <-chan *protocol.Message
+	state      nodeState
+	validated  bool
+	instanceID string
+	pendingDel []string
+}
+
+// setState updates both the loop-local state and the published mirror.
+func (nm *nodeManager) setState(s nodeState) {
+	nm.state = s
+	nm.stateMirror.Store(int32(s))
+}
+
+// State returns the last published connection state.
+func (nm *nodeManager) State() nodeState {
+	return nodeState(nm.stateMirror.Load())
+}
+
+func newNodeManager(p *Proxy, idx int, name string) *nodeManager {
+	return &nodeManager{
+		p:      p,
+		idx:    idx,
+		name:   name,
+		reqCh:  make(chan *nodeRequest, 1024),
+		connCh: make(chan *joinedConn, 8),
+		delCh:  make(chan string, 4096),
+	}
+}
+
+// do submits a request and waits for its outcome (nil = failed).
+func (nm *nodeManager) do(msg *protocol.Message) *protocol.Message {
+	req := &nodeRequest{msg: msg, respCh: make(chan *protocol.Message, 1)}
+	select {
+	case nm.reqCh <- req:
+	case <-nm.p.done:
+		return nil
+	}
+	select {
+	case r := <-req.respCh:
+		return r
+	case <-nm.p.done:
+		return nil
+	}
+}
+
+// queueDel registers a chunk deletion to be flushed opportunistically
+// the next time the node is awake (evictions must not wake — and bill —
+// a sleeping Lambda).
+func (nm *nodeManager) queueDel(chunkKey string) {
+	select {
+	case nm.delCh <- chunkKey:
+	default:
+		// Drop on overflow: the node's copy becomes garbage that dies
+		// with the instance; proxy accounting is already updated.
+	}
+}
+
+func (nm *nodeManager) run() {
+	defer nm.p.wg.Done()
+	for {
+		inbox := nm.inbox // nil channel blocks forever when disconnected
+		select {
+		case <-nm.p.done:
+			if nm.conn != nil {
+				nm.conn.Close()
+			}
+			return
+		case j := <-nm.connCh:
+			nm.adopt(j)
+		case m, ok := <-inbox:
+			if !ok {
+				nm.dropConn()
+				continue
+			}
+			nm.handleControl(m)
+		case req := <-nm.reqCh:
+			nm.process(req)
+		}
+	}
+}
+
+// adopt installs a (re)joined connection, closing any previous one —
+// for backup joins this is exactly step 10 of Figure 10: the proxy
+// disconnects from λs, making λd the node's only active connection.
+//
+// While a migration is in flight (Maybe) a plain rejoin from the source
+// must NOT displace the destination: severing λd mid-migration would
+// leave a partial replica that later denies chunks it was supposed to
+// hold. The source's connection is refused; it will redial on its next
+// invocation, after Maybe ends.
+func (nm *nodeManager) adopt(j *joinedConn) {
+	if nm.state == stateMaybe && !j.backup && nm.conn != nil && !nm.conn.Dead() {
+		j.conn.Close()
+		return
+	}
+	if nm.conn != nil {
+		nm.conn.Close()
+	}
+	nm.conn = j.conn
+	nm.inbox = protocol.Pump(j.conn)
+	nm.instanceID = j.instanceID
+	nm.validated = false // the node's PONG follows immediately
+	if j.backup {
+		nm.setState(stateMaybe)
+	} else {
+		nm.setState(stateActive)
+	}
+}
+
+func (nm *nodeManager) dropConn() {
+	if nm.conn != nil {
+		nm.conn.Close()
+	}
+	nm.conn = nil
+	nm.inbox = nil
+	nm.setState(stateSleeping)
+	nm.validated = false
+}
+
+// handleControl processes node-initiated messages outside a request.
+func (nm *nodeManager) handleControl(m *protocol.Message) {
+	switch m.Type {
+	case protocol.TPong:
+		nm.validated = true
+		if nm.state == stateSleeping {
+			nm.setState(stateActive)
+		}
+	case protocol.TBye:
+		// Node returned; connection stays open for its next life. A BYE
+		// in Maybe also ends the backup takeover window.
+		nm.setState(stateSleeping)
+		nm.validated = false
+	case protocol.TInitBackup:
+		nm.startBackup()
+	case protocol.TBackupDone:
+		nm.p.stats.BackupsDone.Add(1)
+	default:
+		// Stale response (post-timeout straggler); drop.
+	}
+}
+
+// startBackup is steps 2-4 of Figure 10: launch a relay and tell the
+// source where to find it.
+func (nm *nodeManager) startBackup() {
+	if nm.conn == nil {
+		return
+	}
+	addr, err := nm.p.startRelay()
+	if err != nil {
+		return
+	}
+	nm.p.stats.Backups.Add(1)
+	nm.conn.Send(&protocol.Message{Type: protocol.TBackupCmd, Key: nm.name, Addr: addr})
+}
+
+// flushDels sends queued evictions down a validated connection.
+func (nm *nodeManager) flushDels() {
+	for {
+		select {
+		case k := <-nm.delCh:
+			nm.pendingDel = append(nm.pendingDel, k)
+		default:
+			goto drain
+		}
+	}
+drain:
+	if nm.conn == nil || len(nm.pendingDel) == 0 {
+		return
+	}
+	kept := nm.pendingDel[:0]
+	for _, k := range nm.pendingDel {
+		if err := nm.conn.Send(&protocol.Message{Type: protocol.TDel, Key: k, Seq: nm.p.nextSeq()}); err != nil {
+			kept = append(kept, k)
+		}
+	}
+	nm.pendingDel = append([]string(nil), kept...)
+}
+
+// process executes one chunk request with the full validation dance:
+// ensure a validated connection (invoking or preflight-PINGing as the
+// state demands), send, await the matching response, and retry through
+// re-invocation on timeouts and BYE races.
+func (nm *nodeManager) process(req *nodeRequest) {
+	for attempt := 0; attempt < nm.p.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			nm.p.stats.Reinvokes.Add(1)
+		}
+		if !nm.validate() {
+			continue
+		}
+		nm.flushDels()
+		// Sending a request invalidates the connection (Figure 6 step 4);
+		// the next request must re-validate.
+		nm.validated = false
+		if err := nm.conn.Send(req.msg); err != nil {
+			nm.dropConn()
+			continue
+		}
+		if resp := nm.await(req.msg.Seq, nm.p.cfg.RequestTimeout); resp != nil {
+			req.respCh <- resp
+			return
+		}
+	}
+	nm.p.stats.ChunkFailures.Add(1)
+	req.respCh <- nil
+}
+
+// validate brings the connection to (*, Validated): invoke if Sleeping,
+// preflight PING if Active/Maybe (§3.3 "Preflight Message").
+func (nm *nodeManager) validate() bool {
+	if nm.conn == nil || nm.state == stateSleeping {
+		if err := nm.p.invokeNode(nm.name, lambdanode.CmdRequest); err != nil {
+			return false
+		}
+		return nm.awaitValidation(nm.p.cfg.InvokeTimeout)
+	}
+	if nm.validated {
+		return true
+	}
+	if err := nm.conn.Send(&protocol.Message{Type: protocol.TPing, Key: nm.name, Seq: nm.p.nextSeq()}); err != nil {
+		nm.dropConn()
+		return false
+	}
+	if nm.awaitValidation(nm.p.cfg.PingTimeout) {
+		return true
+	}
+	// No PONG: the node must have returned between our knowledge and the
+	// ping; mark Sleeping so the next attempt re-invokes.
+	nm.setState(stateSleeping)
+	nm.validated = false
+	return false
+}
+
+// awaitValidation waits for a PONG (possibly on a brand-new connection).
+func (nm *nodeManager) awaitValidation(timeout time.Duration) bool {
+	deadline := nm.p.cfg.Clock.Now().Add(timeout)
+	for {
+		remain := deadline.Sub(nm.p.cfg.Clock.Now())
+		if remain <= 0 {
+			return false
+		}
+		inbox := nm.inbox
+		select {
+		case <-nm.p.done:
+			return false
+		case j := <-nm.connCh:
+			nm.adopt(j)
+		case m, ok := <-inbox:
+			if !ok {
+				nm.dropConn()
+				continue
+			}
+			switch m.Type {
+			case protocol.TPong:
+				nm.validated = true
+				if nm.state == stateSleeping {
+					nm.setState(stateActive)
+				}
+				return true
+			case protocol.TBye:
+				nm.setState(stateSleeping)
+				nm.validated = false
+				// Keep waiting: a re-invoked instance will PONG.
+			case protocol.TInitBackup:
+				nm.startBackup()
+			case protocol.TBackupDone:
+				nm.p.stats.BackupsDone.Add(1)
+			}
+		case <-nm.p.cfg.Clock.After(remain):
+			return false
+		}
+	}
+}
+
+// await waits for the response to seq, handling control traffic and
+// connection swaps; nil means the caller should retry or fail.
+func (nm *nodeManager) await(seq uint64, timeout time.Duration) *protocol.Message {
+	deadline := nm.p.cfg.Clock.Now().Add(timeout)
+	for {
+		remain := deadline.Sub(nm.p.cfg.Clock.Now())
+		if remain <= 0 {
+			return nil
+		}
+		inbox := nm.inbox
+		select {
+		case <-nm.p.done:
+			return nil
+		case j := <-nm.connCh:
+			// Connection replaced mid-request (backup swap); retry the
+			// request on the new connection.
+			nm.adopt(j)
+			return nil
+		case m, ok := <-inbox:
+			if !ok {
+				nm.dropConn()
+				return nil
+			}
+			switch m.Type {
+			case protocol.TData, protocol.TMiss, protocol.TAck, protocol.TErr:
+				if m.Seq == seq {
+					return m
+				}
+				// Stale response from an abandoned attempt; ignore.
+			case protocol.TPong:
+				nm.validated = true
+			case protocol.TBye:
+				// Node returned without answering; re-invoke via retry.
+				nm.setState(stateSleeping)
+				nm.validated = false
+				return nil
+			case protocol.TInitBackup:
+				nm.startBackup()
+			case protocol.TBackupDone:
+				nm.p.stats.BackupsDone.Add(1)
+			}
+		case <-nm.p.cfg.Clock.After(remain):
+			return nil
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package proxy implements the InfiniCache proxy (§3.2): the rendezvous
+// server that Lambda cache nodes dial into (they cannot accept inbound
+// connections), the owner of the chunk→Lambda mapping table and the
+// CLOCK-based object-granularity eviction policy, the first-d parallel
+// I/O engine that streams erasure-coded chunks between clients and
+// Lambda nodes, and the coordinator (plus relay) for the §4.2 delta-sync
+// backup protocol.
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"infinicache/internal/lambdaemu"
+	"infinicache/internal/lambdanode"
+	"infinicache/internal/protocol"
+	"infinicache/internal/vclock"
+)
+
+// Config parameterises a Proxy.
+type Config struct {
+	Clock   vclock.Clock
+	Invoker lambdaemu.Invoker
+	// Nodes are the Lambda function names in this proxy's pool; a chunk
+	// placement index ("IDλ" in §3.1) indexes into this slice.
+	Nodes []string
+	// NodeMemoryMB is each node's cache capacity for the proxy's
+	// pool-memory accounting (§3.2).
+	NodeMemoryMB int
+	// ListenAddr is the TCP address to bind; ":0" picks a free port.
+	ListenAddr string
+	// PingTimeout bounds a preflight PING round trip (virtual time).
+	PingTimeout time.Duration
+	// InvokeTimeout bounds waiting for an invoked node to report in.
+	InvokeTimeout time.Duration
+	// RequestTimeout bounds one chunk request round trip.
+	RequestTimeout time.Duration
+	// Retries is how many validate/re-invoke attempts a chunk request
+	// gets before failing.
+	Retries int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Clock == nil {
+		c.Clock = vclock.NewReal()
+	}
+	if c.ListenAddr == "" {
+		c.ListenAddr = "127.0.0.1:0"
+	}
+	if c.PingTimeout == 0 {
+		c.PingTimeout = 3 * time.Second
+	}
+	if c.InvokeTimeout == 0 {
+		// Must exceed the platform's auto-scale queueing window plus a
+		// cold start, or validation gives up while the invoke is still
+		// queued behind a busy instance.
+		c.InvokeTimeout = 8 * time.Second
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 3
+	}
+}
+
+// Stats exposes the proxy's operation counters (all atomic).
+type Stats struct {
+	Gets          atomic.Int64 // object GET requests
+	GetHits       atomic.Int64 // object-level hits (>= d chunks returned)
+	GetMisses     atomic.Int64 // object unknown to the mapping table
+	ObjectLosses  atomic.Int64 // mapped objects that lost > p chunks
+	DegradedGets  atomic.Int64 // hits that needed EC reconstruction
+	ChunkMisses   atomic.Int64 // chunk requests answered MISS by a node
+	Puts          atomic.Int64 // chunk SET requests from clients
+	Dels          atomic.Int64
+	Evictions     atomic.Int64 // objects evicted by the CLOCK policy
+	Invokes       atomic.Int64 // Lambda invocations issued
+	Reinvokes     atomic.Int64 // re-invocations after timeout/BYE races
+	Backups       atomic.Int64 // backup rounds coordinated (relays launched)
+	BackupsDone   atomic.Int64 // migrations reported complete by λd
+	BackupSwaps   atomic.Int64 // λd connections adopted (Maybe state)
+	ChunkFailures atomic.Int64 // chunk requests that exhausted retries
+}
+
+// Proxy is one InfiniCache proxy instance.
+type Proxy struct {
+	cfg   Config
+	ln    net.Listener
+	addr  string
+	nodes []*nodeManager
+	table *mappingTable
+
+	seq atomic.Uint64
+
+	stats Stats
+
+	mu       sync.Mutex
+	closed   bool
+	done     chan struct{}
+	sessions map[*session]struct{}
+	wg       sync.WaitGroup
+}
+
+// New creates and starts a proxy: it binds its listener and launches the
+// per-node managers. Callers must Close it.
+func New(cfg Config) (*Proxy, error) {
+	cfg.fillDefaults()
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("proxy: need at least one node")
+	}
+	if cfg.Invoker == nil {
+		return nil, errors.New("proxy: need an Invoker")
+	}
+	if cfg.NodeMemoryMB <= 0 {
+		return nil, errors.New("proxy: need NodeMemoryMB > 0")
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: listen: %w", err)
+	}
+	p := &Proxy{
+		cfg:      cfg,
+		ln:       ln,
+		addr:     ln.Addr().String(),
+		done:     make(chan struct{}),
+		sessions: make(map[*session]struct{}),
+	}
+	p.table = newMappingTable(len(cfg.Nodes), int64(cfg.NodeMemoryMB)<<20)
+	p.nodes = make([]*nodeManager, len(cfg.Nodes))
+	for i, name := range cfg.Nodes {
+		p.nodes[i] = newNodeManager(p, i, name)
+		p.wg.Add(1)
+		go p.nodes[i].run()
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() string { return p.addr }
+
+// PoolSize returns the number of Lambda nodes this proxy manages.
+func (p *Proxy) PoolSize() int { return len(p.nodes) }
+
+// Stats returns the proxy's counters.
+func (p *Proxy) Stats() *Stats { return &p.stats }
+
+// CachedObjects returns how many objects the mapping table holds.
+func (p *Proxy) CachedObjects() int { return p.table.Len() }
+
+// CachedBytes returns the total bytes accounted across the pool.
+func (p *Proxy) CachedBytes() int64 { return p.table.UsedBytes() }
+
+// Close shuts the proxy down: listener, sessions, node managers.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.done)
+	sessions := make([]*session, 0, len(p.sessions))
+	for s := range p.sessions {
+		sessions = append(sessions, s)
+	}
+	p.mu.Unlock()
+	p.ln.Close()
+	for _, s := range sessions {
+		s.conn.Close()
+	}
+	p.wg.Wait()
+	return nil
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		raw, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go p.handleConn(raw)
+	}
+}
+
+// handleConn classifies an inbound connection by its first message:
+// Lambda nodes announce JOIN_LAMBDA, clients JOIN_CLIENT.
+func (p *Proxy) handleConn(raw net.Conn) {
+	defer p.wg.Done()
+	conn := protocol.NewConn(raw)
+	first, err := conn.Recv()
+	if err != nil {
+		conn.Close()
+		return
+	}
+	switch first.Type {
+	case protocol.TJoinLambda:
+		nm := p.managerByName(first.Key)
+		if nm == nil {
+			conn.Close()
+			return
+		}
+		backup := first.Arg(1) == 1
+		if backup {
+			p.stats.BackupSwaps.Add(1)
+		}
+		select {
+		case nm.connCh <- &joinedConn{conn: conn, instanceID: first.Addr, backup: backup}:
+		case <-p.done:
+			conn.Close()
+		}
+	case protocol.TJoinClient:
+		s := &session{p: p, conn: conn}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		p.sessions[s] = struct{}{}
+		p.mu.Unlock()
+		s.run()
+		p.mu.Lock()
+		delete(p.sessions, s)
+		p.mu.Unlock()
+	default:
+		conn.Close()
+	}
+}
+
+func (p *Proxy) managerByName(name string) *nodeManager {
+	for _, nm := range p.nodes {
+		if nm.name == name {
+			return nm
+		}
+	}
+	return nil
+}
+
+// invokeNode asks the platform to run a cache node with a request
+// payload pointing back at this proxy.
+func (p *Proxy) invokeNode(name string, cmd string) error {
+	p.stats.Invokes.Add(1)
+	pl := &lambdanode.Payload{Cmd: cmd, ProxyAddr: p.addr}
+	return p.cfg.Invoker.Invoke(name, pl.Encode())
+}
+
+// Warmup invokes every currently-sleeping node with a warm-up payload —
+// the T_warm keep-alive of §4.2, driven by the deployment layer. Nodes
+// whose connection is Active or Maybe are already running (often mid-
+// backup); invoking them would only auto-scale a useless empty replica.
+func (p *Proxy) Warmup() {
+	for _, nm := range p.nodes {
+		if nm.State() != stateSleeping {
+			continue
+		}
+		p.invokeNode(nm.name, lambdanode.CmdWarmup)
+	}
+}
+
+func (p *Proxy) nextSeq() uint64 { return p.seq.Add(1) }

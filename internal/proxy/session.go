@@ -1,0 +1,252 @@
+package proxy
+
+import (
+	"sync"
+
+	"infinicache/internal/protocol"
+)
+
+// Argument layout for client SET messages (one per chunk):
+//
+//	Args[0] chunk index
+//	Args[1] total chunks (d+p)
+//	Args[2] destination lambda index (IDλ, chosen by the client)
+//	Args[3] object size in bytes
+//	Args[4] data shards d
+//	Args[5] put generation (client-unique per PUT; distinguishes a fresh
+//	        overwrite from chunks of the same PUT)
+//	Args[6] recovery flag (1 = re-insert of a single lost chunk)
+//
+// GET responses (TData, one per chunk) carry:
+//
+//	Args[0] chunk index
+//	Args[1] object size
+//	Args[2] data shards d
+//	Args[3] total chunks
+const (
+	setArgIdx = iota
+	setArgTotal
+	setArgLambda
+	setArgObjSize
+	setArgDataShards
+	setArgPutGen
+	setArgRecovery
+)
+
+// session serves one client connection.
+type session struct {
+	p    *Proxy
+	conn *protocol.Conn
+
+	mu      sync.Mutex
+	putGens map[string]int64 // object key -> last seen put generation
+	wg      sync.WaitGroup
+}
+
+func (s *session) run() {
+	defer s.conn.Close()
+	s.putGens = make(map[string]int64)
+	for {
+		m, err := s.conn.Recv()
+		if err != nil {
+			break
+		}
+		switch m.Type {
+		case protocol.TGet:
+			s.wg.Add(1)
+			go func(m *protocol.Message) { defer s.wg.Done(); s.handleGet(m) }(m)
+		case protocol.TSet:
+			s.wg.Add(1)
+			go func(m *protocol.Message) { defer s.wg.Done(); s.handleSet(m) }(m)
+		case protocol.TDel:
+			s.wg.Add(1)
+			go func(m *protocol.Message) { defer s.wg.Done(); s.handleDel(m) }(m)
+		}
+	}
+	s.wg.Wait()
+}
+
+func (s *session) sendErr(seq uint64, key, text string) {
+	s.conn.Send(&protocol.Message{Type: protocol.TErr, Seq: seq, Key: key, Payload: []byte(text)})
+}
+
+// queueDels distributes eviction deletions to the owning node managers.
+func (s *session) queueDels(dels []evictedChunk) {
+	for _, d := range dels {
+		if d.Node >= 0 && d.Node < len(s.p.nodes) {
+			s.p.nodes[d.Node].queueDel(d.Key)
+		}
+	}
+}
+
+// handleSet stores one erasure-coded chunk on the client-chosen node.
+func (s *session) handleSet(m *protocol.Message) {
+	s.p.stats.Puts.Add(1)
+	idx := int(m.Arg(setArgIdx))
+	total := int(m.Arg(setArgTotal))
+	lambdaIdx := int(m.Arg(setArgLambda))
+	objSize := m.Arg(setArgObjSize)
+	dShards := int(m.Arg(setArgDataShards))
+	putGen := m.Arg(setArgPutGen)
+	recovery := m.Arg(setArgRecovery) == 1
+
+	if lambdaIdx < 0 || lambdaIdx >= len(s.p.nodes) || idx < 0 || idx >= total || total <= 0 || dShards <= 0 {
+		s.sendErr(m.Seq, m.Key, "proxy: bad SET arguments")
+		return
+	}
+	size := int64(len(m.Payload))
+
+	if recovery {
+		// Recovery re-inserts one chunk of an existing object; if the
+		// object vanished meanwhile there is nothing to repair.
+		if _, ok := s.p.table.Lookup(m.Key); !ok {
+			s.sendErr(m.Seq, m.Key, "proxy: recovery for unknown object")
+			return
+		}
+	} else {
+		// The first chunk of a new PUT generation (re)initialises the
+		// object's mapping entry — cache invalidation upon overwrite.
+		s.mu.Lock()
+		fresh := s.putGens[m.Key] != putGen
+		if fresh {
+			s.putGens[m.Key] = putGen
+		}
+		s.mu.Unlock()
+		if fresh {
+			s.queueDels(s.p.table.BeginObject(m.Key, objSize, dShards, total))
+		}
+	}
+
+	dels, evicted, err := s.p.table.Reserve(lambdaIdx, size, m.Key)
+	s.queueDels(dels)
+	s.p.stats.Evictions.Add(int64(evicted))
+	if err != nil {
+		s.sendErr(m.Seq, m.Key, err.Error())
+		return
+	}
+
+	chunkKey := ChunkKey(m.Key, idx)
+	resp := s.p.nodes[lambdaIdx].do(&protocol.Message{
+		Type:    protocol.TSet,
+		Key:     chunkKey,
+		Seq:     s.p.nextSeq(),
+		Payload: m.Payload,
+	})
+	if resp == nil || resp.Type != protocol.TAck {
+		s.p.table.ReleaseChunk(lambdaIdx, size)
+		s.sendErr(m.Seq, m.Key, "proxy: chunk store failed")
+		return
+	}
+	s.p.table.CommitChunk(m.Key, idx, lambdaIdx, size)
+	s.conn.Send(&protocol.Message{
+		Type: protocol.TAck, Seq: m.Seq, Key: m.Key, Args: []int64{int64(idx)},
+	})
+}
+
+// chunkResult pairs a chunk index with the node's reply.
+type chunkResult struct {
+	idx  int
+	resp *protocol.Message
+}
+
+// handleGet implements the first-d parallel fan-out (§3.2): request every
+// present chunk concurrently and stream the first d arrivals straight to
+// the client, leaving stragglers behind.
+func (s *session) handleGet(m *protocol.Message) {
+	s.p.stats.Gets.Add(1)
+	meta, ok := s.p.table.Lookup(m.Key)
+	if !ok {
+		s.p.stats.GetMisses.Add(1)
+		s.conn.Send(&protocol.Message{Type: protocol.TMiss, Seq: m.Seq, Key: m.Key})
+		return
+	}
+	var present []int
+	for i, c := range meta.Chunks {
+		if c.Present {
+			present = append(present, i)
+		}
+	}
+	d := meta.DataShards
+	if len(present) < d {
+		// More than p chunks already lost: the object is gone.
+		s.objectLost(m)
+		return
+	}
+
+	results := make(chan chunkResult, len(present))
+	for _, i := range present {
+		idx := i
+		loc := meta.Chunks[idx]
+		go func() {
+			resp := s.p.nodes[loc.Node].do(&protocol.Message{
+				Type: protocol.TGet,
+				Key:  ChunkKey(m.Key, idx),
+				Seq:  s.p.nextSeq(),
+			})
+			results <- chunkResult{idx: idx, resp: resp}
+		}()
+	}
+
+	forwarded, missed, failed := 0, 0, 0
+	outstanding := len(present)
+	for outstanding > 0 && forwarded < d {
+		r := <-results
+		outstanding--
+		switch {
+		case r.resp != nil && r.resp.Type == protocol.TData:
+			s.conn.Send(&protocol.Message{
+				Type:    protocol.TData,
+				Seq:     m.Seq,
+				Key:     m.Key,
+				Args:    []int64{int64(r.idx), meta.Size, int64(d), int64(meta.TotalShards)},
+				Payload: r.resp.Payload,
+			})
+			forwarded++
+		case r.resp != nil && r.resp.Type == protocol.TMiss:
+			// The node definitively lost this chunk (reclaimed
+			// instance): record it in the mapping table.
+			s.p.stats.ChunkMisses.Add(1)
+			s.p.table.MarkChunkLost(m.Key, r.idx)
+			missed++
+		default:
+			// Transient failure (timeout, mid-backup swap): the chunk
+			// may still exist; do not mark it lost.
+			failed++
+		}
+	}
+	if forwarded >= d {
+		s.p.stats.GetHits.Add(1)
+		if missed+failed > 0 {
+			s.p.stats.DegradedGets.Add(1)
+		}
+		return
+	}
+	if len(present)-missed < d {
+		// Confirmed losses alone exceed parity: the object is gone.
+		s.objectLost(m)
+		return
+	}
+	// Not enough chunks arrived but the object may survive: tell the
+	// client to retry rather than declaring a loss.
+	s.conn.Send(&protocol.Message{
+		Type: protocol.TErr, Seq: m.Seq, Key: m.Key,
+		Args:    []int64{1}, // 1 = transient
+		Payload: []byte("proxy: transient chunk failures; retry"),
+	})
+}
+
+// objectLost reports an unavailable object: > p chunks lost. The client
+// will RESET it (fetch from the backing store and re-insert, §5.2).
+func (s *session) objectLost(m *protocol.Message) {
+	s.p.stats.ObjectLosses.Add(1)
+	s.queueDels(s.p.table.Drop(m.Key))
+	s.conn.Send(&protocol.Message{
+		Type: protocol.TMiss, Seq: m.Seq, Key: m.Key, Args: []int64{1}, // 1 = loss, not cold miss
+	})
+}
+
+func (s *session) handleDel(m *protocol.Message) {
+	s.p.stats.Dels.Add(1)
+	s.queueDels(s.p.table.Drop(m.Key))
+	s.conn.Send(&protocol.Message{Type: protocol.TAck, Seq: m.Seq, Key: m.Key})
+}

@@ -1,0 +1,389 @@
+// Package rediscache implements the ElastiCache (Redis) baseline the
+// paper compares against (§5.1, Figure 11f): an in-memory cache server
+// that — like Redis — processes commands on a single event loop, so
+// concurrent large I/Os serialize behind each other. Deployments of one
+// big node or a sharded cluster of small nodes are both supported, with
+// client-side consistent hashing for the cluster case.
+package rediscache
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"infinicache/internal/clockcache"
+	"infinicache/internal/hashring"
+	"infinicache/internal/netsim"
+	"infinicache/internal/protocol"
+	"infinicache/internal/vclock"
+)
+
+// ServerConfig parameterises one cache server ("instance").
+type ServerConfig struct {
+	Clock vclock.Clock
+	// MemoryBytes is the instance's usable cache capacity.
+	MemoryBytes int64
+	// Bandwidth models the instance NIC (bytes per virtual second);
+	// 0 means 1.25 GB/s (10 Gbps).
+	Bandwidth float64
+	// ServiceRate models the single-threaded command processing cost in
+	// bytes/second of payload handled (memory copy bound); 0 means
+	// 600 MB/s — calibrated so large objects match the paper's
+	// single-node ElastiCache latencies.
+	ServiceRate float64
+	ListenAddr  string
+}
+
+// Server is a single-threaded cache node.
+type Server struct {
+	cfg  ServerConfig
+	ln   net.Listener
+	addr string
+
+	// The event loop serializes all commands through this channel —
+	// the Redis single-thread property that makes concurrent large
+	// I/Os queue (§5.1).
+	cmds chan *command
+
+	mu   sync.Mutex
+	data map[string][]byte
+	lru  *clockcache.Cache
+	used int64
+	nic  *netsim.Bucket
+	wg   sync.WaitGroup
+	done chan struct{}
+	once sync.Once
+
+	hits, misses, evictions atomic.Int64
+}
+
+type command struct {
+	msg  *protocol.Message
+	conn *protocol.Conn
+}
+
+// NewServer starts a server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.NewReal()
+	}
+	if cfg.MemoryBytes <= 0 {
+		return nil, errors.New("rediscache: MemoryBytes must be positive")
+	}
+	if cfg.Bandwidth == 0 {
+		cfg.Bandwidth = 1.25e9
+	}
+	if cfg.ServiceRate == 0 {
+		cfg.ServiceRate = 600e6
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:  cfg,
+		ln:   ln,
+		addr: ln.Addr().String(),
+		cmds: make(chan *command, 1024),
+		data: make(map[string][]byte),
+		lru:  clockcache.New(),
+		nic:  netsim.NewBucket(cfg.Bandwidth),
+		done: make(chan struct{}),
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.eventLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.addr }
+
+// Stats returns (hits, misses, evictions).
+func (s *Server) Stats() (int64, int64, int64) {
+	return s.hits.Load(), s.misses.Load(), s.evictions.Load()
+}
+
+// UsedBytes returns current cache occupancy.
+func (s *Server) UsedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.once.Do(func() {
+		close(s.done)
+		s.ln.Close()
+	})
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		raw, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(protocol.NewConn(raw))
+	}
+}
+
+func (s *Server) serveConn(conn *protocol.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if m.Type == protocol.TJoinClient {
+			continue
+		}
+		select {
+		case s.cmds <- &command{msg: m, conn: conn}:
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// eventLoop is the single thread: every command's service time (memory
+// copy + NIC transfer) is charged serially, exactly how a busy Redis
+// behaves under concurrent bulk I/O.
+func (s *Server) eventLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case c := <-s.cmds:
+			s.execute(c)
+		}
+	}
+}
+
+func (s *Server) execute(c *command) {
+	m := c.msg
+	switch m.Type {
+	case protocol.TGet:
+		s.mu.Lock()
+		val, ok := s.data[m.Key]
+		if ok {
+			s.lru.Touch(m.Key)
+		}
+		s.mu.Unlock()
+		if !ok {
+			s.misses.Add(1)
+			c.conn.Send(&protocol.Message{Type: protocol.TMiss, Seq: m.Seq, Key: m.Key})
+			return
+		}
+		s.hits.Add(1)
+		s.serviceDelay(len(val))
+		c.conn.Send(&protocol.Message{Type: protocol.TData, Seq: m.Seq, Key: m.Key, Payload: val})
+	case protocol.TSet:
+		s.serviceDelay(len(m.Payload))
+		s.mu.Lock()
+		if old, ok := s.data[m.Key]; ok {
+			s.used -= int64(len(old))
+			s.lru.Remove(m.Key)
+		}
+		// Evict until the new value fits.
+		for s.used+int64(len(m.Payload)) > s.cfg.MemoryBytes && s.lru.Len() > 0 {
+			victim := s.lru.Evict()
+			if victim == nil {
+				break
+			}
+			s.used -= int64(len(s.data[victim.Key]))
+			delete(s.data, victim.Key)
+			s.evictions.Add(1)
+		}
+		if s.used+int64(len(m.Payload)) <= s.cfg.MemoryBytes {
+			s.data[m.Key] = append([]byte(nil), m.Payload...)
+			s.used += int64(len(m.Payload))
+			s.lru.Add(m.Key, int64(len(m.Payload)))
+			s.mu.Unlock()
+			c.conn.Send(&protocol.Message{Type: protocol.TAck, Seq: m.Seq, Key: m.Key})
+		} else {
+			s.mu.Unlock()
+			c.conn.Send(&protocol.Message{Type: protocol.TErr, Seq: m.Seq, Key: m.Key, Payload: []byte("rediscache: object larger than memory")})
+		}
+	case protocol.TDel:
+		s.mu.Lock()
+		if old, ok := s.data[m.Key]; ok {
+			s.used -= int64(len(old))
+			delete(s.data, m.Key)
+			s.lru.Remove(m.Key)
+		}
+		s.mu.Unlock()
+		c.conn.Send(&protocol.Message{Type: protocol.TAck, Seq: m.Seq, Key: m.Key})
+	default:
+		c.conn.Send(&protocol.Message{Type: protocol.TErr, Seq: m.Seq, Key: m.Key, Payload: []byte("rediscache: unsupported command")})
+	}
+}
+
+// serviceDelay charges the single-thread processing plus NIC time.
+func (s *Server) serviceDelay(n int) {
+	if n <= 0 {
+		return
+	}
+	d := time.Duration(float64(n) / s.cfg.ServiceRate * float64(time.Second))
+	if nicDelay := s.nic.Reserve(s.cfg.Clock.Now(), n); nicDelay > d {
+		d = nicDelay
+	}
+	s.cfg.Clock.Sleep(d)
+}
+
+// Client talks to one or more servers with client-side sharding.
+type Client struct {
+	clock vclock.Clock
+	ring  *hashring.Ring
+	mu    sync.Mutex
+	conns map[string]*protocol.Conn
+	seq   atomic.Uint64
+	wait  map[uint64]chan *protocol.Message
+	wmu   sync.Mutex
+}
+
+// NewClient connects to the given server addresses.
+func NewClient(clock vclock.Clock, addrs []string) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("rediscache: need at least one server")
+	}
+	if clock == nil {
+		clock = vclock.NewReal()
+	}
+	ring := hashring.New(0)
+	for _, a := range addrs {
+		ring.Add(a)
+	}
+	return &Client{
+		clock: clock,
+		ring:  ring,
+		conns: make(map[string]*protocol.Conn),
+		wait:  make(map[uint64]chan *protocol.Message),
+	}, nil
+}
+
+func (c *Client) conn(addr string) (*protocol.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if pc, ok := c.conns[addr]; ok {
+		return pc, nil
+	}
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	pc := protocol.NewConn(raw)
+	if err := pc.Send(&protocol.Message{Type: protocol.TJoinClient}); err != nil {
+		pc.Close()
+		return nil, err
+	}
+	go func() {
+		for {
+			m, err := pc.Recv()
+			if err != nil {
+				return
+			}
+			c.wmu.Lock()
+			ch := c.wait[m.Seq]
+			c.wmu.Unlock()
+			if ch != nil {
+				ch <- m
+			}
+		}
+	}()
+	c.conns[addr] = pc
+	return pc, nil
+}
+
+func (c *Client) roundTrip(addr string, m *protocol.Message) (*protocol.Message, error) {
+	pc, err := c.conn(addr)
+	if err != nil {
+		return nil, err
+	}
+	seq := c.seq.Add(1)
+	m.Seq = seq
+	ch := make(chan *protocol.Message, 1)
+	c.wmu.Lock()
+	c.wait[seq] = ch
+	c.wmu.Unlock()
+	defer func() {
+		c.wmu.Lock()
+		delete(c.wait, seq)
+		c.wmu.Unlock()
+	}()
+	if err := pc.Send(m); err != nil {
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-c.clock.After(60 * time.Second):
+		return nil, errors.New("rediscache: timeout")
+	}
+}
+
+// ErrMiss is returned on cache misses.
+var ErrMiss = errors.New("rediscache: miss")
+
+// Get fetches an object.
+func (c *Client) Get(key string) ([]byte, error) {
+	resp, err := c.roundTrip(c.ring.Locate(key), &protocol.Message{Type: protocol.TGet, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	switch resp.Type {
+	case protocol.TData:
+		return resp.Payload, nil
+	case protocol.TMiss:
+		return nil, ErrMiss
+	default:
+		return nil, fmt.Errorf("rediscache: %s", resp.Payload)
+	}
+}
+
+// Put stores an object.
+func (c *Client) Put(key string, value []byte) error {
+	resp, err := c.roundTrip(c.ring.Locate(key), &protocol.Message{Type: protocol.TSet, Key: key, Payload: value})
+	if err != nil {
+		return err
+	}
+	if resp.Type != protocol.TAck {
+		return fmt.Errorf("rediscache: %s", resp.Payload)
+	}
+	return nil
+}
+
+// Del removes an object.
+func (c *Client) Del(key string) error {
+	resp, err := c.roundTrip(c.ring.Locate(key), &protocol.Message{Type: protocol.TDel, Key: key})
+	if err != nil {
+		return err
+	}
+	if resp.Type != protocol.TAck {
+		return errors.New("rediscache: del failed")
+	}
+	return nil
+}
+
+// Close tears down all connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, pc := range c.conns {
+		pc.Close()
+	}
+	c.conns = map[string]*protocol.Conn{}
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+
+	"infinicache/internal/clockcache"
+	"infinicache/internal/costmodel"
+	"infinicache/internal/workload"
+)
+
+// BaselineResult is the outcome of replaying a trace against one of the
+// comparison systems (ElastiCache or bare S3).
+type BaselineResult struct {
+	Gets           int
+	Hits           int
+	Misses         int
+	Evictions      int
+	LatencySeconds []float64
+	Sizes          []int64
+	TotalCost      float64
+	HourlyCost     []float64
+}
+
+// HitRatio is hits / gets.
+func (r *BaselineResult) HitRatio() float64 {
+	if r.Gets == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Gets)
+}
+
+// RunElastiCache replays the trace against a single big cache instance
+// (the paper uses one cache.r5.24xlarge with 635.61 GB) with LRU
+// eviction and hourly capacity pricing.
+func RunElastiCache(instanceType string, trace *workload.Trace, seed int64) *BaselineResult {
+	lm := &latencyModel{rng: rand.New(rand.NewSource(seed))}
+	capacity := int64(costmodel.ElastiCacheMemoryGB[instanceType] * float64(1<<30))
+	hourly := costmodel.ElastiCacheHourly(instanceType)
+
+	lru := clockcache.New()
+	res := &BaselineResult{}
+	hours := 1
+	if n := len(trace.Records); n > 0 {
+		hours = int(trace.Records[n-1].Time.Hours()) + 1
+	}
+	res.HourlyCost = make([]float64, hours)
+	for h := range res.HourlyCost {
+		res.HourlyCost[h] = hourly
+		res.TotalCost += hourly
+	}
+
+	for _, rec := range trace.Records {
+		if rec.Op != workload.OpGet {
+			continue
+		}
+		res.Gets++
+		if lru.Contains(rec.Key) {
+			res.Hits++
+			lru.Touch(rec.Key)
+			lat := lm.elastiCache(rec.Size)
+			res.LatencySeconds = append(res.LatencySeconds, lat.Seconds())
+		} else {
+			res.Misses++
+			// Miss: fetch from S3, then insert (write-through).
+			lat := lm.s3(rec.Size)
+			res.LatencySeconds = append(res.LatencySeconds, lat.Seconds())
+			if rec.Size <= capacity {
+				lru.Add(rec.Key, rec.Size)
+				res.Evictions += len(lru.EvictUntil(capacity))
+			}
+		}
+		res.Sizes = append(res.Sizes, rec.Size)
+	}
+	return res
+}
+
+// RunS3 replays the trace against the bare backing store (every request
+// pays the S3 latency; the cost model here is out of scope and left 0 —
+// the paper compares request latency only).
+func RunS3(trace *workload.Trace, seed int64) *BaselineResult {
+	lm := &latencyModel{rng: rand.New(rand.NewSource(seed))}
+	res := &BaselineResult{}
+	for _, rec := range trace.Records {
+		if rec.Op != workload.OpGet {
+			continue
+		}
+		res.Gets++
+		res.LatencySeconds = append(res.LatencySeconds, lm.s3(rec.Size).Seconds())
+		res.Sizes = append(res.Sizes, rec.Size)
+	}
+	return res
+}
+
+// NormalizedBySize groups per-request latencies into the size buckets of
+// Figure 16 (<1 MB, 1-10 MB, 10-100 MB, >=100 MB) and returns the bucket
+// medians.
+func NormalizedBySize(sizes []int64, lat []float64) map[string]float64 {
+	buckets := map[string][]float64{}
+	name := func(size int64) string {
+		switch {
+		case size < 1<<20:
+			return "<1MB"
+		case size < 10<<20:
+			return "[1,10)MB"
+		case size < 100<<20:
+			return "[10,100)MB"
+		default:
+			return ">=100MB"
+		}
+	}
+	for i, s := range sizes {
+		k := name(s)
+		buckets[k] = append(buckets[k], lat[i])
+	}
+	out := map[string]float64{}
+	for k, v := range buckets {
+		out[k] = median(v)
+	}
+	return out
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return cp[len(cp)/2]
+}

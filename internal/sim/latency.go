@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Latency models for the three systems compared in Figures 15 and 16.
+// Constants are calibrated to the paper's published measurements:
+//
+//   - InfiniCache: ~13 ms warm Lambda invoke (§5.1) + proxy hop + the
+//     per-chunk transfer at the memory-dependent Lambda bandwidth
+//     (50-160 MB/s) + EC decode. 100 MB at RS(10+2)/1.5 GB lands in the
+//     100-200 ms band of Figure 11(e/f).
+//   - ElastiCache: sub-millisecond floor plus a single-threaded service
+//     rate; IC ≈ EC for 1-100 MB and IC < EC above ~100 MB (Figure 16).
+//   - S3: tens of ms to first byte plus a modest single-stream
+//     bandwidth, giving the >=100x gap on large objects (Figure 15b).
+type latencyModel struct {
+	rng *rand.Rand
+}
+
+func (lm *latencyModel) jitter(base time.Duration, sigma float64) time.Duration {
+	m := 1 + lm.rng.NormFloat64()*sigma
+	if m < 0.6 {
+		m = 0.6
+	}
+	return time.Duration(float64(base) * m)
+}
+
+// InfiniCache GET latency for an object of size bytes under RS(d+p)
+// with nodeBandwidth the per-Lambda bytes/second.
+func (lm *latencyModel) infiniCache(size int64, d int, nodeBandwidth float64, decode bool) time.Duration {
+	const (
+		invoke   = 13 * time.Millisecond // warm Lambda invocation
+		proxyHop = 2 * time.Millisecond  // rendezvous + framing
+	)
+	chunk := float64(size) / float64(d)
+	transfer := time.Duration(chunk / nodeBandwidth * float64(time.Second))
+	// First-d parallelism: chunks move concurrently; the slowest of d
+	// in-flight chunks dominates, captured by the jitter tail.
+	lat := invoke + proxyHop + lm.jitter(transfer, 0.18)
+	if decode {
+		// RS decode at ~1.5 GB/s over the object.
+		lat += time.Duration(float64(size) / 1.5e9 * float64(time.Second))
+	}
+	return lat
+}
+
+// ElastiCache GET latency (one big instance).
+func (lm *latencyModel) elastiCache(size int64) time.Duration {
+	const floor = 600 * time.Microsecond
+	const serviceRate = 600e6 // single-threaded bulk throughput
+	return floor + lm.jitter(time.Duration(float64(size)/serviceRate*float64(time.Second)), 0.10)
+}
+
+// S3 GET latency (single stream).
+func (lm *latencyModel) s3(size int64) time.Duration {
+	const firstByte = 30 * time.Millisecond
+	const bandwidth = 8e6
+	return lm.jitter(firstByte+time.Duration(float64(size)/bandwidth*float64(time.Second)), 0.15)
+}

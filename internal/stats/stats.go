@@ -1,0 +1,217 @@
+// Package stats provides the small statistical toolkit used by the
+// benchmark harness and the experiment drivers: percentiles, CDFs,
+// histograms, and box-plot summaries matching the figures in the paper.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary is a five-number summary plus mean, matching the box-and-whisker
+// plots in Figures 4 and 11.
+type Summary struct {
+	N                                      int
+	Min, P25, P50, P75, P90, P95, P99, Max float64
+	Mean                                   float64
+}
+
+// Summarize computes a Summary of xs. It returns a zero Summary for empty
+// input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, x := range s {
+		sum += x
+	}
+	return Summary{
+		N:    len(s),
+		Min:  s[0],
+		P25:  Percentile(s, 25),
+		P50:  Percentile(s, 50),
+		P75:  Percentile(s, 75),
+		P90:  Percentile(s, 90),
+		P95:  Percentile(s, 95),
+		P99:  Percentile(s, 99),
+		Max:  s[len(s)-1],
+		Mean: sum / float64(len(s)),
+	}
+}
+
+// Percentile returns the p-th percentile (0-100) of sorted input using
+// linear interpolation. The input must be sorted ascending.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.2f p25=%.2f p50=%.2f p75=%.2f p95=%.2f p99=%.2f max=%.2f mean=%.2f",
+		s.N, s.Min, s.P25, s.P50, s.P75, s.P95, s.P99, s.Max, s.Mean)
+}
+
+// CDFPoint is one step of an empirical CDF.
+type CDFPoint struct {
+	X float64 // value
+	F float64 // cumulative fraction in (0, 1]
+}
+
+// CDF computes the empirical CDF of xs.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]CDFPoint, 0, len(s))
+	n := float64(len(s))
+	for i := 0; i < len(s); i++ {
+		// Collapse runs of equal values into a single step.
+		if i+1 < len(s) && s[i+1] == s[i] {
+			continue
+		}
+		out = append(out, CDFPoint{X: s[i], F: float64(i+1) / n})
+	}
+	return out
+}
+
+// CDFAt evaluates an empirical CDF at x.
+func CDFAt(cdf []CDFPoint, x float64) float64 {
+	i := sort.Search(len(cdf), func(i int) bool { return cdf[i].X > x })
+	if i == 0 {
+		return 0
+	}
+	return cdf[i-1].F
+}
+
+// WeightedCDF computes a CDF where each sample x[i] carries weight w[i]
+// (used for the byte-footprint distribution in Figure 1b).
+func WeightedCDF(xs, ws []float64) []CDFPoint {
+	if len(xs) != len(ws) || len(xs) == 0 {
+		return nil
+	}
+	type pair struct{ x, w float64 }
+	ps := make([]pair, len(xs))
+	total := 0.0
+	for i := range xs {
+		ps[i] = pair{xs[i], ws[i]}
+		total += ws[i]
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].x < ps[j].x })
+	out := make([]CDFPoint, 0, len(ps))
+	cum := 0.0
+	for i, p := range ps {
+		cum += p.w
+		if i+1 < len(ps) && ps[i+1].x == p.x {
+			continue
+		}
+		out = append(out, CDFPoint{X: p.x, F: cum / total})
+	}
+	return out
+}
+
+// Histogram counts xs into integer-valued buckets (used for the
+// reclaims-per-minute distribution of Figure 9).
+func Histogram(xs []int) map[int]int {
+	h := make(map[int]int)
+	for _, x := range xs {
+		h[x]++
+	}
+	return h
+}
+
+// Normalize converts an integer histogram into a probability distribution.
+func Normalize(h map[int]int) map[int]float64 {
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	out := make(map[int]float64, len(h))
+	if total == 0 {
+		return out
+	}
+	for k, c := range h {
+		out[k] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of xs (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Table renders rows as an aligned text table; header may be nil.
+func Table(header []string, rows [][]string) string {
+	all := rows
+	if header != nil {
+		all = append([][]string{header}, rows...)
+	}
+	if len(all) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, row := range all {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteString("\n")
+	}
+	if header != nil {
+		writeRow(header)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteString("\n")
+	}
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

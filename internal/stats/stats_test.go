@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatal("empty summary should have N=0")
+	}
+}
+
+func TestSummarizeBasic(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	s := Summarize(xs)
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.P50 != 3 || s.Mean != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Summarize mutated input")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if got := Percentile(sorted, 50); got != 25 {
+		t.Fatalf("P50 = %v, want 25", got)
+	}
+	if got := Percentile(sorted, 0); got != 10 {
+		t.Fatalf("P0 = %v, want 10", got)
+	}
+	if got := Percentile(sorted, 100); got != 40 {
+		t.Fatalf("P100 = %v, want 40", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("P50 of empty should be NaN")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		// Filter NaN which has no defined ordering.
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		cdf := CDF(xs)
+		prevX := math.Inf(-1)
+		prevF := 0.0
+		for _, p := range cdf {
+			if p.X <= prevX || p.F <= prevF {
+				return false
+			}
+			prevX, prevF = p.X, p.F
+		}
+		return cdf[len(cdf)-1].F == 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	cdf := CDF([]float64{1, 2, 2, 3})
+	cases := []struct {
+		x, want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {99, 1},
+	}
+	for _, c := range cases {
+		if got := CDFAt(cdf, c.x); got != c.want {
+			t.Errorf("CDFAt(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestWeightedCDF(t *testing.T) {
+	// Two objects: size 1 with weight 1, size 10 with weight 99.
+	cdf := WeightedCDF([]float64{1, 10}, []float64{1, 99})
+	if len(cdf) != 2 {
+		t.Fatalf("len = %d", len(cdf))
+	}
+	if cdf[0].F != 0.01 || cdf[1].F != 1.0 {
+		t.Fatalf("cdf = %+v", cdf)
+	}
+	if WeightedCDF([]float64{1}, []float64{1, 2}) != nil {
+		t.Fatal("mismatched lengths should return nil")
+	}
+}
+
+func TestHistogramAndNormalize(t *testing.T) {
+	h := Histogram([]int{1, 1, 2, 5, 5, 5})
+	if h[1] != 2 || h[2] != 1 || h[5] != 3 {
+		t.Fatalf("histogram = %v", h)
+	}
+	p := Normalize(h)
+	if math.Abs(p[5]-0.5) > 1e-12 {
+		t.Fatalf("p[5] = %v, want 0.5", p[5])
+	}
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	if len(Normalize(map[int]int{})) != 0 {
+		t.Fatal("Normalize of empty histogram should be empty")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("Mean wrong")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean of empty should be NaN")
+	}
+}
+
+func TestPercentileAgainstSortQuantiles(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		sort.Float64s(xs)
+		// Percentile must lie within [min, max] and be monotone in p.
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(xs, p)
+			if v < xs[0] || v > xs[len(xs)-1] || v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	if out == "" {
+		t.Fatal("empty table output")
+	}
+	if Table(nil, nil) != "" {
+		t.Fatal("nil table should be empty")
+	}
+}

@@ -1,0 +1,151 @@
+// Package vclock provides a virtual clock abstraction so the live system,
+// benchmarks, and tests can run against real time, compressed time, or
+// manually stepped time.
+//
+// All InfiniCache components express durations (billing cycles, warm-up
+// intervals, transfer times from the bandwidth model) in *virtual* time.
+// A ScaledClock maps virtual durations onto shorter real sleeps, letting a
+// benchmark that models a 600 ms Lambda-side transfer finish in 60 ms of
+// wall time without distorting any measured ratio.
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time source used throughout the repository.
+type Clock interface {
+	// Now returns the current virtual time.
+	Now() time.Time
+	// Sleep blocks for a virtual duration.
+	Sleep(d time.Duration)
+	// After returns a channel that fires after a virtual duration.
+	After(d time.Duration) <-chan time.Time
+	// Since returns the virtual time elapsed since t.
+	Since(t time.Time) time.Duration
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+// NewReal returns the wall clock.
+func NewReal() Real { return Real{} }
+
+func (Real) Now() time.Time                         { return time.Now() }
+func (Real) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (Real) Since(t time.Time) time.Duration        { return time.Since(t) }
+
+// Scaled compresses virtual time by a constant factor: a virtual duration d
+// takes d*scale of wall time. Now() reports virtual time that advances
+// 1/scale times faster than the wall clock.
+type Scaled struct {
+	scale float64
+	epoch time.Time // wall-clock epoch
+	base  time.Time // virtual epoch
+}
+
+// NewScaled returns a clock where virtual durations are multiplied by
+// scale before sleeping; scale = 0.1 runs 10x faster than real time.
+func NewScaled(scale float64) *Scaled {
+	if scale <= 0 {
+		panic("vclock: scale must be positive")
+	}
+	now := time.Now()
+	return &Scaled{scale: scale, epoch: now, base: now}
+}
+
+func (s *Scaled) Now() time.Time {
+	wall := time.Since(s.epoch)
+	return s.base.Add(time.Duration(float64(wall) / s.scale))
+}
+
+func (s *Scaled) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(float64(d) * s.scale))
+}
+
+func (s *Scaled) After(d time.Duration) <-chan time.Time {
+	return time.After(time.Duration(float64(d) * s.scale))
+}
+
+func (s *Scaled) Since(t time.Time) time.Duration { return s.Now().Sub(t) }
+
+// Manual is a hand-stepped clock for deterministic tests and the
+// discrete-event simulator. Sleep blocks until another goroutine Advances
+// the clock past the deadline.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*waiter
+}
+
+type waiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewManual returns a manual clock starting at start.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+func (m *Manual) Since(t time.Time) time.Duration { return m.Now().Sub(t) }
+
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	deadline := m.now.Add(d)
+	if d <= 0 {
+		ch <- m.now
+		return ch
+	}
+	m.waiters = append(m.waiters, &waiter{deadline: deadline, ch: ch})
+	return ch
+}
+
+func (m *Manual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-m.After(d)
+}
+
+// Advance moves the clock forward by d, waking any sleepers whose deadline
+// has passed.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	m.now = m.now.Add(d)
+	now := m.now
+	kept := m.waiters[:0]
+	var fire []*waiter
+	for _, w := range m.waiters {
+		if !w.deadline.After(now) {
+			fire = append(fire, w)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	m.waiters = kept
+	m.mu.Unlock()
+	for _, w := range fire {
+		w.ch <- now
+	}
+}
+
+// Waiters returns the number of goroutines blocked on the clock.
+func (m *Manual) Waiters() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.waiters)
+}

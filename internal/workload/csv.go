@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// CSV layout: timestamp_ns,op,key,size_bytes — close to the published
+// IBM docker-registry trace schema so real traces can be adapted.
+
+// WriteCSV serialises a trace.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"timestamp_ns", "op", "key", "size_bytes"}); err != nil {
+		return err
+	}
+	for _, r := range t.Records {
+		rec := []string{
+			strconv.FormatInt(int64(r.Time), 10),
+			r.Op.String(),
+			r.Key,
+			strconv.FormatInt(r.Size, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV (header required).
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading header: %w", err)
+	}
+	if len(header) != 4 || header[0] != "timestamp_ns" {
+		return nil, fmt.Errorf("workload: unexpected header %v", header)
+	}
+	t := &Trace{Objects: make(map[string]int64)}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		ts, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad timestamp: %w", line, err)
+		}
+		var op Op
+		switch rec[1] {
+		case "GET":
+			op = OpGet
+		case "PUT":
+			op = OpPut
+		default:
+			return nil, fmt.Errorf("workload: line %d: bad op %q", line, rec[1])
+		}
+		size, err := strconv.ParseInt(rec[3], 10, 64)
+		if err != nil || size < 0 {
+			return nil, fmt.Errorf("workload: line %d: bad size %q", line, rec[3])
+		}
+		t.Records = append(t.Records, Record{
+			Time: time.Duration(ts), Op: op, Key: rec[2], Size: size,
+		})
+		t.Objects[rec[2]] = size
+	}
+	return t, nil
+}

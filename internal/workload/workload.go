@@ -1,0 +1,330 @@
+// Package workload synthesises IBM Docker-registry-like object traces
+// calibrated to the production characteristics published in §2.1 of the
+// paper (Figure 1):
+//
+//   - object sizes span nine orders of magnitude (bytes to GBs), with
+//     more than 20% of objects larger than 10 MB;
+//   - objects larger than 10 MB hold more than 95% of the bytes;
+//   - large-object popularity is long-tailed (Zipf): ~30% of large
+//     objects are accessed at least 10 times;
+//   - 37-46% of large-object reuses occur within one hour;
+//   - the Dallas replay (§5.2) averages ~3,654 GETs/hour over all
+//     objects, ~750 GETs/hour for >10 MB objects, has a ~1.1 TB working
+//     set, and shows request spikes around hours 15-20 and 34-42.
+//
+// The generator is fully deterministic given a seed, and traces can be
+// round-tripped through CSV for external tooling.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// MB is 2^20 bytes.
+const MB = 1 << 20
+
+// LargeObjectThreshold is the paper's large-object cutoff (10 MB).
+const LargeObjectThreshold = 10 * MB
+
+// Op is a trace operation.
+type Op uint8
+
+// Operations. The Docker-registry replay is GET-only (a GET upon a miss
+// triggers the insertion, §5.2), but PUT is supported for generality.
+const (
+	OpGet Op = iota
+	OpPut
+)
+
+func (o Op) String() string {
+	if o == OpPut {
+		return "PUT"
+	}
+	return "GET"
+}
+
+// Record is one trace event.
+type Record struct {
+	Time time.Duration // offset from trace start
+	Op   Op
+	Key  string
+	Size int64 // object size in bytes
+}
+
+// Trace is an ordered sequence of records plus its object catalogue.
+type Trace struct {
+	Records []Record
+	// Objects maps key -> size for every distinct object.
+	Objects map[string]int64
+}
+
+// Config tunes the synthesiser. Zero values take Dallas-like defaults.
+type Config struct {
+	// Objects is the catalogue size.
+	Objects int
+	// Duration of the trace.
+	Duration time.Duration
+	// MeanGetsPerHour is the average request rate (all objects).
+	MeanGetsPerHour float64
+	// HotFraction is the share of objects drawn from the heavy-tailed
+	// (Pareto) popularity mode; the rest see only a handful of
+	// accesses. Calibrated so ~30% of accessed large objects get >= 10
+	// accesses with a tail beyond 10^4 (Figure 1c).
+	HotFraction float64
+	// HotTailBeta is the Pareto shape of the hot mode (default 1.4).
+	HotTailBeta float64
+	// SpikeHours lists [start, end) hour pairs with elevated load.
+	SpikeHours [][2]int
+	// SpikeFactor multiplies the rate inside spikes.
+	SpikeFactor float64
+	// LargeOnly keeps only objects >= LargeObjectThreshold.
+	LargeOnly bool
+	// MaxObjectBytes truncates the size distribution (the paper skips
+	// its single 8 GB object; default cap 4 GB).
+	MaxObjectBytes int64
+	Seed           int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Objects == 0 {
+		// Sized so the default working set lands near the paper's
+		// 1,169 GB Dallas WSS given the calibrated size distribution.
+		c.Objects = 18000
+	}
+	if c.Duration == 0 {
+		c.Duration = 50 * time.Hour
+	}
+	if c.MeanGetsPerHour == 0 {
+		c.MeanGetsPerHour = 3654 // Table 1, all-objects throughput
+	}
+	if c.HotFraction == 0 {
+		c.HotFraction = 0.25
+	}
+	if c.HotTailBeta == 0 {
+		c.HotTailBeta = 1.4
+	}
+	if c.SpikeHours == nil {
+		c.SpikeHours = [][2]int{{15, 20}, {34, 42}} // §5.2 / Figure 14
+	}
+	if c.SpikeFactor == 0 {
+		c.SpikeFactor = 2.5
+	}
+	if c.MaxObjectBytes == 0 {
+		c.MaxObjectBytes = 4 << 30
+	}
+}
+
+// SampleObjectSize draws one object size from the calibrated mixture:
+// a log-uniform body spanning 1 B to ~4 GB, weighted so that ~22% of
+// objects exceed 10 MB (Figure 1a) while those large objects carry the
+// overwhelming majority of bytes (Figure 1b).
+func SampleObjectSize(rng *rand.Rand, maxBytes int64) int64 {
+	// Two log-normal-ish modes: small (metadata/manifests, centred
+	// ~100 KB with wide spread down to bytes) and large (layers,
+	// centred ~60 MB).
+	var logSize float64
+	if rng.Float64() < 0.78 {
+		// Small mode: log10 centred at 4.6 (~40 KB), sigma 1.5 decades.
+		logSize = rng.NormFloat64()*1.5 + 4.6
+	} else {
+		// Large mode: log10 centred at 7.8 (~63 MB), sigma 0.75 decades.
+		logSize = rng.NormFloat64()*0.75 + 7.8
+	}
+	if logSize < 0 {
+		logSize = -logSize // reflect tiny tail back above 1 byte
+	}
+	size := int64(math.Pow(10, logSize))
+	if size < 1 {
+		size = 1
+	}
+	if size > maxBytes {
+		size = maxBytes
+	}
+	return size
+}
+
+// Generate synthesises a trace.
+func Generate(cfg Config) *Trace {
+	cfg.fillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Build the object catalogue.
+	type object struct {
+		key  string
+		size int64
+	}
+	objects := make([]object, 0, cfg.Objects)
+	catalogue := make(map[string]int64, cfg.Objects)
+	for len(objects) < cfg.Objects {
+		size := SampleObjectSize(rng, cfg.MaxObjectBytes)
+		if cfg.LargeOnly && size < LargeObjectThreshold {
+			continue
+		}
+		key := keyFor(len(objects))
+		objects = append(objects, object{key: key, size: size})
+		catalogue[key] = size
+	}
+
+	// Popularity: per-object access counts from a two-mode mixture.
+	// Cold mode (1-HotFraction): 1 + Geometric, a few touches. Hot mode:
+	// 10 x Pareto(beta), long tail truncated near 10^4 accesses. The
+	// counts are then scaled so the trace hits MeanGetsPerHour overall.
+	counts := make([]float64, cfg.Objects)
+	sum := 0.0
+	for i := range counts {
+		var c float64
+		if rng.Float64() < cfg.HotFraction {
+			c = 10 * math.Pow(rng.Float64(), -1/cfg.HotTailBeta)
+			if c > 15000 {
+				c = 15000
+			}
+		} else {
+			// 1 + Geometric(1/3): mean 3.
+			c = 1
+			for rng.Float64() < 2.0/3.0 {
+				c++
+			}
+		}
+		counts[i] = c
+		sum += c
+	}
+	target := cfg.MeanGetsPerHour * cfg.Duration.Hours()
+	scale := target / sum
+
+	// Per-hour spike multipliers turned into a sampling CDF so each
+	// access lands in spike hours more often (Figure 14's load shape).
+	hours := int(cfg.Duration.Hours() + 0.5)
+	hourCDF := make([]float64, hours)
+	cum := 0.0
+	for h := 0; h < hours; h++ {
+		m := 1.0
+		for _, sp := range cfg.SpikeHours {
+			if h >= sp[0] && h < sp[1] {
+				m = cfg.SpikeFactor
+			}
+		}
+		cum += m
+		hourCDF[h] = cum
+	}
+	sampleTime := func() time.Duration {
+		u := rng.Float64() * cum
+		h := sort.SearchFloat64s(hourCDF, u)
+		if h >= hours {
+			h = hours - 1
+		}
+		return time.Duration(h)*time.Hour + time.Duration(rng.Float64()*float64(time.Hour))
+	}
+
+	var records []Record
+	for i, obj := range objects {
+		// Probabilistic rounding keeps the scaled total on target.
+		want := counts[i] * scale
+		n := int(want)
+		if frac := want - float64(n); rng.Float64() < frac {
+			n++
+		}
+		for k := 0; k < n; k++ {
+			records = append(records, Record{
+				Time: sampleTime(), Op: OpGet, Key: obj.key, Size: obj.size,
+			})
+		}
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].Time < records[j].Time })
+	return &Trace{Records: records, Objects: catalogue}
+}
+
+func keyFor(i int) string {
+	// Hex-ish digest-style keys, like registry blob digests.
+	const hexdigits = "0123456789abcdef"
+	buf := make([]byte, 0, 16)
+	v := uint64(i)*0x9E3779B97F4A7C15 + 0x1234567
+	for k := 0; k < 12; k++ {
+		buf = append(buf, hexdigits[v&0xF])
+		v >>= 4
+	}
+	return "blob:" + string(buf)
+}
+
+// Filter returns a copy containing only records matching pred.
+func (t *Trace) Filter(pred func(Record) bool) *Trace {
+	out := &Trace{Objects: make(map[string]int64)}
+	for _, r := range t.Records {
+		if pred(r) {
+			out.Records = append(out.Records, r)
+			out.Objects[r.Key] = r.Size
+		}
+	}
+	return out
+}
+
+// LargeOnly returns the records for objects >= 10 MB (the paper's
+// "large object only" workload setting).
+func (t *Trace) LargeOnly() *Trace {
+	return t.Filter(func(r Record) bool { return r.Size >= LargeObjectThreshold })
+}
+
+// Stats summarises a trace the way Table 1 does.
+type Stats struct {
+	Records         int
+	DistinctObjects int
+	WorkingSetBytes int64 // sum of distinct object sizes (WSS)
+	Hours           float64
+	GetsPerHour     float64
+	LargeObjectPct  float64 // fraction of objects >= 10 MB
+	LargeBytePct    float64 // fraction of bytes in objects >= 10 MB
+}
+
+// ComputeStats derives Table 1-style statistics.
+func (t *Trace) ComputeStats() Stats {
+	var s Stats
+	s.Records = len(t.Records)
+	s.DistinctObjects = len(t.Objects)
+	var largeCount int
+	var largeBytes int64
+	for _, size := range t.Objects {
+		s.WorkingSetBytes += size
+		if size >= LargeObjectThreshold {
+			largeCount++
+			largeBytes += size
+		}
+	}
+	if len(t.Records) > 0 {
+		s.Hours = t.Records[len(t.Records)-1].Time.Hours()
+		if s.Hours > 0 {
+			s.GetsPerHour = float64(s.Records) / s.Hours
+		}
+	}
+	if s.DistinctObjects > 0 {
+		s.LargeObjectPct = float64(largeCount) / float64(s.DistinctObjects)
+	}
+	if s.WorkingSetBytes > 0 {
+		s.LargeBytePct = float64(largeBytes) / float64(s.WorkingSetBytes)
+	}
+	return s
+}
+
+// AccessCounts returns per-object access counts (Figure 1c input).
+func (t *Trace) AccessCounts() map[string]int {
+	counts := make(map[string]int, len(t.Objects))
+	for _, r := range t.Records {
+		counts[r.Key]++
+	}
+	return counts
+}
+
+// ReuseIntervals returns, for every re-access, the time since the
+// previous access of the same object (Figure 1d input).
+func (t *Trace) ReuseIntervals() []time.Duration {
+	last := make(map[string]time.Duration, len(t.Objects))
+	var out []time.Duration
+	for _, r := range t.Records {
+		if prev, ok := last[r.Key]; ok {
+			out = append(out, r.Time-prev)
+		}
+		last[r.Key] = r.Time
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func defaultTrace(t *testing.T) *Trace {
+	t.Helper()
+	return Generate(Config{
+		Duration:        50 * time.Hour,
+		MeanGetsPerHour: 3654,
+		Seed:            1,
+	})
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Objects: 500, Duration: 5 * time.Hour, Seed: 7})
+	b := Generate(Config{Objects: 500, Duration: 5 * time.Hour, Seed: 7})
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("nondeterministic record count")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestRecordsAreTimeOrdered(t *testing.T) {
+	tr := defaultTrace(t)
+	for i := 1; i < len(tr.Records); i++ {
+		if tr.Records[i].Time < tr.Records[i-1].Time {
+			t.Fatal("records out of order")
+		}
+	}
+}
+
+func TestFigure1aObjectSizeDistribution(t *testing.T) {
+	// "more than 20% of objects are larger than 10 MB" — and sizes span
+	// many orders of magnitude.
+	rng := rand.New(rand.NewSource(1))
+	const n = 50000
+	large := 0
+	var minSize, maxSize int64 = 1 << 62, 0
+	for i := 0; i < n; i++ {
+		s := SampleObjectSize(rng, 4<<30)
+		if s >= LargeObjectThreshold {
+			large++
+		}
+		if s < minSize {
+			minSize = s
+		}
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	frac := float64(large) / n
+	if frac < 0.15 || frac > 0.35 {
+		t.Errorf("large-object fraction = %.3f, paper reports >20%%", frac)
+	}
+	// Nine orders of magnitude span (Figure 1a x-axis).
+	if minSize > 1000 {
+		t.Errorf("min size %d; distribution should reach tiny objects", minSize)
+	}
+	if maxSize < 1<<30 {
+		t.Errorf("max size %d; distribution should reach GB objects", maxSize)
+	}
+}
+
+func TestFigure1bByteFootprint(t *testing.T) {
+	// ">95% of the total storage footprint" in >10 MB objects.
+	tr := defaultTrace(t)
+	s := tr.ComputeStats()
+	if s.LargeBytePct < 0.90 {
+		t.Errorf("large-object byte fraction = %.3f, paper reports >95%%", s.LargeBytePct)
+	}
+}
+
+func TestFigure1cAccessCountSkew(t *testing.T) {
+	// "~30% of large objects are accessed at least 10 times" with a
+	// long-tailed popularity distribution.
+	tr := defaultTrace(t)
+	counts := tr.AccessCounts()
+	largeTotal, largeHot, maxCount := 0, 0, 0
+	for key, c := range counts {
+		if tr.Objects[key] >= LargeObjectThreshold {
+			largeTotal++
+			if c >= 10 {
+				largeHot++
+			}
+		}
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if largeTotal == 0 {
+		t.Fatal("no large objects accessed")
+	}
+	frac := float64(largeHot) / float64(largeTotal)
+	if frac < 0.10 || frac > 0.60 {
+		t.Errorf("large objects with >=10 accesses: %.2f, paper ~30%%", frac)
+	}
+	if maxCount < 1000 {
+		t.Errorf("hottest object has %d accesses; expect a long tail (paper: >10^4)", maxCount)
+	}
+}
+
+func TestFigure1dReuseIntervals(t *testing.T) {
+	// "37-46% of large objects are reused within 1 hour".
+	tr := defaultTrace(t)
+	large := tr.LargeOnly()
+	intervals := large.ReuseIntervals()
+	if len(intervals) == 0 {
+		t.Fatal("no reuses")
+	}
+	within := 0
+	for _, iv := range intervals {
+		if iv <= time.Hour {
+			within++
+		}
+	}
+	frac := float64(within) / float64(len(intervals))
+	if frac < 0.25 {
+		t.Errorf("reuse-within-1h fraction = %.2f, paper reports 37-46%%", frac)
+	}
+}
+
+func TestTable1WorkloadShape(t *testing.T) {
+	// All-objects ~3,654 GETs/hour; large-only throughput should be a
+	// small fraction of it (paper: 750), and the WSS near a terabyte.
+	tr := defaultTrace(t)
+	s := tr.ComputeStats()
+	if s.GetsPerHour < 2500 || s.GetsPerHour > 5000 {
+		t.Errorf("gets/hour = %.0f, want ~3654", s.GetsPerHour)
+	}
+	ls := tr.LargeOnly().ComputeStats()
+	if ls.GetsPerHour <= 0 || ls.GetsPerHour >= s.GetsPerHour/2 {
+		t.Errorf("large-only gets/hour = %.0f vs all %.0f; want a small fraction", ls.GetsPerHour, s.GetsPerHour)
+	}
+	if s.WorkingSetBytes < 700<<30 || s.WorkingSetBytes > 2000<<30 {
+		t.Errorf("WSS = %d GB, want ~1169 GB like the paper's Dallas trace", s.WorkingSetBytes>>30)
+	}
+}
+
+func TestSpikeHoursElevateLoad(t *testing.T) {
+	tr := Generate(Config{
+		Objects: 1000, Duration: 50 * time.Hour, MeanGetsPerHour: 1000,
+		SpikeHours: [][2]int{{15, 20}}, SpikeFactor: 3, Seed: 3,
+	})
+	perHour := make([]int, 50)
+	for _, r := range tr.Records {
+		h := int(r.Time.Hours())
+		if h < 50 {
+			perHour[h]++
+		}
+	}
+	spikeMean, offMean := 0.0, 0.0
+	for h := 15; h < 20; h++ {
+		spikeMean += float64(perHour[h]) / 5
+	}
+	for h := 0; h < 10; h++ {
+		offMean += float64(perHour[h]) / 10
+	}
+	if spikeMean < 2*offMean {
+		t.Errorf("spike hours %.0f req/h vs off-peak %.0f; spikes too weak", spikeMean, offMean)
+	}
+}
+
+func TestLargeOnlyFilter(t *testing.T) {
+	tr := defaultTrace(t)
+	large := tr.LargeOnly()
+	for _, r := range large.Records {
+		if r.Size < LargeObjectThreshold {
+			t.Fatal("small object leaked through LargeOnly")
+		}
+	}
+	if len(large.Records) == 0 || len(large.Records) >= len(tr.Records) {
+		t.Fatalf("large-only has %d of %d records", len(large.Records), len(tr.Records))
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := Generate(Config{Objects: 200, Duration: 2 * time.Hour, Seed: 5})
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(tr.Records) {
+		t.Fatalf("records %d != %d", len(got.Records), len(tr.Records))
+	}
+	for i := range got.Records {
+		if got.Records[i] != tr.Records[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, got.Records[i], tr.Records[i])
+		}
+	}
+	if len(got.Objects) != len(tr.Objects) {
+		t.Fatal("catalogue size differs")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bad,header,x,y\n",
+		"timestamp_ns,op,key,size_bytes\nnotanumber,GET,k,10\n",
+		"timestamp_ns,op,key,size_bytes\n5,FROB,k,10\n",
+		"timestamp_ns,op,key,size_bytes\n5,GET,k,-3\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(bytes.NewReader([]byte(c))); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestLargeOnlyConfigFlag(t *testing.T) {
+	tr := Generate(Config{Objects: 300, Duration: time.Hour, LargeOnly: true, Seed: 9})
+	for _, size := range tr.Objects {
+		if size < LargeObjectThreshold {
+			t.Fatal("LargeOnly catalogue contains a small object")
+		}
+	}
+}
