@@ -1,0 +1,3 @@
+module infinicache
+
+go 1.24

@@ -1,0 +1,72 @@
+// Package bufpool recycles []byte buffers through size-classed
+// sync.Pools. The chunk data path allocates large short-lived buffers at
+// a high rate — shard splitting in the client, frame headers and
+// payloads in the protocol layer, chunk storage in the Lambda runtime —
+// and without reuse every multi-megabyte PUT/GET churns the garbage
+// collector. Buffers are grouped in power-of-two size classes from 64 B
+// to 64 MiB; a Get is served from the smallest class that fits and a
+// Put files a buffer under the largest class its capacity covers, so
+// buffers allocated elsewhere (e.g. network payloads) can still be
+// recycled.
+//
+// Ownership discipline: a buffer handed to Put must not be referenced
+// afterwards by anyone. Get returns buffers with arbitrary ("dirty")
+// contents; callers that need zeroes must clear the buffer themselves.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+)
+
+const (
+	// minBits..maxBits bound the pooled size classes: 1<<6 = 64 B up to
+	// 1<<26 = 64 MiB. Outside this range Get falls back to plain make
+	// and Put drops the buffer.
+	minBits = 6
+	maxBits = 26
+)
+
+var classes [maxBits + 1]sync.Pool
+
+// Get returns a buffer of length n backed by a capacity of at least n.
+// The contents are unspecified.
+func Get(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	c := bits.Len(uint(n - 1)) // ceil(log2(n))
+	if c < minBits {
+		c = minBits
+	}
+	if c > maxBits {
+		return make([]byte, n)
+	}
+	if b, ok := classes[c].Get().([]byte); ok {
+		return b[:n]
+	}
+	return make([]byte, n, 1<<c)
+}
+
+// Put recycles b for future Gets. Buffers outside the pooled class
+// range (or nil) are dropped — keeping an oversized buffer would let a
+// small Get pin an arbitrarily large backing array. b may have been
+// allocated anywhere; only its capacity matters.
+func Put(b []byte) {
+	c := bits.Len(uint(cap(b))) - 1 // floor(log2(cap))
+	if c < minBits || c > maxBits {
+		return
+	}
+	classes[c].Put(b[:cap(b)]) //nolint:staticcheck // slices are pointer-shaped; the boxing alloc is accepted
+}
+
+// PutAll recycles every non-nil buffer in bufs and nils the entries,
+// the bulk release used for shard sets.
+func PutAll(bufs [][]byte) {
+	for i, b := range bufs {
+		if b != nil {
+			Put(b)
+			bufs[i] = nil
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetLenAndCap(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 100, 1 << 10, 1<<20 + 1} {
+		b := Get(n)
+		if len(b) != n {
+			t.Fatalf("Get(%d) len = %d", n, len(b))
+		}
+		if cap(b) < n {
+			t.Fatalf("Get(%d) cap = %d", n, cap(b))
+		}
+		Put(b)
+	}
+	if Get(0) != nil {
+		t.Fatal("Get(0) should be nil")
+	}
+}
+
+func TestRecycleRoundTrip(t *testing.T) {
+	// A recycled buffer must be servable at any length its class covers.
+	b := Get(1000)
+	for i := range b {
+		b[i] = 0xAA
+	}
+	Put(b)
+	c := Get(1024) // same class (1 KiB)
+	if len(c) != 1024 || cap(c) < 1024 {
+		t.Fatalf("recycled Get(1024) len=%d cap=%d", len(c), cap(c))
+	}
+	Put(c)
+}
+
+func TestPutForeignBuffer(t *testing.T) {
+	// Buffers allocated outside the pool (odd capacities) are filed by
+	// capacity and must still satisfy Gets from their floor class.
+	Put(make([]byte, 100))   // floor class 64
+	Put(make([]byte, 1<<27)) // above max class, dropped (would pin 128 MiB)
+	Put(make([]byte, 10))    // below min class, dropped
+	Put(nil)                 // dropped
+	if b := Get(64); cap(b) < 64 {
+		t.Fatalf("Get(64) cap = %d", cap(b))
+	}
+}
+
+func TestPutAllNilsEntries(t *testing.T) {
+	bufs := [][]byte{Get(128), nil, Get(256)}
+	PutAll(bufs)
+	for i, b := range bufs {
+		if b != nil {
+			t.Fatalf("bufs[%d] not nilled", i)
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed byte) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b := Get(1024 + i)
+				b[0], b[len(b)-1] = seed, seed
+				if b[0] != seed || b[len(b)-1] != seed {
+					panic("lost write")
+				}
+				Put(b)
+			}
+		}(byte(g))
+	}
+	wg.Wait()
+}

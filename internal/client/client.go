@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"infinicache/internal/bufpool"
 	"infinicache/internal/ec"
 	"infinicache/internal/hashring"
 	"infinicache/internal/protocol"
@@ -166,14 +167,21 @@ func (c *Client) Put(key string, value []byte) error {
 	if err != nil {
 		return err
 	}
-	shards, err := c.codec.Split(value)
-	if err != nil {
+	// Shard buffers come from (and return to) the pool: putChunks sends
+	// synchronously, so nothing references them once it returns.
+	total := c.codec.TotalShards()
+	shardSize := c.codec.ShardSize(len(value))
+	shards := make([][]byte, total)
+	for i := range shards {
+		shards[i] = bufpool.Get(shardSize)
+	}
+	defer bufpool.PutAll(shards)
+	if err := c.codec.SplitInto(value, shards); err != nil {
 		return err
 	}
 	if err := c.codec.Encode(shards); err != nil {
 		return err
 	}
-	total := len(shards)
 	nodes := c.placement(info.PoolSize, total)
 	gen := c.putGen.Add(1)
 
@@ -354,6 +362,9 @@ func (c *Client) getOnce(key string) ([]byte, error) {
 	if c.cfg.EnableRecovery {
 		c.maybeRecover(pc, key, info, objSize, shards)
 	}
+	// Join copied the data out and recovery has finished re-inserting,
+	// so the chunk payload buffers can be recycled.
+	bufpool.PutAll(shards)
 	return obj, nil
 }
 

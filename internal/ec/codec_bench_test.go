@@ -1,0 +1,107 @@
+package ec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkCodec* measures the erasure-coding data plane across the
+// paper's RS configurations and the object-size range of the evaluation
+// (§5.2). The *Scalar variants run the serial byte-at-a-time
+// configuration — the pre-optimisation implementation — so the speedup
+// of the vectorized, parallel plane is visible directly in the bench
+// trajectory:
+//
+//	go test ./internal/ec -bench BenchmarkCodec -benchmem
+//
+// Throughput (MB/s) is reported against the full object size.
+
+var benchConfigs = []struct{ d, p int }{{4, 2}, {10, 1}, {10, 4}}
+
+var benchSizes = []struct {
+	name string
+	n    int
+}{
+	{"1KiB", 1 << 10},
+	{"64KiB", 64 << 10},
+	{"1MiB", 1 << 20},
+	{"10MiB", 10 << 20},
+}
+
+func benchCodecEncode(b *testing.B, codec *Codec, size int) {
+	rng := rand.New(rand.NewSource(21))
+	data := make([]byte, size)
+	rng.Read(data)
+	shards, err := codec.Split(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := codec.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchCodecReconstruct(b *testing.B, codec *Codec, size int) {
+	rng := rand.New(rand.NewSource(22))
+	data := make([]byte, size)
+	rng.Read(data)
+	original, err := codec.Split(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := codec.Encode(original); err != nil {
+		b.Fatal(err)
+	}
+	// Erase the maximum tolerable number of shards, data-first: the
+	// worst decode the GET path can face.
+	shards := make([][]byte, len(original))
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(shards, original)
+		for e := 0; e < codec.ParityShards(); e++ {
+			shards[e] = nil
+		}
+		if err := codec.ReconstructData(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func runCodecBench(b *testing.B, scalar bool, fn func(*testing.B, *Codec, int)) {
+	for _, cfg := range benchConfigs {
+		codec, err := New(cfg.d, cfg.p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if scalar {
+			codec = codec.WithScalarKernels().WithParallelism(1)
+		}
+		for _, size := range benchSizes {
+			b.Run(fmt.Sprintf("%s/%s", codec, size.name), func(b *testing.B) {
+				fn(b, codec, size.n)
+			})
+		}
+	}
+}
+
+// BenchmarkCodecEncode is the PUT-path parity computation on the
+// vectorized, parallel data plane.
+func BenchmarkCodecEncode(b *testing.B) { runCodecBench(b, false, benchCodecEncode) }
+
+// BenchmarkCodecEncodeScalar is the same computation on the serial
+// byte-at-a-time baseline (the seed implementation).
+func BenchmarkCodecEncodeScalar(b *testing.B) { runCodecBench(b, true, benchCodecEncode) }
+
+// BenchmarkCodecReconstruct is the degraded-GET decode with p erased
+// data shards on the vectorized, parallel data plane.
+func BenchmarkCodecReconstruct(b *testing.B) { runCodecBench(b, false, benchCodecReconstruct) }
+
+// BenchmarkCodecReconstructScalar is the same decode on the serial
+// byte-at-a-time baseline.
+func BenchmarkCodecReconstructScalar(b *testing.B) { runCodecBench(b, true, benchCodecReconstruct) }

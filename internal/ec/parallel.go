@@ -1,0 +1,88 @@
+package ec
+
+import (
+	"runtime"
+	"sync"
+
+	"infinicache/internal/gf256"
+)
+
+// Parallel execution engine for the codec hot paths. Encode, Verify and
+// reconstruct all reduce to "for every byte range, accumulate coefficient
+// x shard products" — embarrassingly parallel across disjoint sub-ranges
+// of the shard length. forEachRange splits the shard into contiguous
+// sub-ranges and fans them out over a process-wide bounded worker pool.
+//
+// The pool is a counting semaphore sized to GOMAXPROCS shared by every
+// codec in the process: concurrent Encode/Reconstruct calls (the proxy
+// serves many clients at once) collectively never spawn more than
+// GOMAXPROCS extra goroutines, and a saturated pool degrades to inline
+// execution instead of queueing — the calling goroutine always makes
+// progress itself, so the codec cannot deadlock or convoy behind other
+// requests.
+
+// minParallelChunk is the smallest per-task byte range worth handing to
+// another goroutine; below ~32 KiB the spawn/wake overhead beats the
+// kernel time and the serial path wins.
+const minParallelChunk = 32 << 10
+
+// workerSlots bounds the extra goroutines the whole package may run.
+var workerSlots = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// forEachRange invokes fn over contiguous sub-ranges covering [0, size),
+// running up to c.workers ranges concurrently. fn must be safe to call
+// concurrently on disjoint ranges. Sub-range boundaries are 8-byte
+// aligned so the word-at-a-time gf256 kernels stay on full words.
+func (c *Codec) forEachRange(size int, fn func(lo, hi int)) {
+	tasks := size / minParallelChunk
+	if tasks > c.workers {
+		tasks = c.workers
+	}
+	if tasks <= 1 {
+		fn(0, size)
+		return
+	}
+	chunk := ((size+tasks-1)/tasks + 7) &^ 7
+	var wg sync.WaitGroup
+	for lo := 0; lo < size; lo += chunk {
+		hi := lo + chunk
+		if hi > size {
+			hi = size
+		}
+		select {
+		case workerSlots <- struct{}{}:
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer func() { <-workerSlots; wg.Done() }()
+				fn(lo, hi)
+			}(lo, hi)
+		default:
+			// Pool saturated: run this range on the calling goroutine.
+			fn(lo, hi)
+		}
+	}
+	wg.Wait()
+}
+
+// accumulateRow computes out[lo:hi] = sum_j row[j] * inputs[j][lo:hi]
+// for one output shard sub-range, via the fused multi-source kernel.
+// out is fully overwritten on the range, so it may be dirty.
+//
+// A codec built WithScalarKernels instead reproduces the original
+// implementation structure exactly — a zeroing pass followed by one
+// byte-at-a-time multiply-add sweep per coefficient — so it doubles as
+// the correctness oracle and the historically faithful benchmark
+// baseline.
+func (c *Codec) accumulateRow(row []byte, inputs [][]byte, lo, hi int, out []byte) {
+	if !c.scalar {
+		gf256.MulSources(row, inputs, out, lo, hi)
+		return
+	}
+	sub := out[lo:hi]
+	for i := range sub {
+		sub[i] = 0
+	}
+	for j, coef := range row {
+		gf256.MulAddSliceGeneric(coef, inputs[j][lo:hi], sub)
+	}
+}

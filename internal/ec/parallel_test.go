@@ -1,0 +1,240 @@
+package ec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// The tests in this file pin the vectorized, parallel data plane to the
+// serial byte-at-a-time configuration (WithScalarKernels +
+// WithParallelism(1)), which mirrors the original implementation and
+// serves as the oracle.
+
+var equivConfigs = []struct{ d, p int }{
+	{4, 2}, {5, 1}, {10, 1}, {10, 4}, {10, 0}, {1, 3},
+}
+
+// equivSizes mixes object sizes whose shard lengths land on and off
+// 8-byte word boundaries, below and above the parallel threshold.
+var equivSizes = []int{1, 13, 1 << 10, 1<<10 + 7, 37 * 1024, 1 << 20, 1<<20 + 11, 3<<20 + 5}
+
+func testObject(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestEncodeMatchesScalarSerialOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, cfg := range equivConfigs {
+		codec, err := New(cfg.d, cfg.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := codec.WithScalarKernels().WithParallelism(1)
+		for _, size := range equivSizes {
+			data := testObject(rng, size)
+			fast, err := codec.Split(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow, err := oracle.Split(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := codec.Encode(fast); err != nil {
+				t.Fatal(err)
+			}
+			if err := oracle.Encode(slow); err != nil {
+				t.Fatal(err)
+			}
+			for i := range fast {
+				if !bytes.Equal(fast[i], slow[i]) {
+					t.Fatalf("%s size %d: shard %d diverges from oracle", codec, size, i)
+				}
+			}
+			if ok, err := codec.Verify(fast); err != nil || !ok {
+				t.Fatalf("%s size %d: Verify(encoded) = %v, %v", codec, size, ok, err)
+			}
+		}
+	}
+}
+
+// TestEncodeDirtyParityBuffers checks that Encode fully overwrites
+// parity shards regardless of prior contents (pool-recycled buffers).
+func TestEncodeDirtyParityBuffers(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	codec, _ := New(4, 2)
+	data := testObject(rng, 200*1024)
+	clean, _ := codec.Split(data)
+	dirty, _ := codec.Split(data)
+	for i := codec.DataShards(); i < codec.TotalShards(); i++ {
+		rng.Read(dirty[i])
+	}
+	if err := codec.Encode(clean); err != nil {
+		t.Fatal(err)
+	}
+	if err := codec.Encode(dirty); err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean {
+		if !bytes.Equal(clean[i], dirty[i]) {
+			t.Fatalf("shard %d depends on prior parity buffer contents", i)
+		}
+	}
+}
+
+// TestReconstructAllErasureCombos erases every combination of up to p
+// shards and checks that both the parallel and the oracle codec recover
+// the original shards exactly.
+func TestReconstructAllErasureCombos(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, cfg := range []struct{ d, p int }{{4, 2}, {5, 1}, {10, 4}} {
+		codec, err := New(cfg.d, cfg.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := codec.WithScalarKernels().WithParallelism(1)
+		data := testObject(rng, cfg.d*1027) // off word boundaries
+		original, _ := codec.Split(data)
+		if err := codec.Encode(original); err != nil {
+			t.Fatal(err)
+		}
+		total := cfg.d + cfg.p
+		forEachErasureCombo(total, cfg.p, func(erased []int) {
+			for _, dec := range []*Codec{codec, oracle} {
+				shards := make([][]byte, total)
+				for i := range shards {
+					shards[i] = append([]byte(nil), original[i]...)
+				}
+				for _, e := range erased {
+					shards[e] = nil
+				}
+				if err := dec.Reconstruct(shards); err != nil {
+					t.Fatalf("%s erase %v: %v", dec, erased, err)
+				}
+				for i := range shards {
+					if !bytes.Equal(shards[i], original[i]) {
+						t.Fatalf("%s erase %v: shard %d not recovered", dec, erased, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReconstructDataParallelLarge exercises the parallel sub-range path
+// of reconstruct (shards large enough to fan out).
+func TestReconstructDataParallelLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	codec, _ := New(10, 4)
+	data := testObject(rng, 10<<20)
+	shards, _ := codec.Split(data)
+	if err := codec.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []int{0, 3, 9, 11} { // two data, ... mixed data+parity
+		shards[e] = nil
+	}
+	if err := codec.ReconstructData(shards); err != nil {
+		t.Fatal(err)
+	}
+	got, err := codec.Join(shards, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("parallel ReconstructData corrupted the object")
+	}
+	if shards[11] != nil {
+		t.Fatal("ReconstructData rebuilt a parity shard")
+	}
+}
+
+// forEachErasureCombo enumerates all subsets of [0, total) with 1..maxErase
+// elements.
+func forEachErasureCombo(total, maxErase int, fn func(erased []int)) {
+	var combo []int
+	var walk func(start int)
+	walk = func(start int) {
+		if len(combo) > 0 {
+			fn(append([]int(nil), combo...))
+		}
+		if len(combo) == maxErase {
+			return
+		}
+		for i := start; i < total; i++ {
+			combo = append(combo, i)
+			walk(i + 1)
+			combo = combo[:len(combo)-1]
+		}
+	}
+	walk(0)
+}
+
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	codec, _ := New(10, 2)
+	for _, size := range []int{1, 9, 1000, 10240, 10247} {
+		data := testObject(rng, size)
+		want, err := codec.Split(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shardSize := codec.ShardSize(size)
+		got := make([][]byte, codec.TotalShards())
+		for i := range got {
+			got[i] = testObject(rng, shardSize) // dirty recycled buffer
+		}
+		if err := codec.SplitInto(data, got); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < codec.DataShards(); i++ {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("size %d: data shard %d differs (padding not zeroed?)", size, i)
+			}
+		}
+	}
+	// Mis-sized buffers must be rejected.
+	bad := make([][]byte, codec.TotalShards())
+	for i := range bad {
+		bad[i] = make([]byte, 3)
+	}
+	bad[5] = make([]byte, 4)
+	if err := codec.SplitInto(make([]byte, 30), bad); err == nil {
+		t.Fatal("SplitInto accepted mis-sized shard buffers")
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	codec, _ := New(10, 2)
+	data := testObject(rng, 2<<20) // large: parallel Verify path
+	shards, _ := codec.Split(data)
+	if err := codec.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	shards[7][len(shards[7])-1] ^= 0x40
+	ok, err := codec.Verify(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Verify missed a corrupted byte")
+	}
+}
+
+func TestWithParallelismBounds(t *testing.T) {
+	codec, _ := New(4, 2)
+	if c := codec.WithParallelism(0); c.workers != 1 {
+		t.Fatalf("WithParallelism(0) workers = %d, want 1", c.workers)
+	}
+	if c := codec.WithParallelism(8); c.workers != 8 {
+		t.Fatalf("WithParallelism(8) workers = %d", c.workers)
+	}
+	// Derived codecs must not disturb the parent.
+	if codec.scalar || codec.workers < 1 {
+		t.Fatal("derived options mutated parent codec")
+	}
+}

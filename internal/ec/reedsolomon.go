@@ -11,12 +11,23 @@
 // normalised (by multiplying with the inverse of its top d x d square) so
 // the code is systematic: the first d shards are the data itself. The
 // normalisation preserves the MDS property that any d rows are invertible.
+//
+// The data plane is built for throughput: the inner loops run on the
+// vectorized gf256 kernels, and Encode/Verify/Reconstruct parallelise
+// across shard sub-ranges on a process-wide bounded worker pool (see
+// parallel.go). WithParallelism and WithScalarKernels derive restricted
+// codecs — the serial, byte-at-a-time configuration is kept as the
+// correctness oracle and benchmark baseline.
 package ec
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 
+	"infinicache/internal/bufpool"
 	"infinicache/internal/gf256"
 )
 
@@ -26,8 +37,14 @@ type Codec struct {
 	d, p int
 	// matrix is the (d+p) x d encoding matrix; its top d rows are identity.
 	matrix *gf256.Matrix
-	// parity aliases the bottom p rows of matrix.
+	// parity is a copy of the bottom p rows of matrix.
 	parity *gf256.Matrix
+	// workers caps how many sub-ranges of one operation run concurrently
+	// (see parallel.go); <= 1 means fully serial.
+	workers int
+	// scalar forces the byte-at-a-time gf256 reference kernels; used as
+	// the oracle in tests and the baseline in benchmarks.
+	scalar bool
 }
 
 // Common errors returned by the codec.
@@ -58,15 +75,71 @@ func New(d, p int) (*Codec, error) {
 		return nil, fmt.Errorf("ec: vandermonde top square not invertible: %w", err)
 	}
 	matrix := vm.Mul(topInv)
+	normalizeParity(matrix, d, p)
 	c := &Codec{
-		d:      d,
-		p:      p,
-		matrix: matrix,
+		d:       d,
+		p:       p,
+		matrix:  matrix,
+		workers: runtime.GOMAXPROCS(0),
 	}
 	if p > 0 {
 		c.parity = matrix.SubMatrix(d, d+p, 0, d)
 	}
 	return c, nil
+}
+
+// normalizeParity rescales the parity submatrix (rows d..d+p of the
+// generator) so the first parity row is all ones and every later parity
+// row leads with a one. Scaling a column of the parity block by a
+// non-zero constant multiplies every d x d minor that includes the
+// column by that constant, and likewise for scaling a parity row, so
+// the MDS property ("any d rows invertible") is preserved — the same
+// optimisation Jerasure applies to its Cauchy matrices. The payoff is
+// in the kernels: coefficient 1 needs no table lookups, so a (d+1) code
+// computes its parity with pure word-wide XOR.
+//
+// Column scaling is well-defined because every entry of an MDS parity
+// block is non-zero (a zero at (i, j) would make the d rows formed by
+// parity row i plus the identity rows other than j singular).
+func normalizeParity(matrix *gf256.Matrix, d, p int) {
+	if p == 0 {
+		return
+	}
+	for j := 0; j < d; j++ {
+		inv := gf256.Inv(matrix.At(d, j))
+		for i := d; i < d+p; i++ {
+			matrix.Set(i, j, gf256.Mul(matrix.At(i, j), inv))
+		}
+	}
+	for i := d + 1; i < d+p; i++ {
+		row := matrix.Row(i)
+		if f := row[0]; f != 1 {
+			gf256.MulSlice(gf256.Inv(f), row, row)
+		}
+	}
+}
+
+// WithParallelism returns a codec sharing this codec's matrices that
+// runs at most n concurrent sub-ranges per operation. n <= 1 yields a
+// fully serial codec (the configuration used as the benchmark baseline
+// and by latency-sensitive small-object paths).
+func (c *Codec) WithParallelism(n int) *Codec {
+	if n < 1 {
+		n = 1
+	}
+	nc := *c
+	nc.workers = n
+	return &nc
+}
+
+// WithScalarKernels returns a codec sharing this codec's matrices that
+// computes with the byte-at-a-time gf256 reference kernels instead of
+// the vectorized ones. Tests use it as the correctness oracle and the
+// BenchmarkCodec*Scalar benchmarks as the before-optimisation baseline.
+func (c *Codec) WithScalarKernels() *Codec {
+	nc := *c
+	nc.scalar = true
+	return &nc
 }
 
 // DataShards returns d.
@@ -107,21 +180,25 @@ func (c *Codec) checkShards(shards [][]byte, allowNil bool) (size int, err error
 
 // Encode computes the p parity shards from the first d shards in place.
 // shards must hold d+p equal-length slices; the first d contain data and
-// the last p are overwritten with parity.
+// the last p are overwritten with parity (previous contents are ignored,
+// so parity buffers may be dirty, e.g. pool-recycled).
+//
+// Large shards are computed in parallel across sub-ranges by the bounded
+// worker pool (parallel.go); each range walks all p parity rows while
+// the range is cache-hot.
 func (c *Codec) Encode(shards [][]byte) error {
-	if _, err := c.checkShards(shards, false); err != nil {
+	size, err := c.checkShards(shards, false)
+	if err != nil {
 		return err
 	}
-	for i := 0; i < c.p; i++ {
-		row := c.parity.Row(i)
-		out := shards[c.d+i]
-		for j := range out {
-			out[j] = 0
-		}
-		for j, coef := range row {
-			gf256.MulAddSlice(coef, shards[j], out)
-		}
+	if c.p == 0 {
+		return nil
 	}
+	c.forEachRange(size, func(lo, hi int) {
+		for i := 0; i < c.p; i++ {
+			c.accumulateRow(c.parity.Row(i), shards[:c.d], lo, hi, shards[c.d+i])
+		}
+	})
 	return nil
 }
 
@@ -132,22 +209,27 @@ func (c *Codec) Verify(shards [][]byte) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	scratch := make([]byte, size)
-	for i := 0; i < c.p; i++ {
-		row := c.parity.Row(i)
-		for j := range scratch {
-			scratch[j] = 0
+	if c.p == 0 {
+		return true, nil
+	}
+	var mismatch atomic.Bool
+	c.forEachRange(size, func(lo, hi int) {
+		// Re-base the range so the scratch buffer is only hi-lo bytes
+		// (a full-width scratch per worker would rival the shard set).
+		subs := make([][]byte, c.d)
+		for j := range subs {
+			subs[j] = shards[j][lo:hi]
 		}
-		for j, coef := range row {
-			gf256.MulAddSlice(coef, shards[j], scratch)
-		}
-		for j := range scratch {
-			if scratch[j] != shards[c.d+i][j] {
-				return false, nil
+		scratch := bufpool.Get(hi - lo)
+		defer bufpool.Put(scratch)
+		for i := 0; i < c.p && !mismatch.Load(); i++ {
+			c.accumulateRow(c.parity.Row(i), subs, 0, hi-lo, scratch)
+			if !bytes.Equal(scratch, shards[c.d+i][lo:hi]) {
+				mismatch.Store(true)
 			}
 		}
-	}
-	return true, nil
+	})
+	return !mismatch.Load(), nil
 }
 
 // Reconstruct fills every nil entry in shards (data and parity) from the
@@ -196,31 +278,40 @@ func (c *Codec) reconstruct(shards [][]byte, dataOnly bool) error {
 		return fmt.Errorf("ec: reconstruct: %w", err)
 	}
 
-	// Recover missing data shards: data_j = dec.Row(j) . sub
+	// Recover missing data shards: data_j = dec.Row(j) . sub. All missing
+	// shards across one sub-range are rebuilt by the same worker while
+	// the surviving shards' range is cache-hot.
+	var missingData []int
 	for j := 0; j < c.d; j++ {
-		if shards[j] != nil {
-			continue
+		if shards[j] == nil {
+			shards[j] = make([]byte, size)
+			missingData = append(missingData, j)
 		}
-		out := make([]byte, size)
-		for k, coef := range dec.Row(j) {
-			gf256.MulAddSlice(coef, sub[k], out)
-		}
-		shards[j] = out
+	}
+	if len(missingData) > 0 {
+		c.forEachRange(size, func(lo, hi int) {
+			for _, j := range missingData {
+				c.accumulateRow(dec.Row(j), sub, lo, hi, shards[j])
+			}
+		})
 	}
 	if dataOnly {
 		return nil
 	}
 	// Recover missing parity shards from the (now complete) data shards.
+	var missingParity []int
 	for i := 0; i < c.p; i++ {
-		idx := c.d + i
-		if shards[idx] != nil {
-			continue
+		if shards[c.d+i] == nil {
+			shards[c.d+i] = make([]byte, size)
+			missingParity = append(missingParity, i)
 		}
-		out := make([]byte, size)
-		for j, coef := range c.parity.Row(i) {
-			gf256.MulAddSlice(coef, shards[j], out)
-		}
-		shards[idx] = out
+	}
+	if len(missingParity) > 0 {
+		c.forEachRange(size, func(lo, hi int) {
+			for _, i := range missingParity {
+				c.accumulateRow(c.parity.Row(i), shards[:c.d], lo, hi, shards[c.d+i])
+			}
+		})
 	}
 	return nil
 }
@@ -232,23 +323,53 @@ func (c *Codec) Split(data []byte) ([][]byte, error) {
 	if len(data) == 0 {
 		return nil, errors.New("ec: cannot split empty data")
 	}
-	shardSize := (len(data) + c.d - 1) / c.d
+	shardSize := c.ShardSize(len(data))
 	shards := make([][]byte, c.d+c.p)
 	for i := range shards {
 		shards[i] = make([]byte, shardSize)
 	}
-	for i := 0; i < c.d; i++ {
-		lo := i * shardSize
-		if lo >= len(data) {
-			break
-		}
-		hi := lo + shardSize
-		if hi > len(data) {
-			hi = len(data)
-		}
-		copy(shards[i], data[lo:hi])
+	if err := c.SplitInto(data, shards); err != nil {
+		return nil, err
 	}
 	return shards, nil
+}
+
+// SplitInto is Split with caller-provided shard buffers, the zero-alloc
+// variant used by pooled data paths (internal/client feeds it
+// bufpool-recycled buffers). shards must hold d+p slices of exactly
+// ShardSize(len(data)) bytes. Data shards are fully overwritten
+// (including the zero padding after the data tail, so dirty recycled
+// buffers are safe); parity shard contents are left untouched for
+// Encode to overwrite.
+func (c *Codec) SplitInto(data []byte, shards [][]byte) error {
+	if len(data) == 0 {
+		return errors.New("ec: cannot split empty data")
+	}
+	if len(shards) != c.d+c.p {
+		return ErrShardCount
+	}
+	shardSize := c.ShardSize(len(data))
+	for _, s := range shards {
+		if len(s) != shardSize {
+			return ErrShardSize
+		}
+	}
+	for i := 0; i < c.d; i++ {
+		lo := i * shardSize
+		n := 0
+		if lo < len(data) {
+			hi := lo + shardSize
+			if hi > len(data) {
+				hi = len(data)
+			}
+			n = copy(shards[i], data[lo:hi])
+		}
+		tail := shards[i][n:]
+		for j := range tail {
+			tail[j] = 0
+		}
+	}
+	return nil
 }
 
 // Join reassembles the original object of length size from the data

@@ -5,6 +5,12 @@
 // Reed-Solomon storage codecs. All 255 non-zero elements are powers of the
 // generator element 2, which lets multiplication and division run off
 // exp/log tables built once at package init.
+//
+// Beyond element arithmetic the package provides the bulk slice kernels
+// that internal/ec's erasure-coding data plane is built on — word-wide
+// XOR, unrolled table-driven multiply(-add), and the fused multi-source
+// inner product MulSources — with byte-at-a-time *Generic reference
+// implementations kept as the testing oracle (see kernels.go).
 package gf256
 
 // Poly is the primitive polynomial used to construct the field,
@@ -43,6 +49,15 @@ func init() {
 	}
 	for x := 1; x < 256; x++ {
 		invTable[x] = expTable[255-int(logTable[x])]
+	}
+	// 4-bit split tables for the vectorized kernels (kernels.go):
+	// c*b == mulTableLow[c][b&15] ^ mulTableHigh[c][b>>4] because
+	// multiplication distributes over the XOR decomposition of b.
+	for c := 0; c < 256; c++ {
+		for n := 0; n < 16; n++ {
+			mulTableLow[c][n] = mulTable[c][n]
+			mulTableHigh[c][n] = mulTable[c][n<<4]
+		}
 	}
 }
 
@@ -90,28 +105,38 @@ func Log(a byte) int {
 // two-level table lookup per byte.
 func MulRow(c byte) *[256]byte { return &mulTable[c] }
 
-// MulSlice sets dst[i] = c * src[i] for all i. len(dst) must equal len(src).
+// MulSlice sets dst[i] = c * src[i] for all i. len(dst) must equal
+// len(src). It dispatches to the vectorized kernels in kernels.go;
+// MulSliceGeneric is the byte-at-a-time reference.
 func MulSlice(c byte, src, dst []byte) {
 	if len(dst) != len(src) {
 		panic("gf256: MulSlice length mismatch")
 	}
-	row := &mulTable[c]
-	for i, s := range src {
-		dst[i] = row[s]
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+	case 1:
+		copy(dst, src)
+	default:
+		mulSliceRow(c, src, dst)
 	}
 }
 
 // MulAddSlice sets dst[i] ^= c * src[i] for all i (a fused multiply-add,
-// the inner loop of Reed-Solomon encoding).
+// the inner loop of Reed-Solomon encoding). It dispatches to the
+// vectorized kernels in kernels.go; MulAddSliceGeneric is the
+// byte-at-a-time reference.
 func MulAddSlice(c byte, src, dst []byte) {
 	if len(dst) != len(src) {
 		panic("gf256: MulAddSlice length mismatch")
 	}
-	if c == 0 {
-		return
-	}
-	row := &mulTable[c]
-	for i, s := range src {
-		dst[i] ^= row[s]
+	switch c {
+	case 0:
+	case 1:
+		XorSlice(src, dst)
+	default:
+		mulAddSliceRow(c, src, dst)
 	}
 }

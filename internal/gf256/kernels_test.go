@@ -1,0 +1,252 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// kernelLens covers word-aligned and non-aligned lengths, both sides of
+// the 8-byte unroll boundary, and sizes past the L1 tables.
+var kernelLens = []int{1, 2, 7, 8, 9, 15, 16, 17, 63, 64, 65, 255, 256, 1000, 4096, 4099, 65536, 65543}
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestSplitTablesAgreeWithMul(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		for b := 0; b < 256; b++ {
+			want := Mul(byte(c), byte(b))
+			got := mulTableLow[c][b&15] ^ mulTableHigh[c][b>>4]
+			if got != want {
+				t.Fatalf("split table %d*%d = %d, want %d", c, b, got, want)
+			}
+		}
+	}
+}
+
+func TestXorSliceMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range kernelLens {
+		src := randBytes(rng, n)
+		dst := randBytes(rng, n)
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = dst[i] ^ src[i]
+		}
+		XorSlice(src, dst)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("XorSlice mismatch at len %d", n)
+		}
+	}
+}
+
+func TestMulSliceMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range kernelLens {
+		src := randBytes(rng, n)
+		for c := 0; c < 256; c++ {
+			want := make([]byte, n)
+			MulSliceGeneric(byte(c), src, want)
+			got := randBytes(rng, n) // dirty destination: MulSlice overwrites
+			MulSlice(byte(c), src, got)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulSlice(c=%d, len=%d) diverges from generic", c, n)
+			}
+		}
+	}
+}
+
+func TestMulAddSliceMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range kernelLens {
+		src := randBytes(rng, n)
+		base := randBytes(rng, n)
+		for c := 0; c < 256; c++ {
+			want := append([]byte(nil), base...)
+			MulAddSliceGeneric(byte(c), src, want)
+			got := append([]byte(nil), base...)
+			MulAddSlice(byte(c), src, got)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulAddSlice(c=%d, len=%d) diverges from generic", c, n)
+			}
+		}
+	}
+}
+
+// TestMulSourcesMatchesGeneric drives the fused multi-source kernel
+// against its byte-at-a-time reference over mixed coefficient sets
+// (zeros, ones, general) and ranges that start and end off the 64-byte
+// block grid.
+func TestMulSourcesMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	coefSets := [][]byte{
+		{1},
+		{0},
+		{0x8e},
+		{1, 1, 1, 1, 1, 1, 1, 1, 1, 1},
+		{2, 3, 0, 1, 0x1d, 0xff, 1, 0, 7, 0x80},
+		{129, 150, 175, 184, 210, 196, 254, 232, 3, 2},
+	}
+	for _, n := range kernelLens {
+		for _, coefs := range coefSets {
+			srcs := make([][]byte, len(coefs))
+			for k := range srcs {
+				srcs[k] = randBytes(rng, n)
+			}
+			ranges := [][2]int{{0, n}}
+			if n > 70 {
+				ranges = append(ranges, [2]int{1, n - 1}, [2]int{63, n}, [2]int{64, n - 5})
+			}
+			for _, r := range ranges {
+				lo, hi := r[0], r[1]
+				want := randBytes(rng, n)
+				MulSourcesGeneric(coefs, srcs, want, lo, hi)
+				got := randBytes(rng, n) // dirty destination: overwritten on [lo,hi)
+				copy(got[:lo], want[:lo])
+				copy(got[hi:], want[hi:])
+				MulSources(coefs, srcs, got, lo, hi)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("MulSources(coefs=%v, len=%d, lo=%d, hi=%d) diverges", coefs, n, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// TestMulSourcesMatchesComposedKernels cross-checks the fused kernel
+// against a sum composed from the independent single-source kernels.
+func TestMulSourcesMatchesComposedKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	coefs := []byte{5, 1, 0, 0xc3, 9}
+	n := 4099
+	srcs := make([][]byte, len(coefs))
+	for k := range srcs {
+		srcs[k] = randBytes(rng, n)
+	}
+	want := make([]byte, n)
+	for k, c := range coefs {
+		MulAddSliceGeneric(c, srcs[k], want)
+	}
+	got := make([]byte, n)
+	MulSources(coefs, srcs, got, 0, n)
+	if !bytes.Equal(got, want) {
+		t.Fatal("MulSources diverges from composed MulAddSlice sum")
+	}
+}
+
+func BenchmarkMulSourcesXor10(b *testing.B) {
+	coefs := bytes.Repeat([]byte{1}, 10)
+	benchSources(b, coefs)
+}
+
+func BenchmarkMulSourcesTable10(b *testing.B) {
+	benchSources(b, []byte{129, 150, 175, 184, 210, 196, 254, 232, 3, 2})
+}
+
+func benchSources(b *testing.B, coefs []byte) {
+	rng := rand.New(rand.NewSource(9))
+	size := 1 << 20
+	srcs := make([][]byte, len(coefs))
+	for k := range srcs {
+		srcs[k] = randBytes(rng, size)
+	}
+	dst := make([]byte, size)
+	b.SetBytes(int64(size * len(coefs)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulSources(coefs, srcs, dst, 0, size)
+	}
+}
+
+// TestSplitKernelsMatchGeneric keeps the off-path 4-bit split kernels
+// honest: they are not the default dispatch (see kernels.go) but must
+// stay byte-for-byte equivalent.
+func TestSplitKernelsMatchGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range kernelLens {
+		src := randBytes(rng, n)
+		base := randBytes(rng, n)
+		for _, c := range []byte{2, 3, 0x1d, 0x8e, 0xff} {
+			want := append([]byte(nil), base...)
+			MulAddSliceGeneric(c, src, want)
+			got := append([]byte(nil), base...)
+			mulAddSliceSplit(c, src, got)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("mulAddSliceSplit(c=%d, len=%d) diverges", c, n)
+			}
+			want2 := make([]byte, n)
+			MulSliceGeneric(c, src, want2)
+			got2 := randBytes(rng, n)
+			mulSliceSplit(c, src, got2)
+			if !bytes.Equal(got2, want2) {
+				t.Fatalf("mulSliceSplit(c=%d, len=%d) diverges", c, n)
+			}
+		}
+	}
+}
+
+// TestMulAddSliceUnaligned drives the kernels through every offset into a
+// word so the scalar tail path is exercised at both ends.
+func TestMulAddSliceUnaligned(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	buf := randBytes(rng, 256)
+	acc := randBytes(rng, 256)
+	for off := 0; off < 8; off++ {
+		for n := 0; n < 32; n++ {
+			src := buf[off : off+n]
+			want := append([]byte(nil), acc[off:off+n]...)
+			got := append([]byte(nil), acc[off:off+n]...)
+			MulAddSliceGeneric(0x8e, src, want)
+			MulAddSlice(0x8e, src, got)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("offset %d len %d mismatch", off, n)
+			}
+		}
+	}
+}
+
+func FuzzMulAddSlice(f *testing.F) {
+	f.Add(byte(2), []byte("hello, world"), []byte("dst buffer!!"))
+	f.Add(byte(0x1d), []byte{0xff}, []byte{0x01})
+	f.Fuzz(func(t *testing.T, c byte, src, dst []byte) {
+		n := len(src)
+		if len(dst) < n {
+			n = len(dst)
+		}
+		src, dst = src[:n], dst[:n]
+		want := append([]byte(nil), dst...)
+		MulAddSliceGeneric(c, src, want)
+		got := append([]byte(nil), dst...)
+		MulAddSlice(c, src, got)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("c=%d len=%d: fast kernel diverges from generic", c, n)
+		}
+	})
+}
+
+func benchKernel(b *testing.B, size int, fn func(src, dst []byte)) {
+	rng := rand.New(rand.NewSource(5))
+	src := randBytes(rng, size)
+	dst := randBytes(rng, size)
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(src, dst)
+	}
+}
+
+func BenchmarkMulAddSliceSplit(b *testing.B) {
+	benchKernel(b, 1<<20, func(src, dst []byte) { MulAddSlice(0x8e, src, dst) })
+}
+
+func BenchmarkMulAddSliceGeneric(b *testing.B) {
+	benchKernel(b, 1<<20, func(src, dst []byte) { MulAddSliceGeneric(0x8e, src, dst) })
+}
+
+func BenchmarkXorSlice(b *testing.B) {
+	benchKernel(b, 1<<20, func(src, dst []byte) { XorSlice(src, dst) })
+}

@@ -1,6 +1,7 @@
 package lambdanode
 
 import (
+	"infinicache/internal/bufpool"
 	"infinicache/internal/clockcache"
 )
 
@@ -34,9 +35,16 @@ func (s *store) has(key string) bool {
 	return ok
 }
 
+// set stores val under key, taking ownership of val (it aliases, never
+// copies — chunk payloads arrive in pool-backed buffers from the
+// protocol reader and stay put until evicted). A replaced buffer is
+// recycled, since this store held its only reference.
 func (s *store) set(key string, val []byte) {
 	if old, ok := s.chunks[key]; ok {
 		s.bytes -= int64(len(old))
+		if !sameBuffer(old, val) {
+			bufpool.Put(old)
+		}
 	}
 	s.chunks[key] = val
 	s.bytes += int64(len(val))
@@ -51,7 +59,14 @@ func (s *store) del(key string) bool {
 	s.bytes -= int64(len(old))
 	delete(s.chunks, key)
 	s.order.Remove(key)
+	bufpool.Put(old)
 	return true
+}
+
+// sameBuffer reports whether a and b share backing storage (guards the
+// recycle in set against a redundant overwrite with the same slice).
+func sameBuffer(a, b []byte) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
 }
 
 func (s *store) len() int { return len(s.chunks) }

@@ -18,6 +18,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"infinicache/internal/bufpool"
 )
 
 // Type enumerates message types.
@@ -120,9 +122,11 @@ func Write(w io.Writer, m *Message) error {
 	if len(m.Args) > 255 {
 		return ErrTooManyArgs
 	}
-	// Assemble the fixed-size header region in one buffer to issue a
-	// bounded number of writes.
-	hdr := make([]byte, 0, 1+8+2+len(m.Key)+2+len(m.Addr)+1+8*len(m.Args)+4)
+	// Assemble the fixed-size header region in one pool-recycled buffer
+	// to issue a bounded number of writes without a per-frame allocation.
+	scratch := bufpool.Get(1 + 8 + 2 + len(m.Key) + 2 + len(m.Addr) + 1 + 8*len(m.Args) + 4)
+	defer bufpool.Put(scratch)
+	hdr := scratch[:0]
 	hdr = append(hdr, byte(m.Type))
 	hdr = binary.BigEndian.AppendUint64(hdr, m.Seq)
 	hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(m.Key)))
@@ -145,8 +149,19 @@ func Write(w io.Writer, m *Message) error {
 	return nil
 }
 
-// Read decodes one message from r.
+// Read decodes one message from r. The payload buffer is drawn from
+// bufpool; ownership passes to the caller, who may hand it back with
+// bufpool.Put once the message is fully consumed (letting it simply be
+// garbage collected is also fine).
 func Read(r io.Reader) (*Message, error) {
+	return readMessage(r, nil)
+}
+
+// readMessage decodes one message. scratch, when non-nil, stages the
+// key/addr bytes before their string copies (Conn.Recv passes a
+// per-connection buffer so steady-state reads only allocate for what
+// the message keeps); it must hold MaxKeyLen bytes.
+func readMessage(r io.Reader, scratch []byte) (*Message, error) {
 	var b [8]byte
 	if _, err := io.ReadFull(r, b[:1]); err != nil {
 		return nil, err
@@ -168,7 +183,11 @@ func Read(r io.Reader) (*Message, error) {
 		if int(n) > MaxKeyLen {
 			return "", ErrKeyTooLong
 		}
-		buf := make([]byte, n)
+		buf := scratch
+		if buf == nil {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return "", err
 		}
@@ -202,8 +221,9 @@ func Read(r io.Reader) (*Message, error) {
 		return nil, ErrPayloadTooLarge
 	}
 	if plen > 0 {
-		m.Payload = make([]byte, plen)
+		m.Payload = bufpool.Get(int(plen))
 		if _, err := io.ReadFull(r, m.Payload); err != nil {
+			bufpool.Put(m.Payload)
 			return nil, err
 		}
 	}
@@ -216,6 +236,9 @@ func Read(r io.Reader) (*Message, error) {
 type Conn struct {
 	raw net.Conn
 	r   *bufio.Reader
+	// rscratch stages key/addr bytes during Recv (single-reader
+	// contract, so no lock); allocated on first use.
+	rscratch []byte
 
 	wmu sync.Mutex
 	w   *bufio.Writer
@@ -251,7 +274,10 @@ func (c *Conn) Send(m *Message) error {
 
 // Recv reads the next message. Only one goroutine may call Recv.
 func (c *Conn) Recv() (*Message, error) {
-	m, err := Read(c.r)
+	if c.rscratch == nil {
+		c.rscratch = make([]byte, MaxKeyLen)
+	}
+	m, err := readMessage(c.r, c.rscratch)
 	if err != nil {
 		c.dead.Store(true)
 	}
