@@ -11,13 +11,22 @@
 package infinicache_test
 
 import (
+	"fmt"
+	"math/rand"
+	"net"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"infinicache/internal/client"
 	"infinicache/internal/costmodel"
 	"infinicache/internal/exps"
 	"infinicache/internal/lambdaemu"
+	"infinicache/internal/lambdanode"
+	"infinicache/internal/protocol"
+	"infinicache/internal/proxy"
 	"infinicache/internal/sim"
 	"infinicache/internal/workload"
 )
@@ -213,6 +222,168 @@ func BenchmarkTable1_HitRatios(b *testing.B) {
 		b.ReportMetric(ec.HitRatio()*100, "EC_hit_%")
 		b.ReportMetric(ic.HitRatio()*100, "IC_hit_%")
 		b.ReportMetric(noBak.HitRatio()*100, "ICnoBak_hit_%")
+	}
+}
+
+// benchNodePool is a minimal always-warm emulated Lambda pool for the
+// request-plane benchmark: every Invoke spawns (once per function) a
+// goroutine that dials the proxy, joins, PONGs, and serves GET/SET/DEL
+// from an in-memory map forever — never a BYE, never a cold start. It
+// isolates the client→proxy→node request plane from billing-cycle and
+// reclamation noise, and counts preflight PINGs so the benchmark can
+// report round-trip overhead per operation.
+type benchNodePool struct {
+	mu      sync.Mutex
+	started map[string]bool
+	pings   atomic.Int64
+}
+
+func (bp *benchNodePool) Invoke(function string, payload []byte) error {
+	pl, err := lambdanode.DecodePayload(payload)
+	if err != nil {
+		return err
+	}
+	bp.mu.Lock()
+	if bp.started == nil {
+		bp.started = make(map[string]bool)
+	}
+	if bp.started[function] {
+		bp.mu.Unlock()
+		return nil
+	}
+	bp.started[function] = true
+	bp.mu.Unlock()
+	go bp.runNode(function, pl.ProxyAddr)
+	return nil
+}
+
+func (bp *benchNodePool) runNode(name, proxyAddr string) {
+	raw, err := net.Dial("tcp", proxyAddr)
+	if err != nil {
+		return
+	}
+	conn := protocol.NewConn(raw)
+	defer conn.Close()
+	if err := conn.Send(&protocol.Message{Type: protocol.TJoinLambda, Key: name}); err != nil {
+		return
+	}
+	if err := conn.Send(&protocol.Message{Type: protocol.TPong, Key: name}); err != nil {
+		return
+	}
+	store := make(map[string][]byte)
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case protocol.TPing:
+			bp.pings.Add(1)
+			conn.Send(&protocol.Message{Type: protocol.TPong, Key: name, Seq: m.Seq})
+		case protocol.TGet:
+			if b, ok := store[m.Key]; ok {
+				conn.Send(&protocol.Message{Type: protocol.TData, Key: m.Key, Seq: m.Seq, Payload: b})
+			} else {
+				conn.Send(&protocol.Message{Type: protocol.TMiss, Key: m.Key, Seq: m.Seq})
+			}
+		case protocol.TSet:
+			store[m.Key] = m.Payload
+			conn.Send(&protocol.Message{Type: protocol.TAck, Key: m.Key, Seq: m.Seq})
+		case protocol.TDel:
+			delete(store, m.Key)
+			conn.Send(&protocol.Message{Type: protocol.TAck, Key: m.Key, Seq: m.Seq})
+		}
+	}
+}
+
+// benchRequestPlane wires a live loopback stack: one proxy over a
+// benchNodePool and one client speaking RS(10+2).
+func benchRequestPlane(b *testing.B) (*client.Client, *benchNodePool) {
+	b.Helper()
+	pool := &benchNodePool{}
+	px, err := proxy.New(proxy.Config{
+		Invoker:      pool,
+		Nodes:        benchNodeNames(12),
+		NodeMemoryMB: 3072,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { px.Close() })
+	c, err := client.New(client.Config{
+		Proxies:      []client.ProxyInfo{{Addr: px.Addr(), PoolSize: 12}},
+		DataShards:   10,
+		ParityShards: 2,
+		Seed:         7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	return c, pool
+}
+
+func benchNodeNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench-node%d", i)
+	}
+	return names
+}
+
+// BenchmarkRequestPlane measures the live request plane end to end —
+// client → proxy → emulated always-warm Lambda nodes over loopback TCP —
+// tracking allocations per operation and preflight PINGs per operation
+// (the round-trip overhead §3.3's validation rules govern) alongside
+// throughput. Run with -benchmem; CHANGES.md records the history.
+func BenchmarkRequestPlane(b *testing.B) {
+	sizes := []struct {
+		name string
+		n    int
+	}{
+		{"1KiB", 1 << 10},
+		{"64KiB", 64 << 10},
+		{"1MiB", 1 << 20},
+		{"10MiB", 10 << 20},
+	}
+	for _, sz := range sizes {
+		obj := make([]byte, sz.n)
+		rand.New(rand.NewSource(int64(sz.n))).Read(obj)
+		b.Run("PUT/"+sz.name, func(b *testing.B) {
+			c, pool := benchRequestPlane(b)
+			if err := c.Put("bench-obj", obj); err != nil { // warm the pool
+				b.Fatal(err)
+			}
+			start := pool.pings.Load()
+			b.SetBytes(int64(sz.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Put("bench-obj", obj); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(pool.pings.Load()-start)/float64(b.N), "pings/op")
+		})
+		b.Run("GET/"+sz.name, func(b *testing.B) {
+			c, pool := benchRequestPlane(b)
+			if err := c.Put("bench-obj", obj); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.Get("bench-obj"); err != nil { // warm the pool
+				b.Fatal(err)
+			}
+			start := pool.pings.Load()
+			b.SetBytes(int64(sz.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Get("bench-obj"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(pool.pings.Load()-start)/float64(b.N), "pings/op")
+		})
 	}
 }
 

@@ -188,65 +188,90 @@ func (c *Client) Put(key string, value []byte) error {
 	return c.putChunks(pc, key, int64(len(value)), shards, nodes, gen, false)
 }
 
-// putChunks sends a set of chunks and waits for all acknowledgements.
-// Indexes of shards that are nil are skipped (recovery path re-inserts a
-// sparse subset).
+// putChunks pipelines a set of chunks down the proxy connection's
+// single writer — every SET frame is written back to back, then the
+// acknowledgements are collected off one shared response channel — with
+// no goroutine per shard and no Message allocation per chunk (the
+// header is assembled directly by Conn.Forward around the pooled shard
+// buffer). Indexes of shards that are nil are skipped (recovery path
+// re-inserts a sparse subset).
 func (c *Client) putChunks(pc *proxyConn, key string, objSize int64, shards [][]byte, nodes []int, gen int64, recovery bool) error {
-	type result struct {
-		idx int
-		err error
-	}
 	deadline := c.cfg.Clock.Now().Add(c.cfg.RequestTimeout)
-	results := make(chan result, len(shards))
-	inflight := 0
 	rec := int64(0)
 	if recovery {
 		rec = 1
 	}
+	inflight := 0
+	for _, s := range shards {
+		if s != nil {
+			inflight++
+		}
+	}
+	if inflight == 0 {
+		return nil
+	}
+	// One ACK (or ERR) per chunk lands here; +1 slack for a stale frame.
+	ch := make(chan *protocol.Message, inflight+1)
+	seqIdx := make(map[uint64]int, inflight)
+	defer func() {
+		for seq := range seqIdx {
+			pc.deregister(seq)
+		}
+		drainRecycle(ch)
+	}()
+
+	var firstErr error
+	var args [7]int64
 	for i, shard := range shards {
 		if shard == nil {
 			continue
 		}
-		inflight++
-		go func(i int, shard []byte) {
-			seq := c.seq.Add(1)
-			ch := pc.register(seq, 2)
-			defer pc.deregister(seq)
-			msg := &protocol.Message{
-				Type: protocol.TSet,
-				Seq:  seq,
-				Key:  key,
-				Args: []int64{
-					int64(i), int64(len(shards)), int64(nodes[i]),
-					objSize, int64(c.codec.DataShards()), gen, rec,
-				},
-				Payload: shard,
-			}
-			if err := pc.conn.Send(msg); err != nil {
-				results <- result{i, err}
-				return
-			}
-			remain := deadline.Sub(c.cfg.Clock.Now())
-			select {
-			case resp, ok := <-ch:
-				if !ok {
-					results <- result{i, errors.New("client: connection closed")}
-					return
-				}
-				if resp.Type == protocol.TAck {
-					results <- result{i, nil}
-				} else {
-					results <- result{i, fmt.Errorf("%w: %s", ErrRejected, resp.Payload)}
-				}
-			case <-c.cfg.Clock.After(remain):
-				results <- result{i, ErrTimeout}
-			}
-		}(i, shard)
+		seq := c.seq.Add(1)
+		if !pc.registerWith(seq, ch) {
+			return errors.New("client: connection closed")
+		}
+		seqIdx[seq] = i
+		args = [7]int64{
+			int64(i), int64(len(shards)), int64(nodes[i]),
+			objSize, int64(c.codec.DataShards()), gen, rec,
+		}
+		if err := pc.conn.Forward(protocol.TSet, seq, key, "", args[:], shard); err != nil {
+			// The writer is dead; nothing later in the pipeline can land.
+			return fmt.Errorf("chunk %d: %w", i, err)
+		}
 	}
-	var firstErr error
-	for k := 0; k < inflight; k++ {
-		if r := <-results; r.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("chunk %d: %w", r.idx, r.err)
+
+	for acked := 0; acked < len(seqIdx); {
+		remain := deadline.Sub(c.cfg.Clock.Now())
+		if remain <= 0 {
+			if firstErr == nil {
+				firstErr = ErrTimeout
+			}
+			break
+		}
+		select {
+		case resp, ok := <-ch:
+			if !ok {
+				if firstErr == nil {
+					firstErr = errors.New("client: connection closed")
+				}
+				return firstErr
+			}
+			idx, mine := seqIdx[resp.Seq]
+			if !mine {
+				resp.Recycle() // stale frame from an abandoned request
+				continue
+			}
+			acked++
+			if resp.Type != protocol.TAck && firstErr == nil {
+				firstErr = fmt.Errorf("chunk %d: %w: %s", idx, ErrRejected, resp.Payload)
+			}
+			resp.Recycle()
+		case <-c.cfg.Clock.After(remain):
+			if firstErr == nil {
+				firstErr = ErrTimeout
+			}
+			return firstErr
 		}
 	}
 	return firstErr
@@ -289,14 +314,19 @@ func (c *Client) getOnce(key string) ([]byte, error) {
 	seq := c.seq.Add(1)
 	total := c.codec.TotalShards()
 	ch := pc.register(seq, total+2)
-	defer pc.deregister(seq)
+	// release also drains straggler DATA frames that landed after the
+	// first d, recycling their pooled payloads.
+	defer pc.release(seq, ch)
 
-	if err := pc.conn.Send(&protocol.Message{Type: protocol.TGet, Seq: seq, Key: key}); err != nil {
+	if err := pc.conn.Forward(protocol.TGet, seq, key, "", nil, nil); err != nil {
 		return nil, err
 	}
 
 	d := c.codec.DataShards()
 	shards := make([][]byte, total)
+	// Shards received before an early exit (miss, loss, error, timeout)
+	// must go back to the pool; the success path recycles after Join.
+	defer bufpool.PutAll(shards)
 	var objSize int64 = -1
 	received := 0
 	deadline := c.cfg.Clock.Now().Add(c.cfg.RequestTimeout)
@@ -315,9 +345,10 @@ func (c *Client) getOnce(key string) ([]byte, error) {
 			case protocol.TData:
 				idx := int(msg.Arg(0))
 				if idx < 0 || idx >= total || shards[idx] != nil {
+					msg.Recycle() // duplicate or out-of-range frame
 					continue
 				}
-				shards[idx] = msg.Payload
+				shards[idx] = msg.Payload // ownership moves to the shard set
 				objSize = msg.Arg(1)
 				received++
 			case protocol.TMiss:
@@ -329,9 +360,12 @@ func (c *Client) getOnce(key string) ([]byte, error) {
 				return nil, ErrMiss
 			case protocol.TErr:
 				if msg.Arg(0) == 1 {
+					msg.Recycle()
 					return nil, errTransient
 				}
-				return nil, fmt.Errorf("%w: %s", ErrRejected, msg.Payload)
+				err := fmt.Errorf("%w: %s", ErrRejected, msg.Payload)
+				msg.Recycle()
+				return nil, err
 			}
 		case <-c.cfg.Clock.After(remain):
 			return nil, ErrTimeout
@@ -362,9 +396,8 @@ func (c *Client) getOnce(key string) ([]byte, error) {
 	if c.cfg.EnableRecovery {
 		c.maybeRecover(pc, key, info, objSize, shards)
 	}
-	// Join copied the data out and recovery has finished re-inserting,
-	// so the chunk payload buffers can be recycled.
-	bufpool.PutAll(shards)
+	// Join copied the data out and recovery has finished re-inserting;
+	// the deferred PutAll recycles the chunk payload buffers.
 	return obj, nil
 }
 
@@ -408,9 +441,9 @@ func (c *Client) Del(key string) error {
 		return err
 	}
 	seq := c.seq.Add(1)
-	ch := pc.register(seq, 1)
-	defer pc.deregister(seq)
-	if err := pc.conn.Send(&protocol.Message{Type: protocol.TDel, Seq: seq, Key: key}); err != nil {
+	ch := pc.register(seq, 2)
+	defer pc.release(seq, ch)
+	if err := pc.conn.Forward(protocol.TDel, seq, key, "", nil, nil); err != nil {
 		return err
 	}
 	select {
@@ -418,7 +451,9 @@ func (c *Client) Del(key string) error {
 		if !ok {
 			return errors.New("client: connection closed")
 		}
-		if resp.Type != protocol.TAck {
+		ok = resp.Type == protocol.TAck
+		resp.Recycle()
+		if !ok {
 			return ErrRejected
 		}
 		return nil

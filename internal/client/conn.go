@@ -9,7 +9,8 @@ import (
 
 // proxyConn is one connection to a proxy with a response dispatcher: a
 // single reader goroutine routes frames to per-request channels by
-// sequence number (a GET receives several TData frames on one seq).
+// sequence number (a GET receives several TData frames on one seq, and
+// a pipelined PUT routes many seqs onto one shared channel).
 type proxyConn struct {
 	conn *protocol.Conn
 
@@ -53,6 +54,12 @@ func (c *Client) conn(addr string) (*proxyConn, error) {
 	return pc, nil
 }
 
+// readLoop routes inbound frames to their waiters. Delivery happens
+// under the mutex so a deregister-then-drain in release observes every
+// frame routed to its channel: once deregister returns, no more frames
+// can land there. Frames with no waiter (responses to abandoned
+// requests) and frames dropped on a full waiter buffer recycle their
+// pooled payloads here — this hop consumed them.
 func (pc *proxyConn) readLoop() {
 	for {
 		m, err := pc.conn.Recv()
@@ -62,35 +69,77 @@ func (pc *proxyConn) readLoop() {
 		}
 		pc.mu.Lock()
 		ch := pc.waiters[m.Seq]
-		pc.mu.Unlock()
-		if ch == nil {
-			continue // response to an abandoned request
+		if ch != nil {
+			select {
+			case ch <- m:
+				m = nil // delivered; the waiter owns the payload now
+			default:
+				// Waiter's buffer full (stale frames); drop below.
+			}
 		}
-		select {
-		case ch <- m:
-		default:
-			// Waiter's buffer full (stale frames); drop.
+		pc.mu.Unlock()
+		if m != nil {
+			m.Recycle()
 		}
 	}
 }
 
-// register allocates the response channel for seq.
+// register allocates a response channel for seq with the given buffer.
+// The buffer must cover every frame the proxy can send on that seq —
+// the dispatcher never blocks, it drops (and recycles) on overflow. On
+// an already-closed connection the channel comes back closed.
 func (pc *proxyConn) register(seq uint64, buf int) chan *protocol.Message {
 	ch := make(chan *protocol.Message, buf)
-	pc.mu.Lock()
-	if pc.closed {
+	if !pc.registerWith(seq, ch) {
 		close(ch)
-	} else {
-		pc.waiters[seq] = ch
 	}
-	pc.mu.Unlock()
 	return ch
+}
+
+// registerWith routes seq's responses onto an existing channel, letting
+// one awaiter multiplex many in-flight requests (the pipelined PUT
+// path). A channel shared across seqs must be sized for all of them.
+// Returns false when the connection is already closed (no frame will
+// ever be delivered); the channel is left untouched since other seqs
+// may still share it.
+func (pc *proxyConn) registerWith(seq uint64, ch chan *protocol.Message) bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.closed {
+		return false
+	}
+	pc.waiters[seq] = ch
+	return true
 }
 
 func (pc *proxyConn) deregister(seq uint64) {
 	pc.mu.Lock()
 	delete(pc.waiters, seq)
 	pc.mu.Unlock()
+}
+
+// drainRecycle empties whatever frames are still buffered on a waiter
+// channel after its seqs were deregistered, returning their pooled
+// payloads. Safe on a closed channel.
+func drainRecycle(ch chan *protocol.Message) {
+	for {
+		select {
+		case m, ok := <-ch:
+			if !ok {
+				return
+			}
+			m.Recycle()
+		default:
+			return
+		}
+	}
+}
+
+// release ends one request: deregister its seq and recycle any frames
+// (straggler DATA chunks, stale errors) still parked on the channel.
+func (pc *proxyConn) release(seq uint64, ch chan *protocol.Message) {
+	pc.deregister(seq)
+	drainRecycle(ch)
 }
 
 func (pc *proxyConn) close() {
@@ -100,14 +149,16 @@ func (pc *proxyConn) close() {
 		return
 	}
 	pc.closed = true
-	chans := make([]chan *protocol.Message, 0, len(pc.waiters))
+	// Waiter channels may be shared across seqs (pipelined PUT);
+	// dedupe before closing.
+	seen := make(map[chan *protocol.Message]bool, len(pc.waiters))
 	for _, ch := range pc.waiters {
-		chans = append(chans, ch)
+		seen[ch] = true
 	}
 	pc.waiters = make(map[uint64]chan *protocol.Message)
 	pc.mu.Unlock()
 	pc.conn.Close()
-	for _, ch := range chans {
+	for ch := range seen {
 		close(ch)
 	}
 }

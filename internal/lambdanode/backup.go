@@ -80,14 +80,14 @@ func runBackupSource(ctx *lambdaemu.Context, cfg Config, st *nodeState, relayAdd
 				})
 			case protocol.TGet:
 				if b, ok := st.store.get(msg.Key); ok {
-					relay.Send(&protocol.Message{Type: protocol.TData, Key: msg.Key, Seq: msg.Seq, Payload: b})
+					relay.Forward(protocol.TData, msg.Seq, msg.Key, "", nil, b)
 				} else {
-					relay.Send(&protocol.Message{Type: protocol.TMiss, Key: msg.Key, Seq: msg.Seq})
+					relay.Forward(protocol.TMiss, msg.Seq, msg.Key, "", nil, nil)
 				}
 			case protocol.TSet:
 				// A PUT forwarded by λd during migration: stay in sync.
 				st.store.set(msg.Key, msg.Payload)
-				relay.Send(&protocol.Message{Type: protocol.TAck, Key: msg.Key, Seq: msg.Seq})
+				relay.Forward(protocol.TAck, msg.Seq, msg.Key, "", nil, nil)
 			case protocol.TBye:
 				// Migration complete.
 				return
@@ -170,7 +170,7 @@ func runBackupDest(ctx *lambdaemu.Context, cfg Config, st *nodeState, pl *Payloa
 		relaySeq++
 		fetchSeq = relaySeq
 		inFlight = key
-		relay.Send(&protocol.Message{Type: protocol.TGet, Key: key, Seq: fetchSeq})
+		relay.Forward(protocol.TGet, fetchSeq, key, "", nil, nil)
 	}
 	nextFetch := func() {
 		for inFlight == "" {
@@ -193,16 +193,16 @@ func runBackupDest(ctx *lambdaemu.Context, cfg Config, st *nodeState, pl *Payloa
 	}
 	finishFetch := func(payload []byte, ok bool) {
 		if ok {
-			st.store.set(inFlight, payload)
+			st.store.set(inFlight, payload) // store owns the buffer now
 		}
 		for _, req := range replyTo {
 			if st.conn == nil {
 				break
 			}
 			if ok {
-				st.conn.Send(&protocol.Message{Type: protocol.TData, Key: req.Key, Seq: req.Seq, Payload: payload})
+				st.conn.Forward(protocol.TData, req.Seq, req.Key, "", nil, payload)
 			} else {
-				st.conn.Send(&protocol.Message{Type: protocol.TMiss, Key: req.Key, Seq: req.Seq})
+				st.conn.Forward(protocol.TMiss, req.Seq, req.Key, "", nil, nil)
 			}
 			st.served++
 		}
@@ -236,10 +236,10 @@ func runBackupDest(ctx *lambdaemu.Context, cfg Config, st *nodeState, pl *Payloa
 			}
 			switch msg.Type {
 			case protocol.TPing:
-				st.conn.Send(&protocol.Message{Type: protocol.TPong, Key: ctx.FunctionName(), Addr: ctx.InstanceID(), Seq: msg.Seq})
+				st.conn.Forward(protocol.TPong, msg.Seq, ctx.FunctionName(), ctx.InstanceID(), nil, nil)
 			case protocol.TGet:
 				if b, ok := st.store.get(msg.Key); ok {
-					st.conn.Send(&protocol.Message{Type: protocol.TData, Key: msg.Key, Seq: msg.Seq, Payload: b})
+					st.conn.Forward(protocol.TData, msg.Seq, msg.Key, "", nil, b)
 					st.served++
 				} else if msg.Key == inFlight {
 					replyTo = append(replyTo, msg)
@@ -250,14 +250,16 @@ func runBackupDest(ctx *lambdaemu.Context, cfg Config, st *nodeState, pl *Payloa
 			case protocol.TSet:
 				// Insert locally, then forward to λs so both replicas
 				// hold the new data (the ack from λs is skipped below).
+				// The store owns the payload; the relay forward only
+				// borrows it.
 				st.store.set(msg.Key, msg.Payload)
 				relaySeq++
-				relay.Send(&protocol.Message{Type: protocol.TSet, Key: msg.Key, Seq: relaySeq, Payload: msg.Payload})
-				st.conn.Send(&protocol.Message{Type: protocol.TAck, Key: msg.Key, Seq: msg.Seq})
+				relay.Forward(protocol.TSet, relaySeq, msg.Key, "", nil, msg.Payload)
+				st.conn.Forward(protocol.TAck, msg.Seq, msg.Key, "", nil, nil)
 				st.served++
 			case protocol.TDel:
 				st.store.del(msg.Key)
-				st.conn.Send(&protocol.Message{Type: protocol.TAck, Key: msg.Key, Seq: msg.Seq})
+				st.conn.Forward(protocol.TAck, msg.Seq, msg.Key, "", nil, nil)
 			}
 			nextFetch()
 		case msg, ok := <-relayInbox:
@@ -268,7 +270,7 @@ func runBackupDest(ctx *lambdaemu.Context, cfg Config, st *nodeState, pl *Payloa
 				for key, reqs := range deferred {
 					for _, req := range reqs {
 						if st.conn != nil {
-							st.conn.Send(&protocol.Message{Type: protocol.TMiss, Key: req.Key, Seq: req.Seq})
+							st.conn.Forward(protocol.TMiss, req.Seq, req.Key, "", nil, nil)
 						}
 					}
 					delete(deferred, key)

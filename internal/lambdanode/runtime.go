@@ -208,28 +208,32 @@ func runServe(ctx *lambdaemu.Context, cfg Config, st *nodeState, pl *Payload) {
 }
 
 // handleMessage processes one proxy message; it reports whether the
-// message was a billable chunk request (GET/SET).
+// message was a billable chunk request (GET/SET). Replies go out via
+// Conn.Forward — a rewritten header around a borrowed payload — so the
+// per-chunk reply path allocates no Message: a GET's DATA frame wraps
+// the store's own buffer, and a SET's payload moves from the wire into
+// the store without a copy (the store owns it from then on).
 func handleMessage(ctx *lambdaemu.Context, cfg Config, st *nodeState, msg *protocol.Message) bool {
 	switch msg.Type {
 	case protocol.TPing:
 		// Preflight (§3.3): reply immediately; the caller realigns the
 		// timer when the subsequent request is served.
-		st.conn.Send(&protocol.Message{Type: protocol.TPong, Key: ctx.FunctionName(), Addr: ctx.InstanceID(), Seq: msg.Seq})
+		st.conn.Forward(protocol.TPong, msg.Seq, ctx.FunctionName(), ctx.InstanceID(), nil, nil)
 		return false
 	case protocol.TGet:
 		if b, ok := st.store.get(msg.Key); ok {
-			st.conn.Send(&protocol.Message{Type: protocol.TData, Key: msg.Key, Seq: msg.Seq, Payload: b})
+			st.conn.Forward(protocol.TData, msg.Seq, msg.Key, "", nil, b)
 		} else {
-			st.conn.Send(&protocol.Message{Type: protocol.TMiss, Key: msg.Key, Seq: msg.Seq})
+			st.conn.Forward(protocol.TMiss, msg.Seq, msg.Key, "", nil, nil)
 		}
 		return true
 	case protocol.TSet:
 		st.store.set(msg.Key, msg.Payload)
-		st.conn.Send(&protocol.Message{Type: protocol.TAck, Key: msg.Key, Seq: msg.Seq})
+		st.conn.Forward(protocol.TAck, msg.Seq, msg.Key, "", nil, nil)
 		return true
 	case protocol.TDel:
 		st.store.del(msg.Key)
-		st.conn.Send(&protocol.Message{Type: protocol.TAck, Key: msg.Key, Seq: msg.Seq})
+		st.conn.Forward(protocol.TAck, msg.Seq, msg.Key, "", nil, nil)
 		return false
 	case protocol.TBackupCmd:
 		// Step 4: the proxy set up a relay; run the source side inline.

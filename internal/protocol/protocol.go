@@ -7,6 +7,25 @@
 // paper's Figures 6, 7 and 10: preflight PING/PONG, chunk GET/SET/DATA,
 // BYE on billed-duration expiry, and the backup handshake
 // (INITBACKUP/BACKUPCMD/HELLO/META).
+//
+// # Payload buffer ownership
+//
+// Payload buffers flow through the pool in internal/bufpool, and exactly
+// one party owns a buffer at any moment:
+//
+//   - Read/Recv draw the payload from bufpool and pass ownership to the
+//     caller with the returned Message.
+//   - Send and Forward only *borrow* the payload: they synchronously copy
+//     it into the socket and never retain a reference, so the caller
+//     still owns the buffer when they return.
+//   - The hop that consumes a frame — forwards it, stores it, or drops
+//     it — recycles the payload with Message.Recycle (or takes ownership
+//     for as long as it retains the bytes, as the Lambda chunk store
+//     does). Letting a buffer die to the garbage collector is safe but
+//     wastes the pool.
+//
+// A relay hop therefore runs: m := Recv() → Forward(..., m.Payload) →
+// m.Recycle(), with no payload copy and no second Message allocation.
 package protocol
 
 import (
@@ -94,6 +113,11 @@ type Message struct {
 	Addr    string  // network address (relay/proxy) for backup messages
 	Args    []int64 // small integers: sizes, chunk ids, flags
 	Payload []byte
+
+	// argsArr inlines up to 8 decoded args so a steady-state Recv does
+	// not allocate a slice per frame; Args points into it. Copy Messages
+	// by pointer — a shallow copy's Args would alias the original.
+	argsArr [8]int64
 }
 
 // Arg returns Args[i], or 0 when absent.
@@ -102,6 +126,18 @@ func (m *Message) Arg(i int) int64 {
 		return 0
 	}
 	return m.Args[i]
+}
+
+// Recycle returns the message's payload buffer to the pool and clears
+// the reference. The hop that consumes a frame — after forwarding it,
+// copying the bytes out, or deciding to drop it — calls Recycle; the
+// payload must not be referenced afterwards. Safe on messages without a
+// payload.
+func (m *Message) Recycle() {
+	if m.Payload != nil {
+		bufpool.Put(m.Payload)
+		m.Payload = nil
+	}
 }
 
 // Errors.
@@ -113,40 +149,49 @@ var (
 
 // Write encodes m to w.
 func Write(w io.Writer, m *Message) error {
-	if len(m.Payload) > MaxPayload {
-		return ErrPayloadTooLarge
-	}
-	if len(m.Key) > MaxKeyLen || len(m.Addr) > MaxKeyLen {
-		return ErrKeyTooLong
-	}
-	if len(m.Args) > 255 {
-		return ErrTooManyArgs
-	}
 	// Assemble the fixed-size header region in one pool-recycled buffer
 	// to issue a bounded number of writes without a per-frame allocation.
 	scratch := bufpool.Get(1 + 8 + 2 + len(m.Key) + 2 + len(m.Addr) + 1 + 8*len(m.Args) + 4)
-	defer bufpool.Put(scratch)
+	_, err := writeFrame(w, scratch, m.Type, m.Seq, m.Key, m.Addr, m.Args, m.Payload)
+	bufpool.Put(scratch)
+	return err
+}
+
+// writeFrame encodes one frame from explicit header fields, staging the
+// header in scratch (grown as needed; the possibly-reallocated buffer is
+// returned for reuse). The payload is only borrowed: it is copied into w
+// synchronously and never retained.
+func writeFrame(w io.Writer, scratch []byte, t Type, seq uint64, key, addr string, args []int64, payload []byte) ([]byte, error) {
+	if len(payload) > MaxPayload {
+		return scratch, ErrPayloadTooLarge
+	}
+	if len(key) > MaxKeyLen || len(addr) > MaxKeyLen {
+		return scratch, ErrKeyTooLong
+	}
+	if len(args) > 255 {
+		return scratch, ErrTooManyArgs
+	}
 	hdr := scratch[:0]
-	hdr = append(hdr, byte(m.Type))
-	hdr = binary.BigEndian.AppendUint64(hdr, m.Seq)
-	hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(m.Key)))
-	hdr = append(hdr, m.Key...)
-	hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(m.Addr)))
-	hdr = append(hdr, m.Addr...)
-	hdr = append(hdr, byte(len(m.Args)))
-	for _, a := range m.Args {
+	hdr = append(hdr, byte(t))
+	hdr = binary.BigEndian.AppendUint64(hdr, seq)
+	hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(key)))
+	hdr = append(hdr, key...)
+	hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(addr)))
+	hdr = append(hdr, addr...)
+	hdr = append(hdr, byte(len(args)))
+	for _, a := range args {
 		hdr = binary.BigEndian.AppendUint64(hdr, uint64(a))
 	}
-	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(m.Payload)))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(payload)))
 	if _, err := w.Write(hdr); err != nil {
-		return err
+		return hdr, err
 	}
-	if len(m.Payload) > 0 {
-		if _, err := w.Write(m.Payload); err != nil {
-			return err
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return hdr, err
 		}
 	}
-	return nil
+	return hdr, nil
 }
 
 // Read decodes one message from r. The payload buffer is drawn from
@@ -154,14 +199,22 @@ func Write(w io.Writer, m *Message) error {
 // bufpool.Put once the message is fully consumed (letting it simply be
 // garbage collected is also fine).
 func Read(r io.Reader) (*Message, error) {
-	return readMessage(r, nil)
+	return readMessage(r, nil, nil)
 }
+
+// internCap bounds a connection's key-intern cache; past it the cache
+// is reset wholesale (simple, and a working set that large means keys
+// are not repeating anyway).
+const internCap = 4096
 
 // readMessage decodes one message. scratch, when non-nil, stages the
 // key/addr bytes before their string copies (Conn.Recv passes a
 // per-connection buffer so steady-state reads only allocate for what
-// the message keeps); it must hold MaxKeyLen bytes.
-func readMessage(r io.Reader, scratch []byte) (*Message, error) {
+// the message keeps); it must hold MaxKeyLen bytes. intern, when
+// non-nil, deduplicates key/addr strings across frames — chunk keys
+// repeat for the lifetime of an object, so steady-state reads hit the
+// cache and allocate no string at all.
+func readMessage(r io.Reader, scratch []byte, intern map[string]string) (*Message, error) {
 	var b [8]byte
 	if _, err := io.ReadFull(r, b[:1]); err != nil {
 		return nil, err
@@ -191,6 +244,17 @@ func readMessage(r io.Reader, scratch []byte) (*Message, error) {
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return "", err
 		}
+		if intern != nil {
+			if s, ok := intern[string(buf)]; ok { // alloc-free lookup
+				return s, nil
+			}
+			s := string(buf)
+			if len(intern) >= internCap {
+				clear(intern)
+			}
+			intern[s] = s
+			return s, nil
+		}
 		return string(buf), nil
 	}
 	var err error
@@ -205,7 +269,11 @@ func readMessage(r io.Reader, scratch []byte) (*Message, error) {
 	}
 	nargs := int(b[0])
 	if nargs > 0 {
-		m.Args = make([]int64, nargs)
+		if nargs <= len(m.argsArr) {
+			m.Args = m.argsArr[:nargs]
+		} else {
+			m.Args = make([]int64, nargs)
+		}
 		for i := 0; i < nargs; i++ {
 			if _, err := io.ReadFull(r, b[:8]); err != nil {
 				return nil, err
@@ -236,12 +304,18 @@ func readMessage(r io.Reader, scratch []byte) (*Message, error) {
 type Conn struct {
 	raw net.Conn
 	r   *bufio.Reader
-	// rscratch stages key/addr bytes during Recv (single-reader
-	// contract, so no lock); allocated on first use.
+	// rscratch stages key/addr bytes during Recv and rintern dedupes
+	// the resulting strings across frames (single-reader contract, so
+	// no lock); both are allocated on first use.
 	rscratch []byte
+	rintern  map[string]string
 
 	wmu sync.Mutex
 	w   *bufio.Writer
+	// wscratch stages frame headers under wmu, so steady-state sends
+	// need no per-frame allocation at all; it grows to the largest
+	// header this connection has written.
+	wscratch []byte
 
 	dead      atomic.Bool
 	closeOnce sync.Once
@@ -257,11 +331,25 @@ func NewConn(c net.Conn) *Conn {
 	}
 }
 
-// Send encodes and flushes one message. Safe for concurrent use.
+// Send encodes and flushes one message. Safe for concurrent use. The
+// payload is only borrowed; the caller still owns it when Send returns.
 func (c *Conn) Send(m *Message) error {
+	return c.Forward(m.Type, m.Seq, m.Key, m.Addr, m.Args, m.Payload)
+}
+
+// Forward encodes and flushes one frame assembled from explicit header
+// fields and an existing payload buffer — the zero-rewrap relay path: a
+// hop that received a DATA/SET frame re-sends its pooled payload under a
+// rewritten header with no intermediate Message allocation and no
+// payload copy. Safe for concurrent use; the payload is only borrowed
+// (copied into the socket before Forward returns), so the caller keeps
+// ownership and typically recycles it right after.
+func (c *Conn) Forward(t Type, seq uint64, key, addr string, args []int64, payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if err := Write(c.w, m); err != nil {
+	scratch, err := writeFrame(c.w, c.wscratch, t, seq, key, addr, args, payload)
+	c.wscratch = scratch[:0]
+	if err != nil {
 		c.dead.Store(true)
 		return err
 	}
@@ -276,8 +364,9 @@ func (c *Conn) Send(m *Message) error {
 func (c *Conn) Recv() (*Message, error) {
 	if c.rscratch == nil {
 		c.rscratch = make([]byte, MaxKeyLen)
+		c.rintern = make(map[string]string)
 	}
-	m, err := readMessage(c.r, c.rscratch)
+	m, err := readMessage(c.r, c.rscratch, c.rintern)
 	if err != nil {
 		c.dead.Store(true)
 	}

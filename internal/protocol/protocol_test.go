@@ -219,6 +219,172 @@ func TestConnCloseIdempotent(t *testing.T) {
 	}
 }
 
+func TestForwardRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	payload := []byte("chunk-bytes-0123456789")
+	done := make(chan *Message, 1)
+	go func() {
+		m, err := cb.Recv()
+		if err != nil {
+			t.Error(err)
+			done <- nil
+			return
+		}
+		done <- m
+	}()
+	args := [4]int64{3, 1 << 20, 10, 12}
+	if err := ca.Forward(TData, 77, "obj", "10.0.0.1:99", args[:], payload); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if got == nil {
+		t.Fatal("no frame received")
+	}
+	if got.Type != TData || got.Seq != 77 || got.Key != "obj" || got.Addr != "10.0.0.1:99" {
+		t.Fatalf("header fields wrong: %+v", got)
+	}
+	if len(got.Args) != 4 || got.Args[0] != 3 || got.Args[1] != 1<<20 || got.Args[2] != 10 || got.Args[3] != 12 {
+		t.Fatalf("args wrong: %v", got.Args)
+	}
+	if !bytes.Equal(got.Payload, payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+// TestForwardBorrowsPayload pins the ownership rule: Forward copies the
+// payload into the socket before returning, so the caller may recycle
+// (or scribble over) the buffer immediately afterwards without
+// corrupting the frame in flight.
+func TestForwardBorrowsPayload(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	payload := bytes.Repeat([]byte{0xAB}, 1024)
+	want := append([]byte(nil), payload...)
+	done := make(chan *Message, 1)
+	go func() {
+		m, _ := cb.Recv()
+		done <- m
+	}()
+	if err := ca.Forward(TData, 1, "k", "", nil, payload); err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload { // caller reuses the buffer right away
+		payload[i] = 0xCD
+	}
+	got := <-done
+	if got == nil {
+		t.Fatal("no frame received")
+	}
+	if !bytes.Equal(got.Payload, want) {
+		t.Fatal("frame observed the caller's post-Forward writes: payload not copied out synchronously")
+	}
+}
+
+// TestForwardRelayHop runs the canonical zero-rewrap hop — Recv, Forward
+// under a rewritten header, Recycle — and checks the relayed frame.
+func TestForwardRelayHop(t *testing.T) {
+	a1, b1 := net.Pipe() // sender -> relay
+	a2, b2 := net.Pipe() // relay -> receiver
+	src, relayIn := NewConn(a1), NewConn(b1)
+	relayOut, dst := NewConn(a2), NewConn(b2)
+	for _, c := range []*Conn{src, relayIn, relayOut, dst} {
+		defer c.Close()
+	}
+
+	out := make(chan *Message, 1)
+	go func() { // receiver
+		m, _ := dst.Recv()
+		out <- m
+	}()
+	go func() { // relay hop
+		m, err := relayIn.Recv()
+		if err != nil {
+			return
+		}
+		relayOut.Forward(m.Type, 42, m.Key, "", m.Args, m.Payload) // rewritten seq
+		m.Recycle()
+		if m.Payload != nil {
+			t.Error("Recycle left the payload reference behind")
+		}
+	}()
+	if err := src.Send(&Message{Type: TData, Seq: 7, Key: "obj#3", Args: []int64{3}, Payload: []byte("body")}); err != nil {
+		t.Fatal(err)
+	}
+	got := <-out
+	if got == nil {
+		t.Fatal("no frame relayed")
+	}
+	if got.Type != TData || got.Seq != 42 || got.Key != "obj#3" || got.Arg(0) != 3 {
+		t.Fatalf("relayed frame wrong: %+v", got)
+	}
+	if string(got.Payload) != "body" {
+		t.Fatalf("relayed payload = %q", got.Payload)
+	}
+}
+
+func TestRecycleIdempotent(t *testing.T) {
+	m := &Message{Type: TData, Payload: make([]byte, 64)}
+	m.Recycle()
+	if m.Payload != nil {
+		t.Fatal("payload not cleared")
+	}
+	m.Recycle()                       // safe on an already-recycled message
+	(&Message{Type: TPing}).Recycle() // and on one with no payload
+}
+
+// TestInternedKeysAcrossFrames checks that repeated keys decode
+// correctly when the per-connection intern cache is in play.
+func TestInternedKeysAcrossFrames(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	const frames = 32
+	got := make(chan string, frames)
+	go func() {
+		for i := 0; i < frames; i++ {
+			m, err := cb.Recv()
+			if err != nil {
+				close(got)
+				return
+			}
+			got <- m.Key
+		}
+		close(got)
+	}()
+	for i := 0; i < frames; i++ {
+		key := "repeated-key"
+		if i%4 == 3 {
+			key = "other-key"
+		}
+		if err := ca.Forward(TGet, uint64(i), key, "", nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	for k := range got {
+		want := "repeated-key"
+		if i%4 == 3 {
+			want = "other-key"
+		}
+		if k != want {
+			t.Fatalf("frame %d key = %q, want %q", i, k, want)
+		}
+		i++
+	}
+	if i != frames {
+		t.Fatalf("received %d frames, want %d", i, frames)
+	}
+}
+
 func BenchmarkWriteRead1MB(b *testing.B) {
 	m := &Message{Type: TData, Key: "bench", Payload: make([]byte, 1<<20)}
 	var buf bytes.Buffer

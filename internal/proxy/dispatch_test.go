@@ -1,0 +1,434 @@
+package proxy
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"infinicache/internal/lambdanode"
+	"infinicache/internal/protocol"
+)
+
+// The tests in this file drive the node dispatcher's hard edges with
+// scripted fake Lambda nodes speaking the wire protocol over loopback
+// TCP: pipelining with at most one preflight per busy period, a backup
+// connection swap (Maybe) with a full in-flight window, a mid-window
+// BYE, and stale responses after a retry.
+
+// invokerFunc adapts a function to the lambdaemu.Invoker interface.
+type invokerFunc func(name string, payload []byte) error
+
+func (f invokerFunc) Invoke(name string, payload []byte) error { return f(name, payload) }
+
+func testProxy(t *testing.T, inv invokerFunc) *Proxy {
+	t.Helper()
+	p, err := New(Config{
+		Invoker:        inv,
+		Nodes:          []string{"test-node"},
+		NodeMemoryMB:   128,
+		PingTimeout:    300 * time.Millisecond,
+		InvokeTimeout:  2 * time.Second,
+		RequestTimeout: 400 * time.Millisecond,
+		Retries:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// joinProxy dials the proxy and announces a Lambda connection.
+func joinProxy(t *testing.T, addr, name string, backup bool) *protocol.Conn {
+	t.Helper()
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := protocol.NewConn(raw)
+	flag := int64(0)
+	if backup {
+		flag = 1
+	}
+	if err := c.Send(&protocol.Message{
+		Type: protocol.TJoinLambda, Key: name, Addr: "inst-" + name,
+		Args: []int64{128, flag},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// awaitReply reads one dispatcher outcome with a wall-clock guard.
+func awaitReply(t *testing.T, ch chan nodeReply) nodeReply {
+	t.Helper()
+	select {
+	case r := <-ch:
+		return r
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for a dispatcher reply")
+		return nodeReply{}
+	}
+}
+
+// proxyAddrFromPayload recovers the proxy address an invocation carries.
+func proxyAddrFromPayload(t *testing.T, payload []byte) string {
+	t.Helper()
+	pl, err := lambdanode.DecodePayload(payload)
+	if err != nil {
+		t.Errorf("bad invoke payload: %v", err)
+		return ""
+	}
+	return pl.ProxyAddr
+}
+
+// TestPipelinedWindowSinglePreflight is the tentpole property: N>1
+// requests ride the connection simultaneously — the fake node withholds
+// every ACK until it has received all N frames, which deadlocks a
+// lock-step one-at-a-time design — and the whole busy period costs at
+// most one preflight PING (here zero: the invocation's own PONG
+// validates the Sleeping→Active edge, §3.3 / Figure 6).
+func TestPipelinedWindowSinglePreflight(t *testing.T) {
+	const n = 16
+	var pings, invokes atomic.Int64
+	var p *Proxy
+	inv := invokerFunc(func(name string, payload []byte) error {
+		if invokes.Add(1) > 1 {
+			return nil // the node is already up; ignore warm invokes
+		}
+		addr := proxyAddrFromPayload(t, payload)
+		go func() {
+			c := joinProxy(t, addr, "test-node", false)
+			defer c.Close()
+			c.Send(&protocol.Message{Type: protocol.TPong, Key: "test-node"})
+			var held []uint64
+			for len(held) < n {
+				m, err := c.Recv()
+				if err != nil {
+					return
+				}
+				switch m.Type {
+				case protocol.TPing:
+					pings.Add(1)
+					c.Send(&protocol.Message{Type: protocol.TPong, Seq: m.Seq})
+				case protocol.TSet:
+					held = append(held, m.Seq) // hold the window open
+					m.Recycle()
+				}
+			}
+			for _, seq := range held {
+				c.Send(&protocol.Message{Type: protocol.TAck, Seq: seq})
+			}
+			for { // keep answering pings so the period stays busy
+				m, err := c.Recv()
+				if err != nil {
+					return
+				}
+				if m.Type == protocol.TPing {
+					pings.Add(1)
+					c.Send(&protocol.Message{Type: protocol.TPong, Seq: m.Seq})
+				}
+			}
+		}()
+		return nil
+	})
+	p = testProxy(t, inv)
+
+	ch := make(chan nodeReply, n)
+	for i := 0; i < n; i++ {
+		if !p.nodes[0].submit(protocol.TSet, p.nextSeq(), fmt.Sprintf("obj#%d", i), []byte("chunk"), ch) {
+			t.Fatal("submit refused")
+		}
+	}
+	for i := 0; i < n; i++ {
+		r := awaitReply(t, ch)
+		if r.Msg == nil || r.Msg.Type != protocol.TAck {
+			t.Fatalf("request %d failed: %+v", i, r.Msg)
+		}
+	}
+	if got := pings.Load(); got > 1 {
+		t.Fatalf("busy period used %d preflight PINGs, want <= 1", got)
+	}
+	if fails := p.Stats().ChunkFailures.Load(); fails != 0 {
+		t.Fatalf("%d chunk failures", fails)
+	}
+}
+
+// TestBackupSwapRedrivesWindow swaps the connection mid-window: the
+// source node absorbs the whole window without answering, then a
+// backup destination joins (Figure 10 step 9). The dispatcher must
+// adopt the new connection (Maybe), re-drive every in-flight request
+// on it, and deliver all of them — without burning the retry budget.
+func TestBackupSwapRedrivesWindow(t *testing.T) {
+	const n = 8
+	var invokes atomic.Int64
+	srcGotWindow := make(chan string) // carries the proxy addr
+	inv := invokerFunc(func(name string, payload []byte) error {
+		if invokes.Add(1) > 1 {
+			return nil
+		}
+		addr := proxyAddrFromPayload(t, payload)
+		go func() {
+			c := joinProxy(t, addr, "test-node", false)
+			defer c.Close()
+			c.Send(&protocol.Message{Type: protocol.TPong, Key: "test-node"})
+			for got := 0; got < n; {
+				m, err := c.Recv()
+				if err != nil {
+					return
+				}
+				if m.Type == protocol.TSet {
+					got++ // swallow the whole window, never answer
+					m.Recycle()
+				}
+			}
+			srcGotWindow <- addr
+			for { // hold the connection open until the proxy closes it
+				if _, err := c.Recv(); err != nil {
+					return
+				}
+			}
+		}()
+		return nil
+	})
+	p := testProxy(t, inv)
+
+	ch := make(chan nodeReply, n)
+	for i := 0; i < n; i++ {
+		p.nodes[0].submit(protocol.TSet, p.nextSeq(), fmt.Sprintf("obj#%d", i), []byte("chunk"), ch)
+	}
+	var addr string
+	select {
+	case addr = <-srcGotWindow:
+	case <-time.After(10 * time.Second):
+		t.Fatal("source never received the window")
+	}
+
+	// The backup destination takes over, like runBackupDest does:
+	// JOIN with the backup flag, then an immediate PONG.
+	dst := joinProxy(t, addr, "test-node", true)
+	defer dst.Close()
+	dst.Send(&protocol.Message{Type: protocol.TPong, Key: "test-node"})
+	go func() {
+		for {
+			m, err := dst.Recv()
+			if err != nil {
+				return
+			}
+			switch m.Type {
+			case protocol.TPing:
+				dst.Send(&protocol.Message{Type: protocol.TPong, Seq: m.Seq})
+			case protocol.TSet:
+				dst.Send(&protocol.Message{Type: protocol.TAck, Key: m.Key, Seq: m.Seq})
+				m.Recycle()
+			}
+		}
+	}()
+
+	for i := 0; i < n; i++ {
+		r := awaitReply(t, ch)
+		if r.Msg == nil || r.Msg.Type != protocol.TAck {
+			t.Fatalf("request %d failed after backup swap: %+v", i, r.Msg)
+		}
+	}
+	if st := p.nodes[0].State(); st != stateMaybe {
+		t.Fatalf("state after backup join = %v, want Maybe", st)
+	}
+	if fails := p.Stats().ChunkFailures.Load(); fails != 0 {
+		t.Fatalf("%d chunk failures across the swap", fails)
+	}
+}
+
+// TestMidWindowByeRedrives sends a BYE with most of the window
+// unanswered: the node ACKs a few requests, says goodbye (billing-cycle
+// expiry, Figure 7 step 13), and must be re-invoked; the re-invocation
+// serves the re-driven remainder on the same connection.
+func TestMidWindowByeRedrives(t *testing.T) {
+	const n, early = 8, 3
+	var invokes atomic.Int64
+	reinvoked := make(chan struct{})
+	inv := invokerFunc(func(name string, payload []byte) error {
+		count := invokes.Add(1)
+		if count == 2 {
+			close(reinvoked) // second life: the connection persists
+			return nil
+		}
+		if count > 2 {
+			return nil
+		}
+		addr := proxyAddrFromPayload(t, payload)
+		go func() {
+			c := joinProxy(t, addr, "test-node", false)
+			defer c.Close()
+			c.Send(&protocol.Message{Type: protocol.TPong, Key: "test-node"})
+			for got := 0; got < n; {
+				m, err := c.Recv()
+				if err != nil {
+					return
+				}
+				if m.Type == protocol.TSet {
+					got++
+					if got <= early {
+						c.Send(&protocol.Message{Type: protocol.TAck, Key: m.Key, Seq: m.Seq})
+					}
+					m.Recycle()
+				}
+			}
+			// Billed duration over: leave with the window unanswered.
+			c.Send(&protocol.Message{Type: protocol.TBye, Key: "test-node"})
+			<-reinvoked
+			c.Send(&protocol.Message{Type: protocol.TPong, Key: "test-node"})
+			for {
+				m, err := c.Recv()
+				if err != nil {
+					return
+				}
+				switch m.Type {
+				case protocol.TPing:
+					c.Send(&protocol.Message{Type: protocol.TPong, Seq: m.Seq})
+				case protocol.TSet:
+					c.Send(&protocol.Message{Type: protocol.TAck, Key: m.Key, Seq: m.Seq})
+					m.Recycle()
+				}
+			}
+		}()
+		return nil
+	})
+	p := testProxy(t, inv)
+
+	ch := make(chan nodeReply, n)
+	for i := 0; i < n; i++ {
+		p.nodes[0].submit(protocol.TSet, p.nextSeq(), fmt.Sprintf("obj#%d", i), []byte("chunk"), ch)
+	}
+	for i := 0; i < n; i++ {
+		r := awaitReply(t, ch)
+		if r.Msg == nil || r.Msg.Type != protocol.TAck {
+			t.Fatalf("request %d failed across the BYE: %+v", i, r.Msg)
+		}
+	}
+	if got := invokes.Load(); got < 2 {
+		t.Fatalf("BYE with a pending window did not re-invoke (invokes=%d)", got)
+	}
+	if fails := p.Stats().ChunkFailures.Load(); fails != 0 {
+		t.Fatalf("%d chunk failures across the BYE", fails)
+	}
+}
+
+// TestStaleResponsesAfterRetry covers the stale-seq semantics: the node
+// ignores a request until the proxy times it out, retries (after a
+// preflight PING revalidates the connection), and then the node answers
+// — preceded by responses bearing seqs the dispatcher has never issued
+// or has already abandoned. The stale frames must be dropped without
+// confusing the retried request or the ones after it.
+func TestStaleResponsesAfterRetry(t *testing.T) {
+	var invokes atomic.Int64
+	var pings atomic.Int64
+	inv := invokerFunc(func(name string, payload []byte) error {
+		if invokes.Add(1) > 1 {
+			return nil
+		}
+		addr := proxyAddrFromPayload(t, payload)
+		go func() {
+			c := joinProxy(t, addr, "test-node", false)
+			defer c.Close()
+			c.Send(&protocol.Message{Type: protocol.TPong, Key: "test-node"})
+			ignored := false
+			for {
+				m, err := c.Recv()
+				if err != nil {
+					return
+				}
+				switch m.Type {
+				case protocol.TPing:
+					pings.Add(1)
+					c.Send(&protocol.Message{Type: protocol.TPong, Seq: m.Seq})
+				case protocol.TSet:
+					if !ignored {
+						// First delivery: swallow it so the proxy's
+						// request timer expires and it retries.
+						ignored = true
+						m.Recycle()
+						continue
+					}
+					// Retry delivery: stale garbage first, then the
+					// real answer.
+					c.Send(&protocol.Message{Type: protocol.TAck, Key: "stale", Seq: m.Seq + 9999})
+					c.Send(&protocol.Message{Type: protocol.TData, Key: "stale", Seq: m.Seq + 10000, Payload: []byte("zombie")})
+					c.Send(&protocol.Message{Type: protocol.TAck, Key: m.Key, Seq: m.Seq})
+					m.Recycle()
+				}
+			}
+		}()
+		return nil
+	})
+	p := testProxy(t, inv)
+
+	ch := make(chan nodeReply, 2)
+	seq := p.nextSeq()
+	p.nodes[0].submit(protocol.TSet, seq, "obj#0", []byte("chunk"), ch)
+	r := awaitReply(t, ch)
+	if r.Msg == nil || r.Msg.Type != protocol.TAck || r.Seq != seq {
+		t.Fatalf("retried request got %+v (seq %d), want ACK for %d", r.Msg, r.Seq, seq)
+	}
+	if got := p.Stats().Reinvokes.Load(); got == 0 {
+		t.Fatal("timeout retry did not register")
+	}
+	if got := pings.Load(); got != 1 {
+		t.Fatalf("retry used %d preflight PINGs, want exactly 1 (timeout demotes validation)", got)
+	}
+
+	// The dispatcher must still be healthy: a fresh request round-trips.
+	seq2 := p.nextSeq()
+	p.nodes[0].submit(protocol.TSet, seq2, "obj#1", []byte("chunk"), ch)
+	r = awaitReply(t, ch)
+	if r.Msg == nil || r.Msg.Type != protocol.TAck || r.Seq != seq2 {
+		t.Fatalf("post-stale request got %+v, want ACK", r.Msg)
+	}
+	if fails := p.Stats().ChunkFailures.Load(); fails != 0 {
+		t.Fatalf("%d chunk failures", fails)
+	}
+}
+
+// TestExhaustedRetriesFailCleanly starves a request entirely: the node
+// never answers and never PONGs again after its first life, so the
+// request must burn its attempts and come back as a nil outcome
+// (counted in ChunkFailures), not hang.
+func TestExhaustedRetriesFailCleanly(t *testing.T) {
+	var invokes atomic.Int64
+	inv := invokerFunc(func(name string, payload []byte) error {
+		if invokes.Add(1) > 1 {
+			return nil // stay silent: validation rounds must expire
+		}
+		addr := proxyAddrFromPayload(t, payload)
+		go func() {
+			c := joinProxy(t, addr, "test-node", false)
+			defer c.Close()
+			c.Send(&protocol.Message{Type: protocol.TPong, Key: "test-node"})
+			for { // swallow everything, answer nothing
+				m, err := c.Recv()
+				if err != nil {
+					return
+				}
+				m.Recycle()
+			}
+		}()
+		return nil
+	})
+	p := testProxy(t, inv)
+
+	ch := make(chan nodeReply, 1)
+	seq := p.nextSeq()
+	p.nodes[0].submit(protocol.TSet, seq, "obj#0", []byte("chunk"), ch)
+	r := awaitReply(t, ch)
+	if r.Msg != nil {
+		t.Fatalf("starved request returned %+v, want nil failure", r.Msg)
+	}
+	if r.Seq != seq {
+		t.Fatalf("failure echoed seq %d, want %d", r.Seq, seq)
+	}
+	if fails := p.Stats().ChunkFailures.Load(); fails != 1 {
+		t.Fatalf("ChunkFailures = %d, want 1", fails)
+	}
+}

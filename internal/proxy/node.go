@@ -31,6 +31,12 @@ func (s nodeState) String() string {
 	return "?"
 }
 
+// maxInflight caps how many chunk requests ride one node connection at
+// a time; excess requests wait in the dispatch queue. The window exists
+// to bound per-connection memory, not to pace the node — a Lambda
+// answers requests in arrival order off one socket either way.
+const maxInflight = 512
+
 // joinedConn is an inbound Lambda connection handed from the accept loop
 // to the node's manager.
 type joinedConn struct {
@@ -40,22 +46,63 @@ type joinedConn struct {
 }
 
 // nodeRequest is one chunk operation (GET/SET/DEL) bound for a node.
-// respCh receives the node's reply, or nil after exhausted retries.
-type nodeRequest struct {
-	msg    *protocol.Message
-	respCh chan *protocol.Message
+// nodeReply is the outcome of one submitted request. Msg is the node's
+// response — ownership of its pooled payload passes to the receiver —
+// or nil after exhausted retries. Seq echoes the request's sequence
+// number so a receiver multiplexing many requests over one channel can
+// correlate even a nil outcome.
+type nodeReply struct {
+	Seq uint64
+	Msg *protocol.Message
+}
+
+// pending tracks one request through the dispatcher: queued (deadline
+// zero) or in flight on the current connection.
+//
+// Attempts are charged on timeout-shaped failures — an unanswered
+// request, an expired validation round, a send or invoke error — the
+// events that in the lock-step design each consumed one of the
+// request's validate/send/await rounds. Re-drives caused by the node's
+// normal rhythm (a BYE at a billing-cycle boundary, a backup
+// connection swap) are free: under backup churn several can hit within
+// a millisecond, and burning the retry budget on them would fail
+// requests the next invocation serves happily. The overall `expire`
+// budget — the same Retries × RequestTimeout a lock-step request could
+// wait in the worst case — bounds those free re-drives so a request
+// can never bounce forever.
+type pending struct {
+	// The request frame, held as raw fields rather than a Message so
+	// submission allocates exactly one object; node-bound chunk
+	// requests never carry addr or args.
+	typ     protocol.Type
+	seq     uint64
+	key     string
+	payload []byte
+	respCh  chan<- nodeReply
+
+	attempt  int
+	deadline time.Time // response deadline once sent; zero while queued
+	expire   time.Time // op-level budget; the request fails past this
 }
 
 // nodeManager owns all interaction with one Lambda cache node: the
-// single persistent connection, the Figure 6 state machine with lazy
-// PING/PONG validation, re-invocation on timeout, serialized chunk
-// requests, and backup coordination.
+// single persistent connection, the Figure 6 state machine, the
+// pipelined request window, re-invocation on timeout, and backup
+// coordination.
+//
+// Requests are dispatched as a window of in-flight messages keyed by
+// sequence number rather than one lock-step request/response at a time,
+// and the §3.3 preflight validation is amortised to once per busy
+// period: a PING round trip happens only on the Sleeping→Active edge
+// (implicitly, via the invoked node's PONG), after a BYE, after an
+// unanswered request demotes the connection, or after a connection
+// swap — never per message.
 type nodeManager struct {
 	p    *Proxy
 	idx  int
 	name string
 
-	reqCh  chan *nodeRequest
+	reqCh  chan *pending
 	connCh chan *joinedConn
 	delCh  chan string // chunk keys to delete lazily (eviction)
 
@@ -65,12 +112,34 @@ type nodeManager struct {
 	stateMirror atomic.Int32
 
 	// Loop-local state (only the run goroutine touches these).
-	conn       *protocol.Conn
-	inbox      <-chan *protocol.Message
-	state      nodeState
-	validated  bool
-	instanceID string
-	pendingDel []string
+	conn        *protocol.Conn
+	inbox       <-chan *protocol.Message
+	state       nodeState
+	validated   bool
+	validating  bool      // a PONG is owed (preflight PING or fresh invoke/join)
+	valInvoke   bool      // the awaited PONG belongs to an invocation, not a PING
+	valDeadline time.Time // when the validation wait expires
+	instanceID  string
+	queue       []*pending          // waiting for a validated connection
+	inflight    map[uint64]*pending // sent, awaiting response, keyed by seq
+	pendingDel  []string
+
+	// sendOrder records (seq, deadline) in send order. Deadlines are
+	// assigned from a monotonic clock with a fixed timeout, so the
+	// earliest live deadline is always at the front — expiry checks and
+	// timer arming cost O(1) amortised instead of scanning the window
+	// on every inbound frame. Entries whose request completed (or was
+	// re-driven under a fresh deadline) are skipped lazily.
+	sendOrder []sentMark
+	timerC    <-chan time.Time // armed timer, nil when none
+	timerAt   time.Time        // deadline timerC is armed for
+}
+
+// sentMark is one send instance; the deadline disambiguates a seq that
+// was re-driven (same seq, new deadline) from its stale entry.
+type sentMark struct {
+	seq      uint64
+	deadline time.Time
 }
 
 // setState updates both the loop-local state and the published mirror.
@@ -86,28 +155,29 @@ func (nm *nodeManager) State() nodeState {
 
 func newNodeManager(p *Proxy, idx int, name string) *nodeManager {
 	return &nodeManager{
-		p:      p,
-		idx:    idx,
-		name:   name,
-		reqCh:  make(chan *nodeRequest, 1024),
-		connCh: make(chan *joinedConn, 8),
-		delCh:  make(chan string, 4096),
+		p:        p,
+		idx:      idx,
+		name:     name,
+		reqCh:    make(chan *pending, 1024),
+		connCh:   make(chan *joinedConn, 8),
+		delCh:    make(chan string, 4096),
+		inflight: make(map[uint64]*pending),
 	}
 }
 
-// do submits a request and waits for its outcome (nil = failed).
-func (nm *nodeManager) do(msg *protocol.Message) *protocol.Message {
-	req := &nodeRequest{msg: msg, respCh: make(chan *protocol.Message, 1)}
+// submit enqueues one chunk request (GET/SET/DEL by type, key and
+// optional payload) with the dispatcher. Exactly one nodeReply echoing
+// seq is later delivered on respCh (Msg nil = failed), which must have
+// spare capacity when the reply arrives — the dispatcher never blocks
+// on delivery. Returns false if the proxy is shutting down (no reply
+// will come). The payload is borrowed until the reply is delivered;
+// the caller must not recycle it before then.
+func (nm *nodeManager) submit(typ protocol.Type, seq uint64, key string, payload []byte, respCh chan<- nodeReply) bool {
 	select {
-	case nm.reqCh <- req:
+	case nm.reqCh <- &pending{typ: typ, seq: seq, key: key, payload: payload, respCh: respCh}:
+		return true
 	case <-nm.p.done:
-		return nil
-	}
-	select {
-	case r := <-req.respCh:
-		return r
-	case <-nm.p.done:
-		return nil
+		return false
 	}
 }
 
@@ -123,9 +193,13 @@ func (nm *nodeManager) queueDel(chunkKey string) {
 	}
 }
 
+// run is the dispatcher loop: a single goroutine multiplexing request
+// submissions, node traffic, connection swaps, and timeouts over the
+// in-flight window.
 func (nm *nodeManager) run() {
 	defer nm.p.wg.Done()
 	for {
+		timerC := nm.expireAndArm()
 		inbox := nm.inbox // nil channel blocks forever when disconnected
 		select {
 		case <-nm.p.done:
@@ -138,18 +212,91 @@ func (nm *nodeManager) run() {
 		case m, ok := <-inbox:
 			if !ok {
 				nm.dropConn()
-				continue
+			} else {
+				nm.handleMessage(m)
 			}
-			nm.handleControl(m)
-		case req := <-nm.reqCh:
-			nm.process(req)
+		case pr := <-nm.reqCh:
+			nm.enqueue(pr)
+			// Drain whatever arrived with it so one validated pump sends
+			// the whole batch down the pipe.
+		drain:
+			for {
+				select {
+				case pr := <-nm.reqCh:
+					nm.enqueue(pr)
+				default:
+					break drain
+				}
+			}
+		case <-timerC:
+			// Consumed; expireAndArm at the top of the next iteration
+			// does the actual expiry work and re-arms.
+			nm.timerC, nm.timerAt = nil, time.Time{}
 		}
+		nm.pump()
+	}
+}
+
+func (nm *nodeManager) enqueue(pr *pending) {
+	budget := time.Duration(nm.p.cfg.Retries) * nm.p.cfg.RequestTimeout
+	pr.expire = nm.p.cfg.Clock.Now().Add(budget)
+	nm.queue = append(nm.queue, pr)
+}
+
+// deliver hands the outcome to the submitter. respCh is contractually
+// buffered; if the receiver vanished anyway, recycle rather than leak
+// the pooled payload.
+func (nm *nodeManager) deliver(pr *pending, m *protocol.Message) {
+	select {
+	case pr.respCh <- nodeReply{Seq: pr.seq, Msg: m}:
+	default:
+		if m != nil {
+			m.Recycle()
+		}
+	}
+}
+
+// retryOrFail re-drives one request — charging an attempt when charge
+// is set — or delivers failure once the retry budget (attempts or the
+// op-level deadline) is spent.
+func (nm *nodeManager) retryOrFail(pr *pending, charge bool) {
+	if charge {
+		pr.attempt++
+	}
+	pr.deadline = time.Time{}
+	if pr.attempt >= nm.p.cfg.Retries || !nm.p.cfg.Clock.Now().Before(pr.expire) {
+		nm.p.stats.ChunkFailures.Add(1)
+		nm.deliver(pr, nil)
+		return
+	}
+	nm.p.stats.Reinvokes.Add(1)
+	nm.queue = append(nm.queue, pr)
+}
+
+// requeueInflight pulls the whole in-flight window back into the queue
+// for a re-drive (connection swap, BYE, or disconnect — free; the op
+// budget still bounds them).
+func (nm *nodeManager) requeueInflight() {
+	for seq, pr := range nm.inflight {
+		delete(nm.inflight, seq)
+		nm.retryOrFail(pr, false)
+	}
+}
+
+// chargeQueued charges one attempt against every queued request
+// (a validation round failed before anything could be sent).
+func (nm *nodeManager) chargeQueued() {
+	q := nm.queue
+	nm.queue = nil
+	for _, pr := range q {
+		nm.retryOrFail(pr, true)
 	}
 }
 
 // adopt installs a (re)joined connection, closing any previous one —
 // for backup joins this is exactly step 10 of Figure 10: the proxy
 // disconnects from λs, making λd the node's only active connection.
+// The old connection's in-flight window is re-driven on the new one.
 //
 // While a migration is in flight (Maybe) a plain rejoin from the source
 // must NOT displace the destination: severing λd mid-migration would
@@ -164,10 +311,16 @@ func (nm *nodeManager) adopt(j *joinedConn) {
 	if nm.conn != nil {
 		nm.conn.Close()
 	}
+	nm.requeueInflight()
 	nm.conn = j.conn
 	nm.inbox = protocol.Pump(j.conn)
 	nm.instanceID = j.instanceID
-	nm.validated = false // the node's PONG follows immediately
+	// The joining node's PONG follows its JOIN immediately (Figure 7
+	// steps 3/8); wait for it instead of spending a PING round trip.
+	nm.validated = false
+	nm.validating = true
+	nm.valInvoke = false
+	nm.valDeadline = nm.p.cfg.Clock.Now().Add(nm.p.cfg.PingTimeout)
 	if j.backup {
 		nm.setState(stateMaybe)
 	} else {
@@ -183,28 +336,174 @@ func (nm *nodeManager) dropConn() {
 	nm.inbox = nil
 	nm.setState(stateSleeping)
 	nm.validated = false
+	nm.validating = false
+	nm.requeueInflight()
 }
 
-// handleControl processes node-initiated messages outside a request.
-func (nm *nodeManager) handleControl(m *protocol.Message) {
+// handleMessage processes one frame from the node: responses are matched
+// to the in-flight window by seq; everything else is control traffic.
+func (nm *nodeManager) handleMessage(m *protocol.Message) {
 	switch m.Type {
+	case protocol.TData, protocol.TMiss, protocol.TAck, protocol.TErr:
+		if pr, ok := nm.inflight[m.Seq]; ok {
+			delete(nm.inflight, m.Seq)
+			nm.deliver(pr, m)
+			return
+		}
+		// Stale response (post-timeout straggler or an eviction DEL's
+		// ack); recycle its payload rather than leaking it from the pool.
+		m.Recycle()
 	case protocol.TPong:
 		nm.validated = true
+		nm.validating = false
 		if nm.state == stateSleeping {
 			nm.setState(stateActive)
 		}
 	case protocol.TBye:
 		// Node returned; connection stays open for its next life. A BYE
-		// in Maybe also ends the backup takeover window.
+		// in Maybe also ends the backup takeover window. Anything in
+		// flight will never be answered by this invocation — re-drive it
+		// through a re-invoke.
 		nm.setState(stateSleeping)
 		nm.validated = false
+		if !nm.valInvoke {
+			// A BYE during an invoke wait is the previous life's goodbye
+			// racing our invocation; the fresh instance's PONG is still
+			// coming. Outside that window, validation is over.
+			nm.validating = false
+		}
+		nm.requeueInflight()
 	case protocol.TInitBackup:
 		nm.startBackup()
 	case protocol.TBackupDone:
 		nm.p.stats.BackupsDone.Add(1)
-	default:
-		// Stale response (post-timeout straggler); drop.
 	}
+}
+
+// pump drives the state machine toward "validated connection, window
+// full": it triggers invocation or preflight as the state demands and
+// sends every queued request the window can hold.
+func (nm *nodeManager) pump() {
+	if len(nm.queue) == 0 || nm.validating {
+		return
+	}
+	if nm.conn == nil || nm.state == stateSleeping {
+		nm.startInvoke()
+		return
+	}
+	if !nm.validated {
+		nm.startPing()
+		return
+	}
+	nm.flushDels()
+	now := nm.p.cfg.Clock.Now()
+	for len(nm.queue) > 0 && len(nm.inflight) < maxInflight {
+		pr := nm.queue[0]
+		nm.queue = nm.queue[1:]
+		if err := nm.conn.Forward(pr.typ, pr.seq, pr.key, "", nil, pr.payload); err != nil {
+			nm.retryOrFail(pr, true)
+			nm.dropConn() // also re-drives the window
+			nm.pump()     // immediately start the re-invoke round
+			return
+		}
+		pr.deadline = now.Add(nm.p.cfg.RequestTimeout)
+		nm.inflight[pr.seq] = pr
+		nm.sendOrder = append(nm.sendOrder, sentMark{seq: pr.seq, deadline: pr.deadline})
+	}
+}
+
+// startInvoke asks the platform to run the node and opens the
+// validation wait for its post-join PONG. A synchronous invoke error
+// charges an attempt against everything queued and tries again until
+// retries are exhausted.
+func (nm *nodeManager) startInvoke() {
+	for len(nm.queue) > 0 {
+		if err := nm.p.invokeNode(nm.name, lambdanode.CmdRequest); err != nil {
+			nm.chargeQueued()
+			continue
+		}
+		nm.validating = true
+		nm.valInvoke = true
+		nm.valDeadline = nm.p.cfg.Clock.Now().Add(nm.p.cfg.InvokeTimeout)
+		return
+	}
+}
+
+// startPing opens a preflight PING round trip (§3.3) — reached only on
+// a busy-period edge: after an adoption handshake expired, or after a
+// request timeout demoted the connection.
+func (nm *nodeManager) startPing() {
+	if err := nm.conn.Forward(protocol.TPing, nm.p.nextSeq(), nm.name, "", nil, nil); err != nil {
+		nm.dropConn()
+		nm.pump()
+		return
+	}
+	nm.validating = true
+	nm.valInvoke = false
+	nm.valDeadline = nm.p.cfg.Clock.Now().Add(nm.p.cfg.PingTimeout)
+}
+
+// expireAndArm times out overdue validation waits and in-flight
+// requests, re-drives what survives, and returns a timer channel for
+// the earliest remaining deadline (nil when nothing is pending). The
+// front of sendOrder always holds the earliest live request deadline,
+// so steady-state cost is O(1) amortised, and one timer is kept armed
+// across events rather than allocated per loop iteration (a spurious
+// wake after the earliest deadline moved later is harmless: the scan
+// finds nothing expired and re-arms).
+func (nm *nodeManager) expireAndArm() <-chan time.Time {
+	now := nm.p.cfg.Clock.Now()
+	expired := false
+	if nm.validating && !now.Before(nm.valDeadline) {
+		// No PONG: the node died or returned between our knowledge and
+		// now; fall back to Sleeping so the next pump re-invokes, and
+		// charge the round against everything still queued.
+		nm.validating = false
+		nm.validated = false
+		nm.setState(stateSleeping)
+		nm.chargeQueued()
+		expired = true
+	}
+	for len(nm.sendOrder) > 0 {
+		e := nm.sendOrder[0]
+		pr, ok := nm.inflight[e.seq]
+		if !ok || !pr.deadline.Equal(e.deadline) {
+			nm.sendOrder = nm.sendOrder[1:] // completed or re-driven; stale
+			continue
+		}
+		if now.Before(pr.deadline) {
+			break // everything behind is later still
+		}
+		nm.sendOrder = nm.sendOrder[1:]
+		delete(nm.inflight, e.seq)
+		// An unanswered request demotes the connection: the retry
+		// must re-validate (PING, then re-invoke if that too hangs)
+		// before anything else is sent.
+		nm.validated = false
+		nm.retryOrFail(pr, true)
+		expired = true
+	}
+	if expired {
+		nm.pump() // restart validation for whatever was requeued
+	}
+	var earliest time.Time
+	if nm.validating {
+		earliest = nm.valDeadline
+	}
+	if len(nm.sendOrder) > 0 {
+		if first := nm.sendOrder[0].deadline; earliest.IsZero() || first.Before(earliest) {
+			earliest = first
+		}
+	}
+	if earliest.IsZero() {
+		nm.timerC, nm.timerAt = nil, time.Time{}
+		return nil
+	}
+	if nm.timerC == nil || earliest.Before(nm.timerAt) {
+		nm.timerC = nm.p.cfg.Clock.After(earliest.Sub(now))
+		nm.timerAt = earliest
+	}
+	return nm.timerC
 }
 
 // startBackup is steps 2-4 of Figure 10: launch a relay and tell the
@@ -221,7 +520,8 @@ func (nm *nodeManager) startBackup() {
 	nm.conn.Send(&protocol.Message{Type: protocol.TBackupCmd, Key: nm.name, Addr: addr})
 }
 
-// flushDels sends queued evictions down a validated connection.
+// flushDels sends queued evictions down a validated connection. The
+// carry-over slice is reused across rounds rather than reallocated.
 func (nm *nodeManager) flushDels() {
 	for {
 		select {
@@ -237,152 +537,9 @@ drain:
 	}
 	kept := nm.pendingDel[:0]
 	for _, k := range nm.pendingDel {
-		if err := nm.conn.Send(&protocol.Message{Type: protocol.TDel, Key: k, Seq: nm.p.nextSeq()}); err != nil {
+		if err := nm.conn.Forward(protocol.TDel, nm.p.nextSeq(), k, "", nil, nil); err != nil {
 			kept = append(kept, k)
 		}
 	}
-	nm.pendingDel = append([]string(nil), kept...)
-}
-
-// process executes one chunk request with the full validation dance:
-// ensure a validated connection (invoking or preflight-PINGing as the
-// state demands), send, await the matching response, and retry through
-// re-invocation on timeouts and BYE races.
-func (nm *nodeManager) process(req *nodeRequest) {
-	for attempt := 0; attempt < nm.p.cfg.Retries; attempt++ {
-		if attempt > 0 {
-			nm.p.stats.Reinvokes.Add(1)
-		}
-		if !nm.validate() {
-			continue
-		}
-		nm.flushDels()
-		// Sending a request invalidates the connection (Figure 6 step 4);
-		// the next request must re-validate.
-		nm.validated = false
-		if err := nm.conn.Send(req.msg); err != nil {
-			nm.dropConn()
-			continue
-		}
-		if resp := nm.await(req.msg.Seq, nm.p.cfg.RequestTimeout); resp != nil {
-			req.respCh <- resp
-			return
-		}
-	}
-	nm.p.stats.ChunkFailures.Add(1)
-	req.respCh <- nil
-}
-
-// validate brings the connection to (*, Validated): invoke if Sleeping,
-// preflight PING if Active/Maybe (§3.3 "Preflight Message").
-func (nm *nodeManager) validate() bool {
-	if nm.conn == nil || nm.state == stateSleeping {
-		if err := nm.p.invokeNode(nm.name, lambdanode.CmdRequest); err != nil {
-			return false
-		}
-		return nm.awaitValidation(nm.p.cfg.InvokeTimeout)
-	}
-	if nm.validated {
-		return true
-	}
-	if err := nm.conn.Send(&protocol.Message{Type: protocol.TPing, Key: nm.name, Seq: nm.p.nextSeq()}); err != nil {
-		nm.dropConn()
-		return false
-	}
-	if nm.awaitValidation(nm.p.cfg.PingTimeout) {
-		return true
-	}
-	// No PONG: the node must have returned between our knowledge and the
-	// ping; mark Sleeping so the next attempt re-invokes.
-	nm.setState(stateSleeping)
-	nm.validated = false
-	return false
-}
-
-// awaitValidation waits for a PONG (possibly on a brand-new connection).
-func (nm *nodeManager) awaitValidation(timeout time.Duration) bool {
-	deadline := nm.p.cfg.Clock.Now().Add(timeout)
-	for {
-		remain := deadline.Sub(nm.p.cfg.Clock.Now())
-		if remain <= 0 {
-			return false
-		}
-		inbox := nm.inbox
-		select {
-		case <-nm.p.done:
-			return false
-		case j := <-nm.connCh:
-			nm.adopt(j)
-		case m, ok := <-inbox:
-			if !ok {
-				nm.dropConn()
-				continue
-			}
-			switch m.Type {
-			case protocol.TPong:
-				nm.validated = true
-				if nm.state == stateSleeping {
-					nm.setState(stateActive)
-				}
-				return true
-			case protocol.TBye:
-				nm.setState(stateSleeping)
-				nm.validated = false
-				// Keep waiting: a re-invoked instance will PONG.
-			case protocol.TInitBackup:
-				nm.startBackup()
-			case protocol.TBackupDone:
-				nm.p.stats.BackupsDone.Add(1)
-			}
-		case <-nm.p.cfg.Clock.After(remain):
-			return false
-		}
-	}
-}
-
-// await waits for the response to seq, handling control traffic and
-// connection swaps; nil means the caller should retry or fail.
-func (nm *nodeManager) await(seq uint64, timeout time.Duration) *protocol.Message {
-	deadline := nm.p.cfg.Clock.Now().Add(timeout)
-	for {
-		remain := deadline.Sub(nm.p.cfg.Clock.Now())
-		if remain <= 0 {
-			return nil
-		}
-		inbox := nm.inbox
-		select {
-		case <-nm.p.done:
-			return nil
-		case j := <-nm.connCh:
-			// Connection replaced mid-request (backup swap); retry the
-			// request on the new connection.
-			nm.adopt(j)
-			return nil
-		case m, ok := <-inbox:
-			if !ok {
-				nm.dropConn()
-				return nil
-			}
-			switch m.Type {
-			case protocol.TData, protocol.TMiss, protocol.TAck, protocol.TErr:
-				if m.Seq == seq {
-					return m
-				}
-				// Stale response from an abandoned attempt; ignore.
-			case protocol.TPong:
-				nm.validated = true
-			case protocol.TBye:
-				// Node returned without answering; re-invoke via retry.
-				nm.setState(stateSleeping)
-				nm.validated = false
-				return nil
-			case protocol.TInitBackup:
-				nm.startBackup()
-			case protocol.TBackupDone:
-				nm.p.stats.BackupsDone.Add(1)
-			}
-		case <-nm.p.cfg.Clock.After(remain):
-			return nil
-		}
-	}
+	nm.pendingDel = kept
 }

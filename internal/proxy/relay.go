@@ -85,7 +85,10 @@ func (p *Proxy) runRelay(ln net.Listener) {
 		}
 	}
 
-	// Bridge frames both ways until either side hangs up.
+	// Bridge frames both ways until either side hangs up. The relay is
+	// a pure forwarding hop: each frame's pooled payload is re-sent
+	// under the same header and recycled here, never copied or
+	// re-wrapped.
 	pipe := func(from, to *protocol.Conn, done chan<- struct{}) {
 		defer func() { done <- struct{}{} }()
 		for {
@@ -93,7 +96,9 @@ func (p *Proxy) runRelay(ln net.Listener) {
 			if err != nil {
 				return
 			}
-			if err := to.Send(m); err != nil {
+			err = to.Forward(m.Type, m.Seq, m.Key, m.Addr, m.Args, m.Payload)
+			m.Recycle()
+			if err != nil {
 				return
 			}
 		}

@@ -1,8 +1,7 @@
 package proxy
 
 import (
-	"sync"
-
+	"infinicache/internal/bufpool"
 	"infinicache/internal/protocol"
 )
 
@@ -33,37 +32,112 @@ const (
 	setArgRecovery
 )
 
-// session serves one client connection.
+// sessionWindow bounds the chunk requests one client session may have
+// in flight across all nodes; past it, the session drains completions
+// before reading further client frames (natural backpressure). It is
+// also the completions-channel capacity, which guarantees the node
+// dispatchers never block — or drop a reply — when delivering here.
+const sessionWindow = 1024
+
+// session serves one client connection: a single event loop multiplexing
+// inbound client frames and node-request completions over per-request
+// state machines. No goroutine is spawned per message; a 10+2 PUT's
+// twelve chunk SETs are all in flight down twelve node connections at
+// once, and GET fan-out streams first-d DATA frames to the client as
+// they land.
 type session struct {
 	p    *Proxy
 	conn *protocol.Conn
 
-	mu      sync.Mutex
-	putGens map[string]int64 // object key -> last seen put generation
-	wg      sync.WaitGroup
+	putGens     map[string]int64 // object key -> last seen put generation
+	completions chan nodeReply
+	outstanding int                     // chunk requests in flight
+	chunks      map[uint64]pendingChunk // node request seq -> owning op
+}
+
+// getOp tracks one client GET through its chunk fan-out.
+type getOp struct {
+	clientSeq uint64
+	key       string
+	size      int64
+	d, total  int
+	requested int  // chunk GETs issued
+	remaining int  // chunk GETs not yet completed
+	forwarded int  // DATA frames relayed to the client
+	missed    int  // definitive node MISSes
+	failed    int  // transient failures (timeout, swap)
+	done      bool // the client already got its answer
+}
+
+// setOp tracks one client chunk SET through its node store.
+type setOp struct {
+	clientSeq uint64
+	key       string
+	idx       int
+	node      int
+	size      int64
+	gen       int64 // put generation; a stale one must not commit
+	recovery  bool
+	payload   []byte // the client frame's pooled payload; recycled on completion
+}
+
+// pendingChunk links a node-request seq back to its op (exactly one of
+// get/set is non-nil).
+type pendingChunk struct {
+	get *getOp
+	set *setOp
+	idx int // chunk index within the get
 }
 
 func (s *session) run() {
 	defer s.conn.Close()
 	s.putGens = make(map[string]int64)
-	for {
-		m, err := s.conn.Recv()
-		if err != nil {
-			break
-		}
-		switch m.Type {
-		case protocol.TGet:
-			s.wg.Add(1)
-			go func(m *protocol.Message) { defer s.wg.Done(); s.handleGet(m) }(m)
-		case protocol.TSet:
-			s.wg.Add(1)
-			go func(m *protocol.Message) { defer s.wg.Done(); s.handleSet(m) }(m)
-		case protocol.TDel:
-			s.wg.Add(1)
-			go func(m *protocol.Message) { defer s.wg.Done(); s.handleDel(m) }(m)
+	s.completions = make(chan nodeReply, sessionWindow)
+	s.chunks = make(map[uint64]pendingChunk)
+	inbox := protocol.Pump(s.conn)
+	for inbox != nil || s.outstanding > 0 {
+		select {
+		case <-s.p.done:
+			return
+		case m, ok := <-inbox:
+			if !ok {
+				// Client hung up; finish the in-flight window (commits
+				// must still land in the mapping table) and exit.
+				inbox = nil
+				continue
+			}
+			s.handle(m)
+		case r := <-s.completions:
+			s.complete(r)
 		}
 	}
-	s.wg.Wait()
+}
+
+func (s *session) handle(m *protocol.Message) {
+	switch m.Type {
+	case protocol.TGet:
+		s.handleGet(m)
+	case protocol.TSet:
+		s.handleSet(m)
+	case protocol.TDel:
+		s.handleDel(m)
+	default:
+		m.Recycle()
+	}
+}
+
+// reserveWindow blocks until n more chunk requests fit in the session
+// window, draining completions meanwhile. Returns false on shutdown.
+func (s *session) reserveWindow(n int) bool {
+	for s.outstanding > 0 && s.outstanding+n > sessionWindow {
+		select {
+		case <-s.p.done:
+			return false
+		case r := <-s.completions:
+			s.complete(r)
+		}
+	}
+	return true
 }
 
 func (s *session) sendErr(seq uint64, key, text string) {
@@ -80,6 +154,9 @@ func (s *session) queueDels(dels []evictedChunk) {
 }
 
 // handleSet stores one erasure-coded chunk on the client-chosen node.
+// The frame's pooled payload travels to the node without a copy or a
+// re-wrap and is recycled when the node's ACK (or failure) completes
+// the op.
 func (s *session) handleSet(m *protocol.Message) {
 	s.p.stats.Puts.Add(1)
 	idx := int(m.Arg(setArgIdx))
@@ -92,6 +169,7 @@ func (s *session) handleSet(m *protocol.Message) {
 
 	if lambdaIdx < 0 || lambdaIdx >= len(s.p.nodes) || idx < 0 || idx >= total || total <= 0 || dShards <= 0 {
 		s.sendErr(m.Seq, m.Key, "proxy: bad SET arguments")
+		m.Recycle()
 		return
 	}
 	size := int64(len(m.Payload))
@@ -101,18 +179,14 @@ func (s *session) handleSet(m *protocol.Message) {
 		// object vanished meanwhile there is nothing to repair.
 		if _, ok := s.p.table.Lookup(m.Key); !ok {
 			s.sendErr(m.Seq, m.Key, "proxy: recovery for unknown object")
+			m.Recycle()
 			return
 		}
 	} else {
 		// The first chunk of a new PUT generation (re)initialises the
 		// object's mapping entry — cache invalidation upon overwrite.
-		s.mu.Lock()
-		fresh := s.putGens[m.Key] != putGen
-		if fresh {
+		if s.putGens[m.Key] != putGen {
 			s.putGens[m.Key] = putGen
-		}
-		s.mu.Unlock()
-		if fresh {
 			s.queueDels(s.p.table.BeginObject(m.Key, objSize, dShards, total))
 		}
 	}
@@ -122,38 +196,38 @@ func (s *session) handleSet(m *protocol.Message) {
 	s.p.stats.Evictions.Add(int64(evicted))
 	if err != nil {
 		s.sendErr(m.Seq, m.Key, err.Error())
+		m.Recycle()
 		return
 	}
 
-	chunkKey := ChunkKey(m.Key, idx)
-	resp := s.p.nodes[lambdaIdx].do(&protocol.Message{
-		Type:    protocol.TSet,
-		Key:     chunkKey,
-		Seq:     s.p.nextSeq(),
-		Payload: m.Payload,
-	})
-	if resp == nil || resp.Type != protocol.TAck {
+	if !s.reserveWindow(1) {
+		// Shutdown: undo the reservation and consume the frame.
 		s.p.table.ReleaseChunk(lambdaIdx, size)
-		s.sendErr(m.Seq, m.Key, "proxy: chunk store failed")
+		m.Recycle()
 		return
 	}
-	s.p.table.CommitChunk(m.Key, idx, lambdaIdx, size)
-	s.conn.Send(&protocol.Message{
-		Type: protocol.TAck, Seq: m.Seq, Key: m.Key, Args: []int64{int64(idx)},
-	})
+	seq := s.p.nextSeq()
+	op := &setOp{
+		clientSeq: m.Seq, key: m.Key, idx: idx, node: lambdaIdx,
+		size: size, gen: putGen, recovery: recovery, payload: m.Payload,
+	}
+	s.outstanding++
+	s.chunks[seq] = pendingChunk{set: op}
+	if !s.p.nodes[lambdaIdx].submit(protocol.TSet, seq, ChunkKey(m.Key, idx), m.Payload, s.completions) {
+		s.outstanding--
+		delete(s.chunks, seq)
+		s.p.table.ReleaseChunk(lambdaIdx, size)
+		m.Recycle()
+	}
 }
 
-// chunkResult pairs a chunk index with the node's reply.
-type chunkResult struct {
-	idx  int
-	resp *protocol.Message
-}
-
-// handleGet implements the first-d parallel fan-out (§3.2): request every
-// present chunk concurrently and stream the first d arrivals straight to
-// the client, leaving stragglers behind.
+// handleGet implements the first-d parallel fan-out (§3.2): every
+// present chunk is requested at once — the dispatchers pipeline them
+// down the node connections — and the first d arrivals stream straight
+// to the client; stragglers are recycled as they trickle in.
 func (s *session) handleGet(m *protocol.Message) {
 	s.p.stats.Gets.Add(1)
+	defer m.Recycle()
 	meta, ok := s.p.table.Lookup(m.Key)
 	if !ok {
 		s.p.stats.GetMisses.Add(1)
@@ -169,67 +243,134 @@ func (s *session) handleGet(m *protocol.Message) {
 	d := meta.DataShards
 	if len(present) < d {
 		// More than p chunks already lost: the object is gone.
-		s.objectLost(m)
+		s.objectLost(m.Seq, m.Key)
 		return
 	}
-
-	results := make(chan chunkResult, len(present))
-	for _, i := range present {
-		idx := i
-		loc := meta.Chunks[idx]
-		go func() {
-			resp := s.p.nodes[loc.Node].do(&protocol.Message{
-				Type: protocol.TGet,
-				Key:  ChunkKey(m.Key, idx),
-				Seq:  s.p.nextSeq(),
-			})
-			results <- chunkResult{idx: idx, resp: resp}
-		}()
+	if !s.reserveWindow(len(present)) {
+		return
 	}
+	op := &getOp{
+		clientSeq: m.Seq, key: m.Key, size: meta.Size,
+		d: d, total: meta.TotalShards,
+	}
+	for _, i := range present {
+		seq := s.p.nextSeq()
+		s.outstanding++
+		op.requested++
+		op.remaining++
+		s.chunks[seq] = pendingChunk{get: op, idx: i}
+		if !s.p.nodes[meta.Chunks[i].Node].submit(protocol.TGet, seq, ChunkKey(m.Key, i), nil, s.completions) {
+			s.outstanding--
+			op.requested--
+			op.remaining--
+			delete(s.chunks, seq)
+			return // shutting down
+		}
+	}
+}
 
-	forwarded, missed, failed := 0, 0, 0
-	outstanding := len(present)
-	for outstanding > 0 && forwarded < d {
-		r := <-results
-		outstanding--
-		switch {
-		case r.resp != nil && r.resp.Type == protocol.TData:
-			s.conn.Send(&protocol.Message{
-				Type:    protocol.TData,
-				Seq:     m.Seq,
-				Key:     m.Key,
-				Args:    []int64{int64(r.idx), meta.Size, int64(d), int64(meta.TotalShards)},
-				Payload: r.resp.Payload,
-			})
-			forwarded++
-		case r.resp != nil && r.resp.Type == protocol.TMiss:
+// complete advances the op owning one finished node request.
+func (s *session) complete(r nodeReply) {
+	pc, ok := s.chunks[r.Seq]
+	if !ok {
+		if r.Msg != nil {
+			r.Msg.Recycle()
+		}
+		return
+	}
+	delete(s.chunks, r.Seq)
+	s.outstanding--
+	if pc.set != nil {
+		s.completeSet(pc.set, r.Msg)
+	} else {
+		s.completeGet(pc.get, pc.idx, r.Msg)
+	}
+}
+
+func (s *session) completeSet(op *setOp, resp *protocol.Message) {
+	if resp != nil && resp.Type == protocol.TAck {
+		if !op.recovery && s.putGens[op.key] != op.gen {
+			// A newer PUT generation superseded this chunk while it was
+			// being re-driven: committing would point the mapping table
+			// at stale bytes. Release the reservation and delete the
+			// node's copy (it may have clobbered the new generation's
+			// chunk under the same key; a lost chunk is recoverable
+			// through parity, a silently mixed one is not).
+			s.p.table.ReleaseChunk(op.node, op.size)
+			s.p.nodes[op.node].queueDel(ChunkKey(op.key, op.idx))
+			s.sendErr(op.clientSeq, op.key, "proxy: chunk superseded by a newer put")
+		} else {
+			s.p.table.CommitChunk(op.key, op.idx, op.node, op.size)
+			s.conn.Forward(protocol.TAck, op.clientSeq, op.key, "", []int64{int64(op.idx)}, nil)
+		}
+	} else {
+		s.p.table.ReleaseChunk(op.node, op.size)
+		s.sendErr(op.clientSeq, op.key, "proxy: chunk store failed")
+	}
+	if resp != nil {
+		resp.Recycle()
+	}
+	// This hop consumed the client's SET frame; its payload is free.
+	bufpool.Put(op.payload)
+	op.payload = nil
+}
+
+func (s *session) completeGet(op *getOp, idx int, resp *protocol.Message) {
+	op.remaining--
+	switch {
+	case resp != nil && resp.Type == protocol.TData:
+		if !op.done {
+			// Zero-rewrap relay: the node frame's pooled payload goes
+			// out under a rewritten header, then straight back to the
+			// pool — no copy, no fresh Message.
+			s.conn.Forward(protocol.TData, op.clientSeq, op.key,
+				"", []int64{int64(idx), op.size, int64(op.d), int64(op.total)},
+				resp.Payload)
+			op.forwarded++
+			if op.forwarded >= op.d {
+				op.done = true
+				s.p.stats.GetHits.Add(1)
+				if op.missed+op.failed > 0 {
+					s.p.stats.DegradedGets.Add(1)
+				}
+			}
+		}
+		// First-d already served → this is a straggler; either way the
+		// payload's journey ends at this hop.
+		resp.Recycle()
+	case resp != nil && resp.Type == protocol.TMiss:
+		if !op.done {
 			// The node definitively lost this chunk (reclaimed
 			// instance): record it in the mapping table.
 			s.p.stats.ChunkMisses.Add(1)
-			s.p.table.MarkChunkLost(m.Key, r.idx)
-			missed++
-		default:
-			// Transient failure (timeout, mid-backup swap): the chunk
-			// may still exist; do not mark it lost.
-			failed++
+			s.p.table.MarkChunkLost(op.key, idx)
+			op.missed++
+		}
+		resp.Recycle()
+	default:
+		// Transient failure (timeout, mid-backup swap): the chunk
+		// may still exist; do not mark it lost.
+		if !op.done {
+			op.failed++
+		}
+		if resp != nil {
+			resp.Recycle()
 		}
 	}
-	if forwarded >= d {
-		s.p.stats.GetHits.Add(1)
-		if missed+failed > 0 {
-			s.p.stats.DegradedGets.Add(1)
-		}
+	if op.done || op.remaining > 0 {
 		return
 	}
-	if len(present)-missed < d {
+	// Fan-out exhausted without d chunks.
+	op.done = true
+	if op.requested-op.missed < op.d {
 		// Confirmed losses alone exceed parity: the object is gone.
-		s.objectLost(m)
+		s.objectLost(op.clientSeq, op.key)
 		return
 	}
 	// Not enough chunks arrived but the object may survive: tell the
 	// client to retry rather than declaring a loss.
 	s.conn.Send(&protocol.Message{
-		Type: protocol.TErr, Seq: m.Seq, Key: m.Key,
+		Type: protocol.TErr, Seq: op.clientSeq, Key: op.key,
 		Args:    []int64{1}, // 1 = transient
 		Payload: []byte("proxy: transient chunk failures; retry"),
 	})
@@ -237,16 +378,17 @@ func (s *session) handleGet(m *protocol.Message) {
 
 // objectLost reports an unavailable object: > p chunks lost. The client
 // will RESET it (fetch from the backing store and re-insert, §5.2).
-func (s *session) objectLost(m *protocol.Message) {
+func (s *session) objectLost(seq uint64, key string) {
 	s.p.stats.ObjectLosses.Add(1)
-	s.queueDels(s.p.table.Drop(m.Key))
+	s.queueDels(s.p.table.Drop(key))
 	s.conn.Send(&protocol.Message{
-		Type: protocol.TMiss, Seq: m.Seq, Key: m.Key, Args: []int64{1}, // 1 = loss, not cold miss
+		Type: protocol.TMiss, Seq: seq, Key: key, Args: []int64{1}, // 1 = loss, not cold miss
 	})
 }
 
 func (s *session) handleDel(m *protocol.Message) {
 	s.p.stats.Dels.Add(1)
 	s.queueDels(s.p.table.Drop(m.Key))
-	s.conn.Send(&protocol.Message{Type: protocol.TAck, Seq: m.Seq, Key: m.Key})
+	s.conn.Forward(protocol.TAck, m.Seq, m.Key, "", nil, nil)
+	m.Recycle()
 }
