@@ -11,7 +11,9 @@
 package infinicache_test
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"strings"
@@ -351,14 +353,15 @@ func BenchmarkRequestPlane(b *testing.B) {
 		rand.New(rand.NewSource(int64(sz.n))).Read(obj)
 		b.Run("PUT/"+sz.name, func(b *testing.B) {
 			c, pool := benchRequestPlane(b)
-			if err := c.Put("bench-obj", obj); err != nil { // warm the pool
+			ctx := context.Background()
+			if err := c.PutCtx(ctx, "bench-obj", obj); err != nil { // warm the pool
 				b.Fatal(err)
 			}
 			start := pool.pings.Load()
 			b.SetBytes(int64(sz.n))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := c.Put("bench-obj", obj); err != nil {
+				if err := c.PutCtx(ctx, "bench-obj", obj); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -367,17 +370,18 @@ func BenchmarkRequestPlane(b *testing.B) {
 		})
 		b.Run("GET/"+sz.name, func(b *testing.B) {
 			c, pool := benchRequestPlane(b)
-			if err := c.Put("bench-obj", obj); err != nil {
+			ctx := context.Background()
+			if err := c.PutCtx(ctx, "bench-obj", obj); err != nil {
 				b.Fatal(err)
 			}
-			if _, err := c.Get("bench-obj"); err != nil { // warm the pool
+			if _, err := c.GetCtx(ctx, "bench-obj"); err != nil { // warm the pool
 				b.Fatal(err)
 			}
 			start := pool.pings.Load()
 			b.SetBytes(int64(sz.n))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := c.Get("bench-obj"); err != nil {
+				if _, err := c.GetCtx(ctx, "bench-obj"); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -385,6 +389,149 @@ func BenchmarkRequestPlane(b *testing.B) {
 			b.ReportMetric(float64(pool.pings.Load()-start)/float64(b.N), "pings/op")
 		})
 	}
+}
+
+// BenchmarkGetZeroCopy compares the two GET consumption paths on the
+// live loopback stack: "copy" materialises a contiguous []byte
+// (GetCtx, the legacy Get semantics — one reassembly allocation+copy
+// per op), "zerocopy" streams the pooled first-d shard buffers through
+// the Object handle (GetObject → WriteTo → Release, no reassembly
+// buffer). Run with -benchmem: the zero-copy path must show fewer
+// allocs/op and lower ns/op (single-core container: the win is the
+// removed copy, not parallelism).
+func BenchmarkGetZeroCopy(b *testing.B) {
+	ctx := context.Background()
+	sizes := []struct {
+		name string
+		n    int
+	}{
+		{"1MiB", 1 << 20},
+		{"10MiB", 10 << 20},
+	}
+	for _, sz := range sizes {
+		obj := make([]byte, sz.n)
+		rand.New(rand.NewSource(int64(sz.n))).Read(obj)
+		b.Run("copy/"+sz.name, func(b *testing.B) {
+			c, _ := benchRequestPlane(b)
+			if err := c.PutCtx(ctx, "bench-obj", obj); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.GetCtx(ctx, "bench-obj"); err != nil { // warm the pool
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(sz.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				data, err := c.GetCtx(ctx, "bench-obj")
+				if err != nil || len(data) != sz.n {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("zerocopy/"+sz.name, func(b *testing.B) {
+			c, _ := benchRequestPlane(b)
+			if err := c.PutCtx(ctx, "bench-obj", obj); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.GetCtx(ctx, "bench-obj"); err != nil { // warm the pool
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(sz.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h, err := c.GetObject(ctx, "bench-obj")
+				if err != nil {
+					b.Fatal(err)
+				}
+				n, err := h.WriteTo(io.Discard)
+				if err != nil || n != int64(sz.n) {
+					b.Fatal(err)
+				}
+				h.Release()
+			}
+		})
+	}
+}
+
+// BenchmarkMGet compares fetching a 16-key working set one blocking
+// round trip at a time against one pipelined MGet burst over the same
+// proxy connection (and MPut against sequential PUTs for the write
+// side).
+func BenchmarkMGet(b *testing.B) {
+	const nkeys = 16
+	const objSize = 64 << 10
+	ctx := context.Background()
+	keys := make([]string, nkeys)
+	pairs := make([]client.KV, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench-mget/%d", i)
+		blob := make([]byte, objSize)
+		rand.New(rand.NewSource(int64(i))).Read(blob)
+		pairs[i] = client.KV{Key: keys[i], Value: blob}
+	}
+	seed := func(b *testing.B, c *client.Client) {
+		b.Helper()
+		for _, r := range c.MPut(ctx, pairs...) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.Run("GET/sequential", func(b *testing.B) {
+		c, _ := benchRequestPlane(b)
+		seed(b, c)
+		b.SetBytes(nkeys * objSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, k := range keys {
+				h, err := c.GetObject(ctx, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				h.Release()
+			}
+		}
+	})
+	b.Run("GET/batch", func(b *testing.B) {
+		c, _ := benchRequestPlane(b)
+		seed(b, c)
+		b.SetBytes(nkeys * objSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, r := range c.MGet(ctx, keys...) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+				r.Object.Release()
+			}
+		}
+	})
+	b.Run("PUT/sequential", func(b *testing.B) {
+		c, _ := benchRequestPlane(b)
+		seed(b, c)
+		b.SetBytes(nkeys * objSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, kv := range pairs {
+				if err := c.PutCtx(ctx, kv.Key, kv.Value); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("PUT/batch", func(b *testing.B) {
+		c, _ := benchRequestPlane(b)
+		seed(b, c)
+		b.SetBytes(nkeys * objSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, r := range c.MPut(ctx, pairs...) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkAvailabilityModel evaluates the §4.3 analytical equations.

@@ -1,9 +1,9 @@
-// ic-bench runs the live-system microbenchmarks (Figures 4, 11, 12)
-// against a real in-process deployment.
+// ic-bench runs the live-system microbenchmarks (Figures 4, 11, 12,
+// plus the batched-client probe) against a real in-process deployment.
 //
 // Usage:
 //
-//	ic-bench [-fig 4|11|11f|12|all] [-samples 5] [-quick]
+//	ic-bench [-fig 4|11|11f|12|batch|all] [-samples 5] [-quick]
 package main
 
 import (
@@ -40,5 +40,12 @@ func main() {
 	}
 	if want("12") {
 		fmt.Println(exps.Figure12([]int{1, 2, 4, 8}, 2, *seed))
+	}
+	if want("batch") {
+		keys := 24
+		if *quick {
+			keys = 8
+		}
+		fmt.Println(exps.BatchProbe(keys, *samples, *seed))
 	}
 }

@@ -1,6 +1,6 @@
 // Docker-registry scenario: the workload that motivates the paper. A
 // registry serves large image layers out of an S3-like backing store;
-// InfiniCache sits in front as a look-aside cache (GetOrLoad). The
+// InfiniCache sits in front as a look-aside cache (GetOrLoadCtx). The
 // example replays a short synthetic IBM-trace-style workload and
 // reports hit ratio, latency by object size, and the Lambda bill.
 //
@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -21,14 +22,13 @@ import (
 )
 
 func main() {
-	cache, err := infinicache.New(infinicache.Config{
-		NodesPerProxy: 16,
-		NodeMemoryMB:  512,
-		DataShards:    10,
-		ParityShards:  2,
-		TimeScale:     0.01, // 100x compression
-		Seed:          7,
-	})
+	cache, err := infinicache.New(
+		infinicache.WithNodesPerProxy(16),
+		infinicache.WithNodeMemoryMB(512),
+		infinicache.WithShards(10, 2),
+		infinicache.WithTimeScale(0.01), // 100x compression
+		infinicache.WithSeed(7),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,6 +39,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer client.Close()
+	ctx := context.Background()
 
 	store := backing.New(cache.Clock(), 7)
 
@@ -64,7 +65,7 @@ func main() {
 			store.Put(key, blob)
 		}
 		start := time.Now()
-		if _, err := client.GetOrLoad(key, func() ([]byte, error) {
+		if _, err := client.GetOrLoadCtx(ctx, key, func(context.Context) ([]byte, error) {
 			return store.Get(key)
 		}); err != nil {
 			log.Fatalf("GET %s: %v", key, err)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -20,17 +21,16 @@ import (
 )
 
 func main() {
-	cache, err := infinicache.New(infinicache.Config{
-		NodesPerProxy:  8,
-		NodeMemoryMB:   256,
-		DataShards:     4,
-		ParityShards:   2,
-		WarmupInterval: 2 * time.Second, // virtual
-		BackupInterval: 4 * time.Second, // virtual
-		TimeScale:      0.01,            // 100x compression
-		EnableRecovery: true,
-		Seed:           13,
-	})
+	cache, err := infinicache.New(
+		infinicache.WithNodesPerProxy(8),
+		infinicache.WithNodeMemoryMB(256),
+		infinicache.WithShards(4, 2),
+		infinicache.WithWarmupInterval(2*time.Second), // virtual
+		infinicache.WithBackupInterval(4*time.Second), // virtual
+		infinicache.WithTimeScale(0.01),               // 100x compression
+		infinicache.WithRecovery(true),
+		infinicache.WithSeed(13),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,10 +41,11 @@ func main() {
 		log.Fatal(err)
 	}
 	defer client.Close()
+	ctx := context.Background()
 
 	obj := make([]byte, 512<<10)
 	rand.New(rand.NewSource(13)).Read(obj)
-	if err := client.Put("precious", obj); err != nil {
+	if err := client.PutCtx(ctx, "precious", obj); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("stored 512 KB object as RS(4+2) chunks on 8 Lambda nodes")
@@ -55,7 +56,7 @@ func main() {
 	// Wave 1: lose p = 2 nodes; erasure coding absorbs it.
 	d.Platform.ForceReclaim(core.NodeName(0, 0))
 	d.Platform.ForceReclaim(core.NodeName(0, 1))
-	if _, err := client.Get("precious"); err != nil {
+	if _, err := client.GetCtx(ctx, "precious"); err != nil {
 		log.Fatalf("wave 1: %v", err)
 	}
 	fmt.Printf("wave 1: reclaimed 2 nodes -> EC decode served the object (decodes=%d, recovered chunks=%d)\n",
@@ -73,7 +74,7 @@ func main() {
 	for i := 0; i < 8; i++ {
 		d.Platform.ForceReclaimN(core.NodeName(0, i), 1)
 	}
-	if _, err := client.Get("precious"); err != nil {
+	if _, err := client.GetCtx(ctx, "precious"); err != nil {
 		log.Fatalf("wave 2: %v", err)
 	}
 	fmt.Println("wave 2: reclaimed one replica of EVERY node -> peer replicas served the object")
@@ -82,19 +83,19 @@ func main() {
 	for i := 0; i < 8; i++ {
 		d.Platform.ForceReclaim(core.NodeName(0, i))
 	}
-	_, err = client.Get("precious")
+	_, err = client.GetCtx(ctx, "precious")
 	fmt.Printf("wave 3: reclaimed everything -> Get says: %v\n", err)
 	if !errors.Is(err, infinicache.ErrLost) && !errors.Is(err, infinicache.ErrMiss) {
 		log.Fatal("expected a loss after total reclamation")
 	}
-	got, err := client.GetOrLoad("precious", func() ([]byte, error) {
+	got, err := client.GetOrLoadCtx(ctx, "precious", func(context.Context) ([]byte, error) {
 		fmt.Println("        RESET: reloading from the backing store and re-inserting")
 		return obj, nil
 	})
 	if err != nil || len(got) != len(obj) {
 		log.Fatalf("reset failed: %v", err)
 	}
-	if _, err := client.Get("precious"); err != nil {
+	if _, err := client.GetCtx(ctx, "precious"); err != nil {
 		log.Fatalf("after reset: %v", err)
 	}
 	fmt.Printf("object cached again; losses observed=%d\n\n", client.Stats().Losses.Load())

@@ -1,11 +1,13 @@
 // Quickstart: start a local InfiniCache deployment, store a 10 MB
-// object, read it back, and print the client and billing statistics.
+// object, read it back through the zero-copy Object handle, and print
+// the client and billing statistics.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -16,14 +18,13 @@ import (
 )
 
 func main() {
-	cache, err := infinicache.New(infinicache.Config{
-		NodesPerProxy: 14,
-		NodeMemoryMB:  512,
-		DataShards:    10,
-		ParityShards:  2,
-		TimeScale:     0.05, // 20x faster than wall clock
-		Seed:          42,
-	})
+	cache, err := infinicache.New(
+		infinicache.WithNodesPerProxy(14),
+		infinicache.WithNodeMemoryMB(512),
+		infinicache.WithShards(10, 2),
+		infinicache.WithTimeScale(0.05), // 20x faster than wall clock
+		infinicache.WithSeed(42),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,21 +38,30 @@ func main() {
 
 	obj := make([]byte, 10<<20)
 	rand.New(rand.NewSource(1)).Read(obj)
+	ctx := context.Background()
 
 	start := time.Now()
-	if err := client.Put("quickstart/object", obj); err != nil {
+	if err := client.PutCtx(ctx, "quickstart/object", obj); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("PUT 10 MB as RS(10+2) chunks across 14 Lambda nodes in %v\n", time.Since(start).Round(time.Millisecond))
 
+	// GetObject hands back the first-d shard buffers without the
+	// reassembly copy; stream with WriteTo/Read, or copy with Bytes.
 	start = time.Now()
-	got, err := client.Get("quickstart/object")
+	handle, err := client.GetObject(ctx, "quickstart/object")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("GET 10 MB (first-d parallel chunk fetch)        in %v\n", time.Since(start).Round(time.Millisecond))
+	var out bytes.Buffer
+	out.Grow(handle.Size())
+	if _, err := handle.WriteTo(&out); err != nil {
+		log.Fatal(err)
+	}
+	handle.Release() // shard buffers go back to the pool
+	fmt.Printf("GET 10 MB (first-d parallel fetch, zero-copy)   in %v\n", time.Since(start).Round(time.Millisecond))
 
-	if !bytes.Equal(got, obj) {
+	if !bytes.Equal(out.Bytes(), obj) {
 		log.Fatal("object corrupted!")
 	}
 	fmt.Println("object verified byte-for-byte")

@@ -5,22 +5,39 @@
 //
 // The public API wraps a full local deployment — an emulated serverless
 // platform (internal/lambdaemu), one or more proxies (internal/proxy),
-// and erasure-coding clients (internal/client) — behind a simple
-// Get/Put/GetOrLoad interface:
+// and erasure-coding clients (internal/client) — behind a context-first
+// streaming interface configured with functional options:
 //
-//	cache, err := infinicache.New(infinicache.Config{})
+//	cache, err := infinicache.New(
+//		infinicache.WithShards(10, 2),
+//		infinicache.WithNodesPerProxy(14),
+//	)
 //	if err != nil { ... }
 //	defer cache.Close()
 //
 //	client, err := cache.NewClient()
 //	if err != nil { ... }
-//	if err := client.Put("my-object", data); err != nil { ... }
-//	data, err = client.Get("my-object")
+//	ctx := context.Background()
+//	if err := client.PutCtx(ctx, "my-object", data); err != nil { ... }
+//
+//	obj, err := client.GetObject(ctx, "my-object") // zero-copy handle
+//	if err != nil { ... }
+//	obj.WriteTo(w) // stream the shards straight out, no reassembly copy
+//	obj.Release()  // return the pooled buffers
+//
+// Batches ride one pipelined burst per owning proxy:
+//
+//	for _, r := range client.MGet(ctx, keys...) {
+//		if r.Err == nil { r.Object.WriteTo(w); r.Object.Release() }
+//	}
 //
 // Objects are Reed-Solomon encoded into d+p chunks spread over a pool of
 // emulated Lambda functions; the platform reclaims functions per a
 // configurable policy, and the cache defends itself with parity chunks,
 // periodic warm-ups, and the paper's delta-sync backup protocol.
+// Cancelling a context propagates end-to-end: the client CANCELs the
+// in-flight request so the proxy's dispatcher window slots free up
+// instead of serving a caller that left.
 package infinicache
 
 import (
@@ -34,7 +51,9 @@ import (
 
 // Config mirrors the paper's deployment knobs. The zero value gives a
 // small single-proxy cluster with RS(10+2), 1-minute warm-ups and
-// 5-minute backups at real-time pacing.
+// 5-minute backups at real-time pacing. Construction goes through
+// functional options (New(WithShards(10, 2), ...)); Config remains for
+// NewFromConfig and programmatic option application.
 type Config struct {
 	// Proxies is the number of proxies (default 1).
 	Proxies int
@@ -55,6 +74,8 @@ type Config struct {
 	// TimeScale compresses virtual time (e.g. 0.01 runs 100x faster
 	// than the wall clock); 0 means real time.
 	TimeScale float64
+	// RequestTimeout bounds each client operation (default 60s).
+	RequestTimeout time.Duration
 	// EnableRecovery re-inserts EC-reconstructed chunks after degraded
 	// reads (default true).
 	EnableRecovery bool
@@ -62,16 +83,101 @@ type Config struct {
 	Seed int64
 }
 
+// Option adjusts the deployment configuration at New time.
+type Option func(*Config)
+
+// WithProxies sets the number of proxies.
+func WithProxies(n int) Option { return func(c *Config) { c.Proxies = n } }
+
+// WithNodesPerProxy sets the Lambda pool size behind each proxy.
+func WithNodesPerProxy(n int) Option { return func(c *Config) { c.NodesPerProxy = n } }
+
+// WithNodeMemoryMB sizes each cache-node function.
+func WithNodeMemoryMB(mb int) Option { return func(c *Config) { c.NodeMemoryMB = mb } }
+
+// WithShards picks the RS(d+p) erasure code.
+func WithShards(data, parity int) Option {
+	return func(c *Config) { c.DataShards, c.ParityShards = data, parity }
+}
+
+// WithWarmupInterval sets T_warm (§4.2); 0 or negative disables
+// warm-ups. (Config keeps 0 as "take the default", so the option maps
+// disable requests to the negative sentinel New resolves.)
+func WithWarmupInterval(d time.Duration) Option {
+	return func(c *Config) {
+		if d <= 0 {
+			d = -1
+		}
+		c.WarmupInterval = d
+	}
+}
+
+// WithBackupInterval sets T_bak (§4.2); 0 or negative disables
+// delta-sync backups.
+func WithBackupInterval(d time.Duration) Option {
+	return func(c *Config) {
+		if d <= 0 {
+			d = -1
+		}
+		c.BackupInterval = d
+	}
+}
+
+// WithReclaimPolicy drives provider-side reclamation.
+func WithReclaimPolicy(p lambdaemu.ReclaimPolicy) Option {
+	return func(c *Config) { c.ReclaimPolicy = p }
+}
+
+// WithTimeScale compresses virtual time (0.01 = 100x faster).
+func WithTimeScale(s float64) Option { return func(c *Config) { c.TimeScale = s } }
+
+// WithTimeout bounds each client operation (the default for clients
+// made by NewClient; override per client with ClientTimeout).
+func WithTimeout(d time.Duration) Option { return func(c *Config) { c.RequestTimeout = d } }
+
+// WithRecovery toggles client-side EC chunk recovery after degraded
+// reads.
+func WithRecovery(on bool) Option { return func(c *Config) { c.EnableRecovery = on } }
+
+// WithSeed makes placement and policies deterministic.
+func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
+
 // Cache is a running InfiniCache deployment.
 type Cache struct {
 	d *core.Deployment
 }
 
-// Client is the application-facing cache handle (GET/PUT/GetOrLoad/Del).
+// Client is the application-facing cache handle: context-first
+// GetObject/GetCtx/PutCtx/DelCtx/GetOrLoadCtx plus the batched
+// MGet/MPut, with deprecated context-free wrappers.
 type Client = client.Client
+
+// Object is the zero-copy handle a GetObject returns: stream it with
+// WriteTo/Read or copy with Bytes, then Release it to recycle the
+// pooled shard buffers.
+type Object = client.Object
+
+// KV, GetResult and PutResult are the batch-operation inputs/outcomes.
+type (
+	KV        = client.KV
+	GetResult = client.GetResult
+	PutResult = client.PutResult
+)
 
 // Stats re-exports the client counters.
 type Stats = client.Stats
+
+// ClientOption tunes one client made by NewClient.
+type ClientOption = client.Option
+
+// Per-client options (NewClient(...)): request timeout, EC recovery,
+// RS code and placement seed overrides.
+var (
+	ClientTimeout  = client.WithRequestTimeout
+	ClientRecovery = client.WithRecovery
+	ClientShards   = client.WithShards
+	ClientSeed     = client.WithSeed
+)
 
 // Errors re-exported from the client library.
 var (
@@ -80,10 +186,25 @@ var (
 	// ErrLost: the key was cached but reclamation destroyed more than
 	// p chunks; reload it from the backing store.
 	ErrLost = client.ErrLost
+	// ErrTimeout: the operation outlived the request timeout.
+	ErrTimeout = client.ErrTimeout
+	// ErrReleased: an Object was used after Release.
+	ErrReleased = client.ErrReleased
 )
 
-// New starts a deployment.
-func New(cfg Config) (*Cache, error) {
+// New starts a deployment configured by opts.
+func New(opts ...Option) (*Cache, error) {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return NewFromConfig(cfg)
+}
+
+// NewFromConfig starts a deployment from an explicit Config.
+//
+// Deprecated: use New with functional options.
+func NewFromConfig(cfg Config) (*Cache, error) {
 	if cfg.NodesPerProxy == 0 {
 		cfg.NodesPerProxy = 20
 	}
@@ -92,9 +213,13 @@ func New(cfg Config) (*Cache, error) {
 	}
 	if cfg.WarmupInterval == 0 {
 		cfg.WarmupInterval = time.Minute
+	} else if cfg.WarmupInterval < 0 {
+		cfg.WarmupInterval = 0 // explicit disable (core: 0 = off)
 	}
 	if cfg.BackupInterval == 0 {
 		cfg.BackupInterval = 5 * time.Minute
+	} else if cfg.BackupInterval < 0 {
+		cfg.BackupInterval = 0
 	}
 	d, err := core.New(core.Config{
 		Proxies:        cfg.Proxies,
@@ -106,6 +231,7 @@ func New(cfg Config) (*Cache, error) {
 		BackupInterval: cfg.BackupInterval,
 		ReclaimPolicy:  cfg.ReclaimPolicy,
 		TimeScale:      cfg.TimeScale,
+		RequestTimeout: cfg.RequestTimeout,
 		EnableRecovery: cfg.EnableRecovery,
 		Seed:           cfg.Seed,
 	})
@@ -116,8 +242,9 @@ func New(cfg Config) (*Cache, error) {
 }
 
 // NewClient returns a cache client; each client maintains its own proxy
-// connections and can be used concurrently.
-func (c *Cache) NewClient() (*Client, error) { return c.d.NewClient() }
+// connections and can be used concurrently. Options override the
+// deployment defaults for this client only.
+func (c *Cache) NewClient(opts ...ClientOption) (*Client, error) { return c.d.NewClient(opts...) }
 
 // Deployment exposes the underlying deployment for advanced use
 // (fault injection, platform stats, proxy metrics).

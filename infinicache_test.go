@@ -2,7 +2,10 @@ package infinicache_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
+	"fmt"
+	"io"
 	"math/rand"
 	"testing"
 
@@ -11,14 +14,13 @@ import (
 
 func newTestCache(t *testing.T) *infinicache.Cache {
 	t.Helper()
-	c, err := infinicache.New(infinicache.Config{
-		NodesPerProxy: 8,
-		NodeMemoryMB:  256,
-		DataShards:    4,
-		ParityShards:  2,
-		TimeScale:     0.02,
-		Seed:          1,
-	})
+	c, err := infinicache.New(
+		infinicache.WithNodesPerProxy(8),
+		infinicache.WithNodeMemoryMB(256),
+		infinicache.WithShards(4, 2),
+		infinicache.WithTimeScale(0.02),
+		infinicache.WithSeed(1),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,21 +35,122 @@ func TestPublicAPIQuickstart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
+	ctx := context.Background()
 
 	obj := make([]byte, 1<<20)
 	rand.New(rand.NewSource(1)).Read(obj)
-	if err := cl.Put("hello", obj); err != nil {
+	if err := cl.PutCtx(ctx, "hello", obj); err != nil {
 		t.Fatal(err)
 	}
-	got, err := cl.Get("hello")
+	got, err := cl.GetCtx(ctx, "hello")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, obj) {
 		t.Fatal("round trip corrupted the object")
 	}
-	if _, err := cl.Get("missing"); !errors.Is(err, infinicache.ErrMiss) {
+	if _, err := cl.GetCtx(ctx, "missing"); !errors.Is(err, infinicache.ErrMiss) {
 		t.Fatalf("expected ErrMiss, got %v", err)
+	}
+
+	// The deprecated context-free wrappers keep working.
+	if err := cl.Put("compat", obj[:1024]); err != nil {
+		t.Fatal(err)
+	}
+	got, err = cl.Get("compat")
+	if err != nil || !bytes.Equal(got, obj[:1024]) {
+		t.Fatalf("deprecated Get/Put round trip: %v", err)
+	}
+	if err := cl.Del("compat"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Get("compat"); !errors.Is(err, infinicache.ErrMiss) {
+		t.Fatalf("expected ErrMiss after Del, got %v", err)
+	}
+}
+
+func TestPublicAPIZeroCopyObject(t *testing.T) {
+	cache := newTestCache(t)
+	cl, err := cache.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	obj := make([]byte, 777<<10) // odd size exercises the tail segment
+	rand.New(rand.NewSource(3)).Read(obj)
+	if err := cl.PutCtx(ctx, "zc", obj); err != nil {
+		t.Fatal(err)
+	}
+
+	handle, err := cl.GetObject(ctx, "zc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if handle.Size() != len(obj) {
+		t.Fatalf("Size = %d, want %d", handle.Size(), len(obj))
+	}
+	if got := handle.Bytes(); !bytes.Equal(got, obj) {
+		t.Fatal("Bytes mismatch")
+	}
+	var sink bytes.Buffer
+	n, err := handle.WriteTo(&sink)
+	if err != nil || n != int64(len(obj)) || !bytes.Equal(sink.Bytes(), obj) {
+		t.Fatalf("WriteTo: n=%d err=%v", n, err)
+	}
+	viaRead, err := io.ReadAll(handle)
+	if err != nil || !bytes.Equal(viaRead, obj) {
+		t.Fatalf("Read: %v", err)
+	}
+	handle.Release()
+	handle.Release() // double Release is a no-op
+	if _, err := handle.WriteTo(io.Discard); !errors.Is(err, infinicache.ErrReleased) {
+		t.Fatalf("WriteTo after Release = %v, want ErrReleased", err)
+	}
+}
+
+func TestPublicAPIBatch(t *testing.T) {
+	cache := newTestCache(t)
+	cl, err := cache.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	const n = 8
+	rng := rand.New(rand.NewSource(5))
+	pairs := make([]infinicache.KV, n)
+	keys := make([]string, n)
+	want := make(map[string][]byte, n)
+	for i := range pairs {
+		blob := make([]byte, 64<<10)
+		rng.Read(blob)
+		keys[i] = fmt.Sprintf("batch/%d", i)
+		pairs[i] = infinicache.KV{Key: keys[i], Value: blob}
+		want[keys[i]] = blob
+	}
+	for _, r := range cl.MPut(ctx, pairs...) {
+		if r.Err != nil {
+			t.Fatalf("MPut %s: %v", r.Key, r.Err)
+		}
+	}
+	res := cl.MGet(ctx, append(keys, "batch/nope")...)
+	if len(res) != n+1 {
+		t.Fatalf("MGet returned %d results, want %d", len(res), n+1)
+	}
+	for i := 0; i < n; i++ {
+		if res[i].Err != nil {
+			t.Fatalf("MGet %s: %v", res[i].Key, res[i].Err)
+		}
+		if got := res[i].Object.Bytes(); !bytes.Equal(got, want[res[i].Key]) {
+			t.Fatalf("MGet %s corrupted", res[i].Key)
+		}
+		res[i].Object.Release()
+	}
+	if !errors.Is(res[n].Err, infinicache.ErrMiss) {
+		t.Fatalf("missing key err = %v, want ErrMiss", res[n].Err)
 	}
 }
 
@@ -58,14 +161,15 @@ func TestPublicAPIGetOrLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
+	ctx := context.Background()
 
 	loads := 0
 	obj := []byte("backing store payload")
-	loader := func() ([]byte, error) { loads++; return obj, nil }
+	loader := func(context.Context) ([]byte, error) { loads++; return obj, nil }
 	for i := 0; i < 3; i++ {
-		got, err := cl.GetOrLoad("lazy", loader)
+		got, err := cl.GetOrLoadCtx(ctx, "lazy", loader)
 		if err != nil || !bytes.Equal(got, obj) {
-			t.Fatalf("GetOrLoad #%d: %v", i, err)
+			t.Fatalf("GetOrLoadCtx #%d: %v", i, err)
 		}
 	}
 	if loads != 1 {
@@ -83,16 +187,17 @@ func TestPublicAPIFaultInjection(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
+	ctx := context.Background()
 	obj := make([]byte, 256<<10)
 	rand.New(rand.NewSource(2)).Read(obj)
-	if err := cl.Put("resilient", obj); err != nil {
+	if err := cl.PutCtx(ctx, "resilient", obj); err != nil {
 		t.Fatal(err)
 	}
 	// Kill up to p nodes through the exposed deployment.
 	d := cache.Deployment()
 	d.Platform.ForceReclaim("p0-node0")
 	d.Platform.ForceReclaim("p0-node1")
-	got, err := cl.Get("resilient")
+	got, err := cl.GetCtx(ctx, "resilient")
 	if err != nil || !bytes.Equal(got, obj) {
 		t.Fatalf("get after reclaim: %v", err)
 	}

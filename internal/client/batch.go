@@ -1,0 +1,337 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"infinicache/internal/bufpool"
+	"infinicache/internal/protocol"
+)
+
+// KV is one key/value pair of an MPut.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// GetResult is one key's outcome of an MGet. On success Object holds
+// the zero-copy handle (the caller Releases it); otherwise Err carries
+// the per-key failure (ErrMiss, ErrLost, ErrTimeout, ctx.Err(), ...).
+type GetResult struct {
+	Key    string
+	Object *Object
+	Err    error
+}
+
+// PutResult is one key's outcome of an MPut.
+type PutResult struct {
+	Key string
+	Err error
+}
+
+// MGet fetches a batch of keys. Keys are grouped by their owning proxy
+// (the consistent-hashing ring) and each group rides its proxy
+// connection as one pipelined burst: every GET frame is written back to
+// back down the single writer and the DATA fan-in is collected off one
+// shared response channel — N keys cost one windowed round trip per
+// owning proxy instead of N sequential ones. Results are positionally
+// aligned with keys; each successful Object must be Released by the
+// caller. Transient per-key failures are retried individually after
+// the burst.
+func (c *Client) MGet(ctx context.Context, keys ...string) []GetResult {
+	res := make([]GetResult, len(keys))
+	groups := make(map[string][]int)
+	for i, k := range keys {
+		res[i].Key = k
+		c.stats.Gets.Add(1)
+		info, err := c.proxyFor(k)
+		if err != nil {
+			res[i].Err = err
+			continue
+		}
+		groups[info.Addr] = append(groups[info.Addr], i)
+	}
+	var wg sync.WaitGroup
+	for addr, idxs := range groups {
+		wg.Add(1)
+		go func(addr string, idxs []int) {
+			defer wg.Done()
+			c.mgetBurst(ctx, addr, keys, idxs, res)
+		}(addr, idxs)
+	}
+	wg.Wait()
+	// Per-key transient failures (a backup swap mid-burst) retry on the
+	// single-key path. The burst was attempt 1, so a key gets the same
+	// getRetries total attempts it would on the GetObject path.
+	for i := range res {
+		if !errors.Is(res[i].Err, errTransient) {
+			continue
+		}
+		var obj *Object
+		err := res[i].Err
+		for attempt := 1; attempt < getRetries && errors.Is(err, errTransient); attempt++ {
+			obj, err = c.getOnce(ctx, keys[i])
+		}
+		if errors.Is(err, errTransient) {
+			err = fmt.Errorf("%w (after %d attempts): %v", ErrRejected, getRetries, err)
+		}
+		res[i].Object, res[i].Err = obj, err
+	}
+	return res
+}
+
+// mgetKey tracks one key of an MGet burst through its DATA fan-in.
+type mgetKey struct {
+	idx  int // position in keys/res
+	g    gather
+	done bool // result recorded; further frames are stragglers
+}
+
+// mgetBurst runs one proxy's share of an MGet: register every key's
+// seq on one shared channel, write all GET frames, then collect.
+func (c *Client) mgetBurst(ctx context.Context, addr string, keys []string, idxs []int, res []GetResult) {
+	fail := func(err error) {
+		for _, i := range idxs {
+			res[i].Err = err
+		}
+	}
+	pc, err := c.conn(addr)
+	if err != nil {
+		fail(err)
+		return
+	}
+	total := c.codec.TotalShards()
+	d := c.codec.DataShards()
+	// The shared channel must buffer every frame the burst can receive:
+	// up to total DATA frames plus a MISS/ERR per key (the dispatcher
+	// drops, and recycles, on overflow rather than blocking).
+	ch := make(chan *protocol.Message, len(idxs)*(total+2))
+	states := make(map[uint64]*mgetKey, len(idxs))
+	defer func() {
+		for seq, st := range states {
+			pc.deregister(seq)
+			if !st.done {
+				st.g.obj.Release()
+			}
+		}
+		drainRecycle(ch)
+	}()
+
+	// One windowed burst: all GET frames go down the single writer back
+	// to back before any response is read.
+	active := 0
+	for _, i := range idxs {
+		seq := c.seq.Add(1)
+		if !pc.registerWith(seq, ch) {
+			res[i].Err = errConnClosed
+			continue
+		}
+		if err := pc.conn.Forward(protocol.TGet, seq, keys[i], "", nil, nil); err != nil {
+			pc.deregister(seq)
+			res[i].Err = err
+			continue
+		}
+		states[seq] = &mgetKey{idx: i, g: gather{obj: newObject(total), size: -1}}
+		active++
+	}
+
+	// Any abandon (timeout or cancellation) CANCELs the keys still
+	// collecting so the proxy releases their window slots.
+	abandon := func(err error) {
+		for seq, st := range states {
+			if !st.done {
+				pc.cancel(seq)
+			}
+		}
+		c.finishBurstKeys(states, res, err)
+	}
+	deadline := c.cfg.Clock.Now().Add(c.cfg.RequestTimeout)
+	for active > 0 {
+		remain := deadline.Sub(c.cfg.Clock.Now())
+		if remain <= 0 {
+			abandon(ErrTimeout)
+			return
+		}
+		select {
+		case msg, ok := <-ch:
+			if !ok {
+				c.finishBurstKeys(states, res, errConnClosed)
+				return
+			}
+			st := states[msg.Seq]
+			if st == nil || st.done {
+				msg.Recycle() // straggler past first-d, or a stale frame
+				continue
+			}
+			// The per-frame state machine is the single-key one; only
+			// the result recording differs. (Unlike the single-key
+			// path, MGet does not re-insert missing chunks; the burst
+			// stays read-only.)
+			done, err := c.applyGetFrame(&st.g, msg, d, total)
+			if !done {
+				continue
+			}
+			st.done = true
+			active--
+			if err != nil {
+				st.g.obj.Release()
+				res[st.idx].Err = err
+			} else {
+				res[st.idx].Object = st.g.obj
+			}
+		case <-ctx.Done():
+			abandon(ctx.Err())
+			return
+		case <-c.cfg.Clock.After(remain):
+			abandon(ErrTimeout)
+			return
+		}
+	}
+}
+
+// finishBurstKeys records err for every key of a burst still pending
+// and releases their partial objects.
+func (c *Client) finishBurstKeys(states map[uint64]*mgetKey, res []GetResult, err error) {
+	for _, st := range states {
+		if !st.done {
+			st.done = true
+			st.g.obj.Release()
+			res[st.idx].Err = err
+		}
+	}
+}
+
+// MPut stores a batch of key/value pairs. Pairs are grouped by owning
+// proxy; each group's chunks — every pair's d+p shard SETs — are
+// written down the proxy connection back to back as one pipelined
+// burst and acknowledged off one shared response channel, so N puts
+// cost one windowed round trip per owning proxy. Results are
+// positionally aligned with pairs.
+func (c *Client) MPut(ctx context.Context, pairs ...KV) []PutResult {
+	res := make([]PutResult, len(pairs))
+	groups := make(map[string][]int)
+	for i, kv := range pairs {
+		res[i].Key = kv.Key
+		if len(kv.Value) == 0 {
+			res[i].Err = errors.New("client: empty value")
+			continue
+		}
+		c.stats.Puts.Add(1)
+		info, err := c.proxyFor(kv.Key)
+		if err != nil {
+			res[i].Err = err
+			continue
+		}
+		groups[info.Addr] = append(groups[info.Addr], i)
+	}
+	var wg sync.WaitGroup
+	for addr, idxs := range groups {
+		wg.Add(1)
+		go func(addr string, idxs []int) {
+			defer wg.Done()
+			c.mputBurst(ctx, addr, pairs, idxs, res)
+		}(addr, idxs)
+	}
+	wg.Wait()
+	return res
+}
+
+// mputChunk links one in-flight chunk SET back to its pair.
+type mputChunk struct {
+	resIdx int
+	chunk  int
+}
+
+// mputBurst runs one proxy's share of an MPut.
+func (c *Client) mputBurst(ctx context.Context, addr string, pairs []KV, idxs []int, res []PutResult) {
+	info := c.byAddr[addr]
+	pc, err := c.conn(addr)
+	if err != nil {
+		for _, i := range idxs {
+			res[i].Err = err
+		}
+		return
+	}
+	total := c.codec.TotalShards()
+	d := c.codec.DataShards()
+	// The op budget starts before encoding, as on the single-key path.
+	deadline := c.cfg.Clock.Now().Add(c.cfg.RequestTimeout)
+
+	ch := make(chan *protocol.Message, len(idxs)*total+1)
+	seqIdx := make(map[uint64]mputChunk, len(idxs)*total)
+	defer func() {
+		for seq := range seqIdx {
+			pc.deregister(seq)
+		}
+		drainRecycle(ch)
+	}()
+
+	// Encode-and-send one pair at a time: Forward copies the payload
+	// into the socket synchronously, so each pair's pooled shard set is
+	// recycled as soon as its frames are written — the burst holds one
+	// shard set at peak, not the whole batch, and the writer still sees
+	// every SET back to back before any ACK is read.
+	shards := make([][]byte, total)
+	var args [7]int64
+	for _, i := range idxs {
+		value := pairs[i].Value
+		shardSize := c.codec.ShardSize(len(value))
+		for j := range shards {
+			shards[j] = bufpool.Get(shardSize)
+		}
+		if err := c.codec.SplitInto(value, shards); err != nil {
+			res[i].Err = err
+			bufpool.PutAll(shards)
+			continue
+		}
+		if err := c.codec.Encode(shards); err != nil {
+			res[i].Err = err
+			bufpool.PutAll(shards)
+			continue
+		}
+		nodes := c.placement(info.PoolSize, total)
+		gen := c.putGen.Add(1)
+		for j, shard := range shards {
+			seq := c.seq.Add(1)
+			if !pc.registerWith(seq, ch) {
+				res[i].Err = errConnClosed
+				break
+			}
+			args = [7]int64{
+				int64(j), int64(total), int64(nodes[j]),
+				int64(len(value)), int64(d), gen, 0,
+			}
+			if err := pc.conn.Forward(protocol.TSet, seq, pairs[i].Key, "", args[:], shard); err != nil {
+				pc.deregister(seq)
+				res[i].Err = fmt.Errorf("chunk %d: %w", j, err)
+				break
+			}
+			seqIdx[seq] = mputChunk{resIdx: i, chunk: j}
+		}
+		bufpool.PutAll(shards)
+	}
+
+	// The ack collection is the shared collectAcks loop (same machinery
+	// as the single-key putChunks); it leaves exactly the unanswered
+	// chunks in seqIdx, already CANCELled at the proxy on abandon, so
+	// the per-pair failures fall out of the survivor set.
+	if err := collectAcks(c, ctx, pc, ch, seqIdx, deadline, func(mc mputChunk, resp *protocol.Message) {
+		if resp.Type != protocol.TAck && res[mc.resIdx].Err == nil {
+			res[mc.resIdx].Err = fmt.Errorf("chunk %d: %w: %s", mc.chunk, ErrRejected, resp.Payload)
+		}
+	}); err != nil {
+		c.failPendingPuts(seqIdx, res, err)
+	}
+}
+
+// failPendingPuts records err for every pair that still has chunks in
+// flight (first error wins per pair).
+func (c *Client) failPendingPuts(seqIdx map[uint64]mputChunk, res []PutResult, err error) {
+	for _, mc := range seqIdx {
+		if res[mc.resIdx].Err == nil {
+			res[mc.resIdx].Err = err
+		}
+	}
+}

@@ -1,12 +1,27 @@
 // Package client implements the InfiniCache client library (§3.1): the
-// GET/PUT API the application links against. It erasure-codes objects
-// with a Reed-Solomon codec, balances requests over proxies with a
-// consistent-hashing ring, chooses random non-repeating Lambda placements
-// for chunks, decodes first-d responses, re-inserts reconstructed chunks
-// (EC recovery), and RESETs lost objects from the backing store.
+// application-facing API. It erasure-codes objects with a Reed-Solomon
+// codec, balances requests over proxies with a consistent-hashing ring,
+// chooses random non-repeating Lambda placements for chunks, decodes
+// first-d responses, re-inserts reconstructed chunks (EC recovery), and
+// RESETs lost objects from the backing store.
+//
+// The API is context-first and copy-light:
+//
+//   - GetObject returns a pooled *Object handle that owns the first-d
+//     shard buffers — no reassembly copy; stream it with WriteTo/Read or
+//     copy once with Bytes, then Release it.
+//   - PutCtx/GetCtx/DelCtx/GetOrLoadCtx take a context whose
+//     cancellation or deadline propagates into every request wait; an
+//     abandoned request sends CANCEL so the proxy releases its window
+//     slots instead of serving a caller that left.
+//   - MGet/MPut (batch.go) fan a key set out across the owning proxies
+//     and ride each proxy connection as one pipelined burst.
+//   - Get/Put/Del/GetOrLoad remain as thin deprecated wrappers over the
+//     context variants.
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -51,6 +66,31 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// Option adjusts a Config at construction time — the functional-options
+// boundary the public API (infinicache.NewClient) exposes.
+type Option func(*Config)
+
+// WithRequestTimeout bounds each GET/PUT/DEL operation.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(c *Config) { c.RequestTimeout = d }
+}
+
+// WithRecovery toggles client-side EC chunk recovery after degraded
+// reads.
+func WithRecovery(on bool) Option {
+	return func(c *Config) { c.EnableRecovery = on }
+}
+
+// WithShards overrides the RS(d+p) code for this client.
+func WithShards(data, parity int) Option {
+	return func(c *Config) { c.DataShards, c.ParityShards = data, parity }
+}
+
+// WithSeed makes the client's chunk placement deterministic.
+func WithSeed(seed int64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
 // Stats counts client-side cache outcomes.
 type Stats struct {
 	Gets       atomic.Int64
@@ -74,13 +114,15 @@ var (
 // Client is the InfiniCache client library handle. Safe for concurrent
 // use by multiple goroutines.
 type Client struct {
-	cfg   Config
-	codec *ec.Codec
-	ring  *hashring.Ring
+	cfg    Config
+	codec  *ec.Codec
+	ring   *hashring.Ring
+	byAddr map[string]ProxyInfo // immutable after New
 
 	mu    sync.Mutex
 	conns map[string]*proxyConn
 	rng   *rand.Rand
+	perms map[int][]int // per-pool-size scratch permutation (placement)
 
 	seq    atomic.Uint64
 	putGen atomic.Int64
@@ -88,8 +130,11 @@ type Client struct {
 	stats Stats
 }
 
-// New creates a client.
-func New(cfg Config) (*Client, error) {
+// New creates a client from cfg, with opts applied on top.
+func New(cfg Config, opts ...Option) (*Client, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	cfg.fillDefaults()
 	if len(cfg.Proxies) == 0 {
 		return nil, errors.New("client: need at least one proxy")
@@ -100,18 +145,22 @@ func New(cfg Config) (*Client, error) {
 	}
 	total := cfg.DataShards + cfg.ParityShards
 	ring := hashring.New(0)
+	byAddr := make(map[string]ProxyInfo, len(cfg.Proxies))
 	for _, p := range cfg.Proxies {
 		if p.PoolSize < total {
 			return nil, fmt.Errorf("client: proxy %s pool %d smaller than d+p=%d", p.Addr, p.PoolSize, total)
 		}
 		ring.Add(p.Addr)
+		byAddr[p.Addr] = p
 	}
 	return &Client{
-		cfg:   cfg,
-		codec: codec,
-		ring:  ring,
-		conns: make(map[string]*proxyConn),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:    cfg,
+		codec:  codec,
+		ring:   ring,
+		byAddr: byAddr,
+		conns:  make(map[string]*proxyConn),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		perms:  make(map[int][]int),
 	}, nil
 }
 
@@ -133,28 +182,50 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// proxyFor locates the proxy owning key on the CH ring.
+// proxyFor locates the proxy owning key on the CH ring (one map lookup;
+// the addr→info index is built at New).
 func (c *Client) proxyFor(key string) (ProxyInfo, error) {
 	addr := c.ring.Locate(key)
-	for _, p := range c.cfg.Proxies {
-		if p.Addr == addr {
-			return p, nil
-		}
+	if p, ok := c.byAddr[addr]; ok {
+		return p, nil
 	}
 	return ProxyInfo{}, fmt.Errorf("client: no proxy for key %q", key)
 }
 
-// placement draws a vector of non-repeating Lambda indexes (IDλ, §3.1).
+// placement draws a vector of n non-repeating Lambda indexes (IDλ,
+// §3.1) with a partial Fisher–Yates shuffle over a persistent
+// per-pool-size scratch permutation: O(n) steps and only the result
+// slice allocated, where the previous implementation drew a full
+// rng.Perm(poolSize) under the mutex for every operation. The scratch
+// remains a permutation of 0..poolSize-1 across calls, and a partial
+// Fisher–Yates from any starting permutation draws uniformly, so the
+// distribution is unchanged.
 func (c *Client) placement(poolSize, n int) []int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.rng.Perm(poolSize)[:n]
+	perm := c.perms[poolSize]
+	if perm == nil {
+		perm = make([]int, poolSize)
+		for i := range perm {
+			perm[i] = i
+		}
+		c.perms[poolSize] = perm
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		j := i + c.rng.Intn(poolSize-i)
+		perm[i], perm[j] = perm[j], perm[i]
+		out[i] = perm[i]
+	}
+	return out
 }
 
-// Put erasure-codes value and stores its chunks across the pool behind
-// the key's proxy. It overwrites any previous version atomically from
-// this client's perspective (waiting for every chunk acknowledgement).
-func (c *Client) Put(key string, value []byte) error {
+// PutCtx erasure-codes value and stores its chunks across the pool
+// behind the key's proxy, overwriting any previous version atomically
+// from this client's perspective (waiting for every chunk
+// acknowledgement). Cancelling ctx abandons the operation: unacked
+// chunk SETs are CANCELled at the proxy and ctx.Err() is returned.
+func (c *Client) PutCtx(ctx context.Context, key string, value []byte) error {
 	if len(value) == 0 {
 		return errors.New("client: empty value")
 	}
@@ -185,7 +256,14 @@ func (c *Client) Put(key string, value []byte) error {
 	nodes := c.placement(info.PoolSize, total)
 	gen := c.putGen.Add(1)
 
-	return c.putChunks(pc, key, int64(len(value)), shards, nodes, gen, false)
+	return c.putChunks(ctx, pc, key, int64(len(value)), shards, nodes, gen, false)
+}
+
+// Put is PutCtx without a context.
+//
+// Deprecated: use PutCtx.
+func (c *Client) Put(key string, value []byte) error {
+	return c.PutCtx(context.Background(), key, value)
 }
 
 // putChunks pipelines a set of chunks down the proxy connection's
@@ -195,7 +273,7 @@ func (c *Client) Put(key string, value []byte) error {
 // header is assembled directly by Conn.Forward around the pooled shard
 // buffer). Indexes of shards that are nil are skipped (recovery path
 // re-inserts a sparse subset).
-func (c *Client) putChunks(pc *proxyConn, key string, objSize int64, shards [][]byte, nodes []int, gen int64, recovery bool) error {
+func (c *Client) putChunks(ctx context.Context, pc *proxyConn, key string, objSize int64, shards [][]byte, nodes []int, gen int64, recovery bool) error {
 	deadline := c.cfg.Clock.Now().Add(c.cfg.RequestTimeout)
 	rec := int64(0)
 	if recovery {
@@ -228,7 +306,7 @@ func (c *Client) putChunks(pc *proxyConn, key string, objSize int64, shards [][]
 		}
 		seq := c.seq.Add(1)
 		if !pc.registerWith(seq, ch) {
-			return errors.New("client: connection closed")
+			return errConnClosed
 		}
 		seqIdx[seq] = i
 		args = [7]int64{
@@ -241,60 +319,96 @@ func (c *Client) putChunks(pc *proxyConn, key string, objSize int64, shards [][]
 		}
 	}
 
-	for acked := 0; acked < len(seqIdx); {
+	// Acked seqs are deregistered as they land, so on an abandon seqIdx
+	// names exactly the chunks still in flight — the ones collectAcks
+	// CANCELs at the proxy before giving up.
+	err := collectAcks(c, ctx, pc, ch, seqIdx, deadline, func(idx int, resp *protocol.Message) {
+		if resp.Type != protocol.TAck && firstErr == nil {
+			firstErr = fmt.Errorf("chunk %d: %w: %s", idx, ErrRejected, resp.Payload)
+		}
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrTimeout) || errors.Is(err, errConnClosed):
+		if firstErr == nil {
+			firstErr = err
+		}
+	default:
+		return err // context cancellation wins over per-chunk errors
+	}
+	return firstErr
+}
+
+// collectAcks collects exactly one response per seq in seqIdx off the
+// shared channel, deregistering each as it lands and routing it to
+// record (called before the frame is recycled). It returns nil once
+// every seq is answered; on timeout or ctx cancellation the seqs still
+// pending are CANCELled at the proxy and ErrTimeout / ctx.Err()
+// returned; a closed channel returns errConnClosed. Whatever remains
+// in seqIdx afterwards is exactly the unanswered set. This is the one
+// ack-collection loop both the single-key PUT and the MPut burst ride.
+func collectAcks[T any](c *Client, ctx context.Context, pc *proxyConn, ch chan *protocol.Message, seqIdx map[uint64]T, deadline time.Time, record func(tag T, resp *protocol.Message)) error {
+	abandon := func() {
+		for seq := range seqIdx {
+			pc.cancel(seq)
+		}
+	}
+	for len(seqIdx) > 0 {
 		remain := deadline.Sub(c.cfg.Clock.Now())
 		if remain <= 0 {
-			if firstErr == nil {
-				firstErr = ErrTimeout
-			}
-			break
+			abandon()
+			return ErrTimeout
 		}
 		select {
 		case resp, ok := <-ch:
 			if !ok {
-				if firstErr == nil {
-					firstErr = errors.New("client: connection closed")
-				}
-				return firstErr
+				return errConnClosed
 			}
-			idx, mine := seqIdx[resp.Seq]
+			tag, mine := seqIdx[resp.Seq]
 			if !mine {
 				resp.Recycle() // stale frame from an abandoned request
 				continue
 			}
-			acked++
-			if resp.Type != protocol.TAck && firstErr == nil {
-				firstErr = fmt.Errorf("chunk %d: %w: %s", idx, ErrRejected, resp.Payload)
-			}
+			delete(seqIdx, resp.Seq)
+			pc.deregister(resp.Seq)
+			record(tag, resp)
 			resp.Recycle()
+		case <-ctx.Done():
+			abandon()
+			return ctx.Err()
 		case <-c.cfg.Clock.After(remain):
-			if firstErr == nil {
-				firstErr = ErrTimeout
-			}
-			return firstErr
+			abandon()
+			return ErrTimeout
 		}
 	}
-	return firstErr
+	return nil
 }
 
 // errTransient marks proxy-reported conditions worth retrying (chunk
 // timeouts during backup connection swaps).
 var errTransient = errors.New("client: transient proxy failure")
 
-// getRetries is how many times Get retries a transient failure.
+// errConnClosed reports a proxy connection that died mid-operation.
+var errConnClosed = errors.New("client: connection closed")
+
+// getRetries is how many times a GET retries a transient failure.
 const getRetries = 3
 
-// Get fetches and reassembles an object. ErrMiss means the key is not
+// GetObject fetches an object as a zero-copy *Object handle: the
+// pooled first-d shard buffers are handed to the caller without the
+// reassembly copy. The caller must Release the handle (after Bytes,
+// WriteTo or Read) to recycle the buffers. ErrMiss means the key is not
 // cached; ErrLost means it was cached but reclamation destroyed more
-// than p chunks (the caller should RESET it from the backing store).
-// Transient proxy failures (e.g. chunk timeouts during a backup
-// connection swap) are retried internally.
-func (c *Client) Get(key string) ([]byte, error) {
+// than p chunks (RESET it from the backing store). Transient proxy
+// failures (e.g. chunk timeouts during a backup connection swap) are
+// retried internally; ctx cancellation aborts the wait and CANCELs the
+// in-flight request at the proxy.
+func (c *Client) GetObject(ctx context.Context, key string) (*Object, error) {
 	c.stats.Gets.Add(1)
 	var err error
-	var obj []byte
+	var obj *Object
 	for attempt := 0; attempt < getRetries; attempt++ {
-		obj, err = c.getOnce(key)
+		obj, err = c.getOnce(ctx, key)
 		if !errors.Is(err, errTransient) {
 			return obj, err
 		}
@@ -302,7 +416,102 @@ func (c *Client) Get(key string) ([]byte, error) {
 	return nil, fmt.Errorf("%w (after %d attempts): %v", ErrRejected, getRetries, err)
 }
 
-func (c *Client) getOnce(key string) ([]byte, error) {
+// GetCtx fetches and reassembles an object into a fresh contiguous
+// buffer (GetObject + Bytes + Release). Prefer GetObject on hot paths.
+func (c *Client) GetCtx(ctx context.Context, key string) ([]byte, error) {
+	obj, err := c.GetObject(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	data := obj.Bytes()
+	obj.Release()
+	return data, nil
+}
+
+// Get is GetCtx without a context.
+//
+// Deprecated: use GetCtx, or GetObject for the zero-copy handle.
+func (c *Client) Get(key string) ([]byte, error) {
+	return c.GetCtx(context.Background(), key)
+}
+
+// gather accumulates one key's first-d DATA fan-in (shared by the
+// single-key getOnce and the MGet burst collector).
+type gather struct {
+	obj      *Object
+	received int
+	size     int64
+}
+
+// applyGetFrame advances a gather with one inbound frame. done reports
+// the key finished: with err (miss/loss/transient/rejected/decode — the
+// caller releases the partial object), or with g.obj complete (decoded
+// if one of the first d was a parity chunk, geometry recorded, Hit
+// counted) and ownership ready to hand to the caller.
+func (c *Client) applyGetFrame(g *gather, msg *protocol.Message, d, total int) (done bool, err error) {
+	switch msg.Type {
+	case protocol.TData:
+		// Every DATA frame carries the object's true RS geometry; a
+		// client whose codec disagrees (e.g. a per-client WithShards
+		// override against a differently-coded deployment) must fail
+		// loudly here — decoding with the wrong code returns garbage
+		// bytes with no error.
+		if fd, ft := int(msg.Arg(2)), int(msg.Arg(3)); fd != d || ft != total {
+			msg.Recycle()
+			return true, fmt.Errorf("%w: object is RS(%d+%d) but this client speaks RS(%d+%d)",
+				ErrRejected, fd, ft-fd, d, total-d)
+		}
+		idx := int(msg.Arg(0))
+		if idx < 0 || idx >= total || g.obj.shards[idx] != nil {
+			msg.Recycle() // duplicate or out-of-range frame
+			return false, nil
+		}
+		g.obj.shards[idx] = msg.Payload // ownership moves to the handle
+		g.size = msg.Arg(1)
+		g.received++
+		if g.received < d {
+			return false, nil
+		}
+		// Reassembly is deferred to the Object handle: if one of the
+		// first d arrivals was a parity chunk, run EC reconstruction
+		// (first-d trade-off, §3.2); either way the data shards are
+		// handed over in place — no Join copy.
+		for i := 0; i < d; i++ {
+			if g.obj.shards[i] == nil {
+				c.stats.Decodes.Add(1)
+				if derr := c.codec.ReconstructData(g.obj.shards); derr != nil {
+					return true, fmt.Errorf("client: decode: %w", derr)
+				}
+				break
+			}
+		}
+		g.obj.d, g.obj.size = d, int(g.size)
+		c.stats.Hits.Add(1)
+		return true, nil
+	case protocol.TMiss:
+		loss := msg.Arg(0) == 1
+		msg.Recycle()
+		if loss {
+			c.stats.Losses.Add(1)
+			return true, ErrLost
+		}
+		c.stats.ColdMisses.Add(1)
+		return true, ErrMiss
+	case protocol.TErr:
+		if msg.Arg(0) == 1 {
+			msg.Recycle()
+			return true, errTransient
+		}
+		err = fmt.Errorf("%w: %s", ErrRejected, msg.Payload)
+		msg.Recycle()
+		return true, err
+	default:
+		msg.Recycle()
+		return false, nil
+	}
+}
+
+func (c *Client) getOnce(ctx context.Context, key string) (*Object, error) {
 	info, err := c.proxyFor(key)
 	if err != nil {
 		return nil, err
@@ -323,88 +532,55 @@ func (c *Client) getOnce(key string) ([]byte, error) {
 	}
 
 	d := c.codec.DataShards()
-	shards := make([][]byte, total)
-	// Shards received before an early exit (miss, loss, error, timeout)
-	// must go back to the pool; the success path recycles after Join.
-	defer bufpool.PutAll(shards)
-	var objSize int64 = -1
-	received := 0
+	g := gather{obj: newObject(total), size: -1}
+	// Until the handle is handed off, every exit (miss, loss, error,
+	// timeout, cancel) returns the shards received so far to the pool.
+	handoff := false
+	defer func() {
+		if !handoff {
+			g.obj.Release()
+		}
+	}()
 	deadline := c.cfg.Clock.Now().Add(c.cfg.RequestTimeout)
 
-	for received < d {
+	for {
 		remain := deadline.Sub(c.cfg.Clock.Now())
 		if remain <= 0 {
+			pc.cancel(seq)
 			return nil, ErrTimeout
 		}
 		select {
 		case msg, ok := <-ch:
 			if !ok {
-				return nil, errors.New("client: connection closed")
+				return nil, errConnClosed
 			}
-			switch msg.Type {
-			case protocol.TData:
-				idx := int(msg.Arg(0))
-				if idx < 0 || idx >= total || shards[idx] != nil {
-					msg.Recycle() // duplicate or out-of-range frame
-					continue
-				}
-				shards[idx] = msg.Payload // ownership moves to the shard set
-				objSize = msg.Arg(1)
-				received++
-			case protocol.TMiss:
-				if msg.Arg(0) == 1 {
-					c.stats.Losses.Add(1)
-					return nil, ErrLost
-				}
-				c.stats.ColdMisses.Add(1)
-				return nil, ErrMiss
-			case protocol.TErr:
-				if msg.Arg(0) == 1 {
-					msg.Recycle()
-					return nil, errTransient
-				}
-				err := fmt.Errorf("%w: %s", ErrRejected, msg.Payload)
-				msg.Recycle()
-				return nil, err
+			done, ferr := c.applyGetFrame(&g, msg, d, total)
+			if !done {
+				continue
 			}
+			if ferr != nil {
+				return nil, ferr
+			}
+			if c.cfg.EnableRecovery {
+				c.maybeRecover(ctx, pc, key, info, int64(g.obj.size), g.obj.shards)
+			}
+			handoff = true
+			return g.obj, nil
+		case <-ctx.Done():
+			pc.cancel(seq)
+			return nil, ctx.Err()
 		case <-c.cfg.Clock.After(remain):
+			pc.cancel(seq)
 			return nil, ErrTimeout
 		}
 	}
-
-	// Reassemble: if the first d shards all arrived, no decoding is
-	// needed; otherwise run EC reconstruction (first-d trade-off, §3.2).
-	needDecode := false
-	for i := 0; i < d; i++ {
-		if shards[i] == nil {
-			needDecode = true
-			break
-		}
-	}
-	if needDecode {
-		c.stats.Decodes.Add(1)
-		if err := c.codec.ReconstructData(shards); err != nil {
-			return nil, fmt.Errorf("client: decode: %w", err)
-		}
-	}
-	obj, err := c.codec.Join(shards, int(objSize))
-	if err != nil {
-		return nil, fmt.Errorf("client: join: %w", err)
-	}
-	c.stats.Hits.Add(1)
-
-	if c.cfg.EnableRecovery {
-		c.maybeRecover(pc, key, info, objSize, shards)
-	}
-	// Join copied the data out and recovery has finished re-inserting;
-	// the deferred PutAll recycles the chunk payload buffers.
-	return obj, nil
 }
 
 // maybeRecover re-encodes and re-inserts chunks that did not arrive
 // (either lost to reclamation or straggling); this is the EC recovery
-// activity plotted in Figure 14.
-func (c *Client) maybeRecover(pc *proxyConn, key string, info ProxyInfo, objSize int64, shards [][]byte) {
+// activity plotted in Figure 14. Reconstructed shards are appended to
+// the object's shard set, so the handle's Release recycles them too.
+func (c *Client) maybeRecover(ctx context.Context, pc *proxyConn, key string, info ProxyInfo, objSize int64, shards [][]byte) {
 	var missing []int
 	for i, s := range shards {
 		if s == nil {
@@ -424,14 +600,14 @@ func (c *Client) maybeRecover(pc *proxyConn, key string, info ProxyInfo, objSize
 	}
 	nodes := c.placement(info.PoolSize, len(shards))
 	gen := c.putGen.Add(1)
-	if err := c.putChunks(pc, key, objSize, sparse, nodes, gen, true); err == nil {
+	if err := c.putChunks(ctx, pc, key, objSize, sparse, nodes, gen, true); err == nil {
 		c.stats.Recoveries.Add(int64(len(missing)))
 	}
 }
 
-// Del invalidates an object (the client library's overwrite/invalidation
-// duty, §3.1).
-func (c *Client) Del(key string) error {
+// DelCtx invalidates an object (the client library's
+// overwrite/invalidation duty, §3.1).
+func (c *Client) DelCtx(ctx context.Context, key string) error {
 	info, err := c.proxyFor(key)
 	if err != nil {
 		return err
@@ -449,7 +625,7 @@ func (c *Client) Del(key string) error {
 	select {
 	case resp, ok := <-ch:
 		if !ok {
-			return errors.New("client: connection closed")
+			return errConnClosed
 		}
 		ok = resp.Type == protocol.TAck
 		resp.Recycle()
@@ -457,16 +633,27 @@ func (c *Client) Del(key string) error {
 			return ErrRejected
 		}
 		return nil
+	case <-ctx.Done():
+		pc.cancel(seq)
+		return ctx.Err()
 	case <-c.cfg.Clock.After(c.cfg.RequestTimeout):
+		pc.cancel(seq)
 		return ErrTimeout
 	}
 }
 
-// GetOrLoad returns the cached object, or loads it with loader and
+// Del is DelCtx without a context.
+//
+// Deprecated: use DelCtx.
+func (c *Client) Del(key string) error {
+	return c.DelCtx(context.Background(), key)
+}
+
+// GetOrLoadCtx returns the cached object, or loads it with loader and
 // inserts it on a miss (read-only write-through caching, §3.1). A
 // loss-triggered reload is a RESET in the paper's terminology.
-func (c *Client) GetOrLoad(key string, loader func() ([]byte, error)) ([]byte, error) {
-	obj, err := c.Get(key)
+func (c *Client) GetOrLoadCtx(ctx context.Context, key string, loader func(context.Context) ([]byte, error)) ([]byte, error) {
+	obj, err := c.GetCtx(ctx, key)
 	if err == nil {
 		return obj, nil
 	}
@@ -474,16 +661,24 @@ func (c *Client) GetOrLoad(key string, loader func() ([]byte, error)) ([]byte, e
 	if !isLoss && !errors.Is(err, ErrMiss) {
 		return nil, err
 	}
-	obj, err = loader()
+	obj, err = loader(ctx)
 	if err != nil {
 		return nil, err
 	}
 	if isLoss {
 		c.stats.Resets.Add(1)
 	}
-	if perr := c.Put(key, obj); perr != nil {
+	if perr := c.PutCtx(ctx, key, obj); perr != nil {
 		// The object is still valid for the caller even if caching failed.
 		return obj, nil
 	}
 	return obj, nil
+}
+
+// GetOrLoad is GetOrLoadCtx without a context.
+//
+// Deprecated: use GetOrLoadCtx.
+func (c *Client) GetOrLoad(key string, loader func() ([]byte, error)) ([]byte, error) {
+	return c.GetOrLoadCtx(context.Background(), key,
+		func(context.Context) ([]byte, error) { return loader() })
 }

@@ -112,6 +112,14 @@ func (pc *proxyConn) registerWith(seq uint64, ch chan *protocol.Message) bool {
 	return true
 }
 
+// cancel tells the proxy to abandon an in-flight request (fire and
+// forget: no reply comes; errors just mean the connection is dying,
+// which abandons the request anyway). The caller still deregisters and
+// drains locally — CANCEL only releases the proxy-side window slots.
+func (pc *proxyConn) cancel(seq uint64) {
+	pc.conn.Forward(protocol.TCancel, seq, "", "", nil, nil)
+}
+
 func (pc *proxyConn) deregister(seq uint64) {
 	pc.mu.Lock()
 	delete(pc.waiters, seq)

@@ -1,0 +1,124 @@
+package client
+
+import (
+	"errors"
+	"io"
+
+	"infinicache/internal/bufpool"
+)
+
+// Object is a zero-copy handle on a fetched object: it owns the pooled
+// first-d shard buffers a GET assembled and exposes the object bytes
+// without the reassembly copy the legacy Get path pays. Consume it with
+// WriteTo (streams each shard segment straight into an io.Writer), Read
+// (sequential io.Reader), or Bytes (the one method that copies, for
+// callers that need a contiguous []byte), then call Release: it
+// returns every shard buffer to bufpool. Release is idempotent, and a
+// released handle fails closed (ErrReleased / zero results) rather
+// than touching recycled memory — the handle struct itself is NOT
+// pooled, precisely so a late double Release can never free a buffer
+// some other request now owns; only the shard buffers (the expensive
+// part) recycle.
+//
+// An Object is not safe for concurrent use; its owner is whoever the
+// returning call handed it to.
+type Object struct {
+	shards [][]byte // len total; entries 0..d-1 hold the data, owned
+	d      int
+	size   int
+	off    int // Read cursor
+	valid  bool
+}
+
+// ErrReleased is returned by Object methods used after Release.
+var ErrReleased = errors.New("client: object used after Release")
+
+// newObject returns a handle with a zeroed shards slice of len total.
+func newObject(total int) *Object {
+	return &Object{shards: make([][]byte, total), valid: true}
+}
+
+// Size returns the object's length in bytes (0 after Release).
+func (o *Object) Size() int {
+	if !o.valid {
+		return 0
+	}
+	return o.size
+}
+
+// segment returns the in-object byte range shard i contributes.
+func (o *Object) segment(i int) []byte {
+	s := o.shards[i]
+	lo := i * len(s)
+	if lo >= o.size {
+		return nil
+	}
+	n := o.size - lo
+	if n > len(s) {
+		n = len(s)
+	}
+	return s[:n]
+}
+
+// WriteTo streams the object into w without assembling a contiguous
+// copy: each data shard's segment is written in order straight from the
+// pooled buffer. It implements io.WriterTo.
+func (o *Object) WriteTo(w io.Writer) (int64, error) {
+	if !o.valid {
+		return 0, ErrReleased
+	}
+	var written int64
+	for i := 0; i < o.d && written < int64(o.size); i++ {
+		n, err := w.Write(o.segment(i))
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// Read copies the next bytes of the object into p (io.Reader). The
+// cursor is per-handle; Bytes and WriteTo do not advance it.
+func (o *Object) Read(p []byte) (int, error) {
+	if !o.valid {
+		return 0, ErrReleased
+	}
+	if o.off >= o.size {
+		return 0, io.EOF
+	}
+	shardSize := len(o.shards[0])
+	n := 0
+	for n < len(p) && o.off < o.size {
+		seg := o.segment(o.off / shardSize)
+		c := copy(p[n:], seg[o.off%shardSize:])
+		n += c
+		o.off += c
+	}
+	return n, nil
+}
+
+// Bytes assembles and returns a contiguous copy of the object. This is
+// the compatibility path (the legacy Get amounts to Bytes+Release); the
+// copy is freshly allocated and survives Release.
+func (o *Object) Bytes() []byte {
+	if !o.valid {
+		return nil
+	}
+	out := make([]byte, 0, o.size)
+	for i := 0; i < o.d && len(out) < o.size; i++ {
+		out = append(out, o.segment(i)...)
+	}
+	return out
+}
+
+// Release recycles every shard buffer to bufpool and invalidates the
+// handle. It is idempotent (double Release is a no-op) but never
+// concurrent-safe.
+func (o *Object) Release() {
+	if !o.valid {
+		return
+	}
+	o.valid = false
+	bufpool.PutAll(o.shards)
+}

@@ -50,6 +50,9 @@ type Config struct {
 	BufferTime time.Duration
 	// EnableRecovery turns on client-side EC chunk recovery.
 	EnableRecovery bool
+	// RequestTimeout bounds each client operation (0 takes the client
+	// default).
+	RequestTimeout time.Duration
 	Seed           int64
 }
 
@@ -179,16 +182,18 @@ func (d *Deployment) ProxyInfos() []client.ProxyInfo {
 	return infos
 }
 
-// NewClient builds a client wired to every proxy in the deployment.
-func (d *Deployment) NewClient() (*client.Client, error) {
+// NewClient builds a client wired to every proxy in the deployment;
+// opts override the deployment-derived defaults per client.
+func (d *Deployment) NewClient(opts ...client.Option) (*client.Client, error) {
 	return client.New(client.Config{
 		Proxies:        d.ProxyInfos(),
 		DataShards:     d.cfg.DataShards,
 		ParityShards:   d.cfg.ParityShards,
 		Clock:          d.cfg.Clock,
+		RequestTimeout: d.cfg.RequestTimeout,
 		EnableRecovery: d.cfg.EnableRecovery,
 		Seed:           d.cfg.Seed + 101,
-	})
+	}, opts...)
 }
 
 // TotalNodes returns the number of cache-node functions deployed.

@@ -1,6 +1,7 @@
 package exps
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"infinicache/internal/client"
 	"infinicache/internal/core"
 	"infinicache/internal/rediscache"
 	"infinicache/internal/stats"
@@ -100,18 +102,23 @@ func measureGetLatency(memMB, d, p int, sizesMB []int, samples int, seed int64) 
 	}
 	defer cl.Close()
 	rng := rand.New(rand.NewSource(seed))
+	ctx := context.Background()
 	for _, szMB := range sizesMB {
 		obj := make([]byte, szMB<<20)
 		rng.Read(obj)
 		key := fmt.Sprintf("bench/%d", szMB)
-		if err := cl.Put(key, obj); err != nil {
+		if err := cl.PutCtx(ctx, key, obj); err != nil {
 			continue
 		}
 		for s := 0; s < samples; s++ {
 			start := time.Now()
-			if _, err := cl.Get(key); err != nil {
+			// The zero-copy handle is the measured GET path: first-d
+			// fan-in without the reassembly copy.
+			h, err := cl.GetObject(ctx, key)
+			if err != nil {
 				break
 			}
+			h.Release()
 			out[szMB] = append(out[szMB], float64(time.Since(start).Milliseconds()))
 		}
 	}
@@ -221,20 +228,23 @@ func Figure4(samples int, seed int64) string {
 		}
 		obj := make([]byte, 100<<20)
 		rand.New(rand.NewSource(seed)).Read(obj)
+		ctx := context.Background()
 		var lat []float64
 		for s := 0; s < samples; s++ {
 			// Re-PUT each round so the chunks land on a fresh random
 			// subset of the pool (varying the host spread).
 			key := fmt.Sprintf("spread/%d", s)
-			if err := cl.Put(key, obj); err != nil {
+			if err := cl.PutCtx(ctx, key, obj); err != nil {
 				break
 			}
 			start := time.Now()
-			if _, err := cl.Get(key); err != nil {
+			h, err := cl.GetObject(ctx, key)
+			if err != nil {
 				break
 			}
+			h.Release()
 			lat = append(lat, float64(time.Since(start).Milliseconds()))
-			cl.Del(key)
+			cl.DelCtx(ctx, key)
 		}
 		names := make([]string, pool)
 		for i := range names {
@@ -275,11 +285,18 @@ func Figure12(clientCounts []int, secondsPerPoint int, seed int64) string {
 	const objects = 18
 	const objSize = 4 << 20
 	rng := rand.New(rand.NewSource(seed))
+	ctx := context.Background()
+	pairs := make([]client.KV, objects)
 	for i := 0; i < objects; i++ {
 		obj := make([]byte, objSize)
 		rng.Read(obj)
-		if err := seedCl.Put(fmt.Sprintf("tp/%d", i), obj); err != nil {
-			return err.Error()
+		pairs[i] = client.KV{Key: fmt.Sprintf("tp/%d", i), Value: obj}
+	}
+	// One batched MPut: chunk SETs for all objects ride each owning
+	// proxy connection as a single windowed burst.
+	for _, r := range seedCl.MPut(ctx, pairs...) {
+		if r.Err != nil {
+			return r.Err.Error()
 		}
 	}
 	seedCl.Close()
@@ -301,11 +318,12 @@ func Figure12(clientCounts []int, secondsPerPoint int, seed int64) string {
 				defer cl.Close()
 				r := rand.New(rand.NewSource(int64(c)))
 				for time.Now().Before(stop) {
-					obj, err := cl.Get(fmt.Sprintf("tp/%d", r.Intn(objects)))
+					obj, err := cl.GetObject(ctx, fmt.Sprintf("tp/%d", r.Intn(objects)))
 					if err != nil {
 						return
 					}
-					moved.Add(int64(len(obj)))
+					moved.Add(int64(obj.Size()))
+					obj.Release()
 				}
 			}(c)
 		}
@@ -318,5 +336,85 @@ func Figure12(clientCounts []int, secondsPerPoint int, seed int64) string {
 		fmt.Fprintf(&b, "%-10d %-14.3f %-10.2fx\n", n, gbps, gbps/base)
 	}
 	b.WriteString("\npaper shape: near-linear scaling while Lambda pools have bandwidth headroom.\n")
+	return b.String()
+}
+
+// BatchProbe compares the batched client ops (MGet/MPut: one pipelined
+// burst per owning proxy) against their sequential equivalents on a
+// live multi-proxy deployment — the InfiniStore-style client-interface
+// experiment layered on the paper's Figure 12 topology.
+func BatchProbe(keyCount, rounds int, seed int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Batch probe: %d keys x 1 MB over 3 proxies, %d rounds (live system)\n\n", keyCount, rounds)
+	dep, err := core.New(core.Config{
+		Proxies:       3,
+		NodesPerProxy: 12,
+		NodeMemoryMB:  1024,
+		DataShards:    4,
+		ParityShards:  2,
+		Seed:          seed,
+	})
+	if err != nil {
+		return err.Error()
+	}
+	defer dep.Close()
+	cl, err := dep.NewClient()
+	if err != nil {
+		return err.Error()
+	}
+	defer cl.Close()
+
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]string, keyCount)
+	pairs := make([]client.KV, keyCount)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("batch/%d", i)
+		blob := make([]byte, 1<<20)
+		rng.Read(blob)
+		pairs[i] = client.KV{Key: keys[i], Value: blob}
+	}
+
+	var seqPut, batPut, seqGet, batGet []float64
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		for _, kv := range pairs {
+			if err := cl.PutCtx(ctx, kv.Key, kv.Value); err != nil {
+				return err.Error()
+			}
+		}
+		seqPut = append(seqPut, float64(time.Since(start).Milliseconds()))
+
+		start = time.Now()
+		for _, res := range cl.MPut(ctx, pairs...) {
+			if res.Err != nil {
+				return res.Err.Error()
+			}
+		}
+		batPut = append(batPut, float64(time.Since(start).Milliseconds()))
+
+		start = time.Now()
+		for _, k := range keys {
+			h, err := cl.GetObject(ctx, k)
+			if err != nil {
+				return err.Error()
+			}
+			h.Release()
+		}
+		seqGet = append(seqGet, float64(time.Since(start).Milliseconds()))
+
+		start = time.Now()
+		for _, res := range cl.MGet(ctx, keys...) {
+			if res.Err != nil {
+				return res.Err.Error()
+			}
+			res.Object.Release()
+		}
+		batGet = append(batGet, float64(time.Since(start).Milliseconds()))
+	}
+	fmt.Fprintf(&b, "%-16s %-22s %-22s\n", "op", "sequential ms p50", "batched ms p50")
+	fmt.Fprintf(&b, "%-16s %-22.0f %-22.0f\n", "PUT x keys", stats.Summarize(seqPut).P50, stats.Summarize(batPut).P50)
+	fmt.Fprintf(&b, "%-16s %-22.0f %-22.0f\n", "GET x keys", stats.Summarize(seqGet).P50, stats.Summarize(batGet).P50)
+	b.WriteString("\nbatched ops ride one windowed burst per owning proxy instead of one round trip per key.\n")
 	return b.String()
 }

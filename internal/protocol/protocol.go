@@ -70,6 +70,13 @@ const (
 	THello      // steps 8/11: destination -> source via relay, and dest -> proxy (step 9)
 	TMeta       // source -> destination: chunk keys MRU->LRU (step 11 reply)
 	TBackupDone // destination -> proxy: migration complete
+
+	// TCancel abandons an in-flight request: client -> proxy, Seq names
+	// the request being cancelled (each chunk SET of a pipelined PUT has
+	// its own Seq). Best effort — no reply is sent; the proxy releases
+	// the request's window slots and suppresses its responses. Appended
+	// after the backup types so existing wire values stay stable.
+	TCancel
 )
 
 var typeNames = map[Type]string{
@@ -77,7 +84,7 @@ var typeNames = map[Type]string{
 	TPing: "PING", TPong: "PONG", TBye: "BYE", TGet: "GET", TSet: "SET",
 	TDel: "DEL", TData: "DATA", TMiss: "MISS", TAck: "ACK", TErr: "ERR",
 	TInitBackup: "INIT_BACKUP", TBackupCmd: "BACKUP_CMD", THello: "HELLO",
-	TMeta: "META", TBackupDone: "BACKUP_DONE",
+	TMeta: "META", TBackupDone: "BACKUP_DONE", TCancel: "CANCEL",
 }
 
 func (t Type) String() string {

@@ -139,8 +139,20 @@ func TestTypeString(t *testing.T) {
 	if TPing.String() != "PING" {
 		t.Fatalf("TPing = %s", TPing)
 	}
+	if TCancel.String() != "CANCEL" {
+		t.Fatalf("TCancel = %s", TCancel)
+	}
 	if Type(200).String() != "Type(200)" {
 		t.Fatalf("unknown = %s", Type(200))
+	}
+}
+
+func TestCancelWireValueStable(t *testing.T) {
+	// TCancel was appended after the backup vocabulary; the existing
+	// types must keep their wire values (mixed-version peers decode by
+	// number).
+	if TBackupDone != 17 || TCancel != 18 {
+		t.Fatalf("wire values moved: TBackupDone=%d TCancel=%d", TBackupDone, TCancel)
 	}
 }
 

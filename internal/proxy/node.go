@@ -102,9 +102,10 @@ type nodeManager struct {
 	idx  int
 	name string
 
-	reqCh  chan *pending
-	connCh chan *joinedConn
-	delCh  chan string // chunk keys to delete lazily (eviction)
+	reqCh    chan *pending
+	connCh   chan *joinedConn
+	delCh    chan string // chunk keys to delete lazily (eviction)
+	cancelCh chan uint64 // seqs of abandoned requests (client CANCEL)
 
 	// stateMirror publishes the current state for observers (the warm-up
 	// driver skips nodes that are not Sleeping — warming a running
@@ -161,6 +162,7 @@ func newNodeManager(p *Proxy, idx int, name string) *nodeManager {
 		reqCh:    make(chan *pending, 1024),
 		connCh:   make(chan *joinedConn, 8),
 		delCh:    make(chan string, 4096),
+		cancelCh: make(chan uint64, 1024),
 		inflight: make(map[uint64]*pending),
 	}
 }
@@ -178,6 +180,37 @@ func (nm *nodeManager) submit(typ protocol.Type, seq uint64, key string, payload
 		return true
 	case <-nm.p.done:
 		return false
+	}
+}
+
+// cancel withdraws an abandoned request from the dispatcher (the
+// client CANCELled it): its queue entry or in-flight window slot is
+// released and a nil outcome is delivered so the submitter's
+// accounting still balances. Best effort — on a full channel the
+// request simply runs to completion and its response is handled
+// normally.
+func (nm *nodeManager) cancel(seq uint64) {
+	select {
+	case nm.cancelCh <- seq:
+	default:
+	}
+}
+
+// cancelReq runs in the dispatcher loop: it frees the window slot (or
+// queue entry) held by seq. A response that still arrives from the node
+// is dropped as stale by handleMessage.
+func (nm *nodeManager) cancelReq(seq uint64) {
+	if pr, ok := nm.inflight[seq]; ok {
+		delete(nm.inflight, seq) // sendOrder entry goes stale; skipped lazily
+		nm.deliver(pr, nil)
+		return
+	}
+	for i, pr := range nm.queue {
+		if pr.seq == seq {
+			nm.queue = append(nm.queue[:i], nm.queue[i+1:]...)
+			nm.deliver(pr, nil)
+			return
+		}
 	}
 }
 
@@ -215,6 +248,8 @@ func (nm *nodeManager) run() {
 			} else {
 				nm.handleMessage(m)
 			}
+		case seq := <-nm.cancelCh:
+			nm.cancelReq(seq)
 		case pr := <-nm.reqCh:
 			nm.enqueue(pr)
 			// Drain whatever arrived with it so one validated pump sends

@@ -85,6 +85,7 @@ type Stats struct {
 	BackupsDone   atomic.Int64 // migrations reported complete by λd
 	BackupSwaps   atomic.Int64 // λd connections adopted (Maybe state)
 	ChunkFailures atomic.Int64 // chunk requests that exhausted retries
+	Cancels       atomic.Int64 // client CANCELs matched to an in-flight op
 }
 
 // Proxy is one InfiniCache proxy instance.

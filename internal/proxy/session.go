@@ -53,6 +53,7 @@ type session struct {
 	completions chan nodeReply
 	outstanding int                     // chunk requests in flight
 	chunks      map[uint64]pendingChunk // node request seq -> owning op
+	byClient    map[uint64]pendingChunk // client seq -> op (CANCEL lookup)
 }
 
 // getOp tracks one client GET through its chunk fan-out.
@@ -61,32 +62,36 @@ type getOp struct {
 	key       string
 	size      int64
 	d, total  int
-	requested int  // chunk GETs issued
-	remaining int  // chunk GETs not yet completed
-	forwarded int  // DATA frames relayed to the client
-	missed    int  // definitive node MISSes
-	failed    int  // transient failures (timeout, swap)
-	done      bool // the client already got its answer
+	requested int      // chunk GETs issued
+	remaining int      // chunk GETs not yet completed
+	forwarded int      // DATA frames relayed to the client
+	missed    int      // definitive node MISSes
+	failed    int      // transient failures (timeout, swap)
+	done      bool     // the client already got its answer (or walked away)
+	seqs      []uint64 // node request seqs, for cancellation
 }
 
 // setOp tracks one client chunk SET through its node store.
 type setOp struct {
 	clientSeq uint64
+	seq       uint64 // node request seq, for cancellation
 	key       string
 	idx       int
 	node      int
 	size      int64
 	gen       int64 // put generation; a stale one must not commit
 	recovery  bool
+	cancelled bool   // the client abandoned the PUT; do not commit
 	payload   []byte // the client frame's pooled payload; recycled on completion
 }
 
 // pendingChunk links a node-request seq back to its op (exactly one of
 // get/set is non-nil).
 type pendingChunk struct {
-	get *getOp
-	set *setOp
-	idx int // chunk index within the get
+	get  *getOp
+	set  *setOp
+	idx  int // chunk index within the get
+	node int // owning node manager, for cancellation
 }
 
 func (s *session) run() {
@@ -94,6 +99,7 @@ func (s *session) run() {
 	s.putGens = make(map[string]int64)
 	s.completions = make(chan nodeReply, sessionWindow)
 	s.chunks = make(map[uint64]pendingChunk)
+	s.byClient = make(map[uint64]pendingChunk)
 	inbox := protocol.Pump(s.conn)
 	for inbox != nil || s.outstanding > 0 {
 		select {
@@ -121,8 +127,35 @@ func (s *session) handle(m *protocol.Message) {
 		s.handleSet(m)
 	case protocol.TDel:
 		s.handleDel(m)
+	case protocol.TCancel:
+		s.handleCancel(m)
 	default:
 		m.Recycle()
+	}
+}
+
+// handleCancel abandons one in-flight client request (m.Seq): the
+// owning op stops talking to the client, and every node request it
+// still has pending is withdrawn from its dispatcher so the window
+// slots free up immediately instead of when the node answers. No reply
+// is sent — the client has already deregistered the seq.
+func (s *session) handleCancel(m *protocol.Message) {
+	defer m.Recycle()
+	pc, ok := s.byClient[m.Seq]
+	if !ok {
+		return // already completed, or never existed
+	}
+	s.p.stats.Cancels.Add(1)
+	if pc.get != nil {
+		pc.get.done = true // suppress DATA forwarding and the final verdict
+		for _, seq := range pc.get.seqs {
+			if ch, live := s.chunks[seq]; live {
+				s.p.nodes[ch.node].cancel(seq)
+			}
+		}
+	} else {
+		pc.set.cancelled = true
+		s.p.nodes[pc.set.node].cancel(pc.set.seq)
 	}
 }
 
@@ -208,14 +241,16 @@ func (s *session) handleSet(m *protocol.Message) {
 	}
 	seq := s.p.nextSeq()
 	op := &setOp{
-		clientSeq: m.Seq, key: m.Key, idx: idx, node: lambdaIdx,
+		clientSeq: m.Seq, seq: seq, key: m.Key, idx: idx, node: lambdaIdx,
 		size: size, gen: putGen, recovery: recovery, payload: m.Payload,
 	}
 	s.outstanding++
-	s.chunks[seq] = pendingChunk{set: op}
+	s.chunks[seq] = pendingChunk{set: op, node: lambdaIdx}
+	s.byClient[m.Seq] = pendingChunk{set: op}
 	if !s.p.nodes[lambdaIdx].submit(protocol.TSet, seq, ChunkKey(m.Key, idx), m.Payload, s.completions) {
 		s.outstanding--
 		delete(s.chunks, seq)
+		delete(s.byClient, m.Seq)
 		s.p.table.ReleaseChunk(lambdaIdx, size)
 		m.Recycle()
 	}
@@ -252,18 +287,24 @@ func (s *session) handleGet(m *protocol.Message) {
 	op := &getOp{
 		clientSeq: m.Seq, key: m.Key, size: meta.Size,
 		d: d, total: meta.TotalShards,
+		seqs: make([]uint64, 0, len(present)),
 	}
+	s.byClient[m.Seq] = pendingChunk{get: op}
 	for _, i := range present {
 		seq := s.p.nextSeq()
 		s.outstanding++
 		op.requested++
 		op.remaining++
-		s.chunks[seq] = pendingChunk{get: op, idx: i}
+		op.seqs = append(op.seqs, seq)
+		s.chunks[seq] = pendingChunk{get: op, idx: i, node: meta.Chunks[i].Node}
 		if !s.p.nodes[meta.Chunks[i].Node].submit(protocol.TGet, seq, ChunkKey(m.Key, i), nil, s.completions) {
 			s.outstanding--
 			op.requested--
 			op.remaining--
 			delete(s.chunks, seq)
+			if op.remaining == 0 {
+				delete(s.byClient, m.Seq)
+			}
 			return // shutting down
 		}
 	}
@@ -288,6 +329,32 @@ func (s *session) complete(r nodeReply) {
 }
 
 func (s *session) completeSet(op *setOp, resp *protocol.Message) {
+	delete(s.byClient, op.clientSeq)
+	acked := resp != nil && resp.Type == protocol.TAck
+	if op.cancelled && !(op.recovery && acked) {
+		// The client abandoned the PUT: never commit. The node may have
+		// stored the chunk anyway — a cancel withdrawn in flight gets a
+		// nil outcome here while the SET still lands — so delete its
+		// copy: an uncommitted chunk is garbage the accounting no
+		// longer tracks, and deleting an absent key is a no-op. The one
+		// exception is recovery: a recovery SET re-inserts the object's
+		// TRUE chunk content without a BeginObject, so the same chunk
+		// key may be live and committed on this very node — deleting
+		// would destroy healthy data; a cancelled-but-acked repair
+		// instead falls through and commits (the repair succeeded; the
+		// caller's departure doesn't invalidate it), and a withdrawn
+		// one just releases its reservation.
+		s.p.table.ReleaseChunk(op.node, op.size)
+		if !op.recovery {
+			s.p.nodes[op.node].queueDel(ChunkKey(op.key, op.idx))
+		}
+		if resp != nil {
+			resp.Recycle()
+		}
+		bufpool.Put(op.payload)
+		op.payload = nil
+		return
+	}
 	if resp != nil && resp.Type == protocol.TAck {
 		if !op.recovery && s.putGens[op.key] != op.gen {
 			// A newer PUT generation superseded this chunk while it was
@@ -317,6 +384,9 @@ func (s *session) completeSet(op *setOp, resp *protocol.Message) {
 
 func (s *session) completeGet(op *getOp, idx int, resp *protocol.Message) {
 	op.remaining--
+	if op.remaining == 0 {
+		delete(s.byClient, op.clientSeq)
+	}
 	switch {
 	case resp != nil && resp.Type == protocol.TData:
 		if !op.done {
