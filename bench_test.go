@@ -273,35 +273,65 @@ func (bp *benchNodePool) runNode(name, proxyAddr string) {
 		return
 	}
 	store := make(map[string][]byte)
+	serve := func(m *protocol.Message) {
+		switch m.Type {
+		case protocol.TPing:
+			bp.pings.Add(1)
+			conn.Forward(protocol.TPong, m.Seq, name, "", nil, nil)
+		case protocol.TGet:
+			if b, ok := store[m.Key]; ok {
+				conn.Forward(protocol.TData, m.Seq, m.Key, "", nil, b)
+			} else {
+				conn.Forward(protocol.TMiss, m.Seq, m.Key, "", nil, nil)
+			}
+		case protocol.TSet:
+			store[m.Key] = m.Payload
+			conn.Forward(protocol.TAck, m.Seq, m.Key, "", nil, nil)
+		case protocol.TDel:
+			delete(store, m.Key)
+			conn.Forward(protocol.TAck, m.Seq, m.Key, "", nil, nil)
+		}
+	}
 	for {
 		m, err := conn.Recv()
 		if err != nil {
 			return
 		}
-		switch m.Type {
-		case protocol.TPing:
-			bp.pings.Add(1)
-			conn.Send(&protocol.Message{Type: protocol.TPong, Key: name, Seq: m.Seq})
-		case protocol.TGet:
-			if b, ok := store[m.Key]; ok {
-				conn.Send(&protocol.Message{Type: protocol.TData, Key: m.Key, Seq: m.Seq, Payload: b})
-			} else {
-				conn.Send(&protocol.Message{Type: protocol.TMiss, Key: m.Key, Seq: m.Seq})
+		// Like the real Lambda runtime: replies for everything already
+		// buffered coalesce into one flush.
+		conn.Pin()
+		serve(m)
+		for conn.Buffered() > 0 {
+			if m, err = conn.Recv(); err != nil {
+				conn.Flush()
+				return
 			}
-		case protocol.TSet:
-			store[m.Key] = m.Payload
-			conn.Send(&protocol.Message{Type: protocol.TAck, Key: m.Key, Seq: m.Seq})
-		case protocol.TDel:
-			delete(store, m.Key)
-			conn.Send(&protocol.Message{Type: protocol.TAck, Key: m.Key, Seq: m.Seq})
+			serve(m)
+		}
+		if conn.Flush() != nil {
+			return
 		}
 	}
 }
 
-// benchRequestPlane wires a live loopback stack: one proxy over a
-// benchNodePool and one client speaking RS(10+2).
-func benchRequestPlane(b *testing.B) (*client.Client, *benchNodePool) {
-	b.Helper()
+// countingConn wraps a net.Conn and counts Write calls — on a TCP conn
+// each is one syscall, so the counter observes the wire plane's flush
+// coalescing from outside the protocol package.
+type countingConn struct {
+	net.Conn
+	writes *atomic.Int64
+}
+
+func (c *countingConn) Write(b []byte) (int, error) {
+	c.writes.Add(1)
+	return c.Conn.Write(b)
+}
+
+// benchStack wires a live loopback stack: one proxy over a
+// benchNodePool and one client speaking RS(10+2), with an optional
+// dialer override for the client's proxy connections.
+func benchStack(tb testing.TB, dial func(string) (net.Conn, error)) (*client.Client, *benchNodePool) {
+	tb.Helper()
 	pool := &benchNodePool{}
 	px, err := proxy.New(proxy.Config{
 		Invoker:      pool,
@@ -309,20 +339,27 @@ func benchRequestPlane(b *testing.B) (*client.Client, *benchNodePool) {
 		NodeMemoryMB: 3072,
 	})
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
-	b.Cleanup(func() { px.Close() })
+	tb.Cleanup(func() { px.Close() })
 	c, err := client.New(client.Config{
 		Proxies:      []client.ProxyInfo{{Addr: px.Addr(), PoolSize: 12}},
 		DataShards:   10,
 		ParityShards: 2,
 		Seed:         7,
+		Dial:         dial,
 	})
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
-	b.Cleanup(func() { c.Close() })
+	tb.Cleanup(func() { c.Close() })
 	return c, pool
+}
+
+// benchRequestPlane is benchStack over plain TCP (so the vectored-write
+// path is live); flushes/op comes from the client's own wire counters.
+func benchRequestPlane(tb testing.TB) (*client.Client, *benchNodePool) {
+	return benchStack(tb, nil)
 }
 
 func benchNodeNames(n int) []string {
@@ -358,6 +395,7 @@ func BenchmarkRequestPlane(b *testing.B) {
 				b.Fatal(err)
 			}
 			start := pool.pings.Load()
+			startW := c.WireStats().Flushes
 			b.SetBytes(int64(sz.n))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -367,6 +405,7 @@ func BenchmarkRequestPlane(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(pool.pings.Load()-start)/float64(b.N), "pings/op")
+			b.ReportMetric(float64(c.WireStats().Flushes-startW)/float64(b.N), "flushes/op")
 		})
 		b.Run("GET/"+sz.name, func(b *testing.B) {
 			c, pool := benchRequestPlane(b)
@@ -378,6 +417,7 @@ func BenchmarkRequestPlane(b *testing.B) {
 				b.Fatal(err)
 			}
 			start := pool.pings.Load()
+			startW := c.WireStats().Flushes
 			b.SetBytes(int64(sz.n))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -387,6 +427,7 @@ func BenchmarkRequestPlane(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(pool.pings.Load()-start)/float64(b.N), "pings/op")
+			b.ReportMetric(float64(c.WireStats().Flushes-startW)/float64(b.N), "flushes/op")
 		})
 	}
 }
@@ -541,5 +582,35 @@ func BenchmarkAvailabilityModel(b *testing.B) {
 		if !strings.Contains(out, "18.8") && !strings.Contains(out, "p3/p4") {
 			b.Fatal("analysis missing")
 		}
+	}
+}
+
+// TestPutBurstFlushCount pins the wire plane's headline property: a
+// 12-chunk pipelined PUT burst (RS(10+2), small object) leaves the
+// client connection in at most TWO write syscalls — the Pin/Flush
+// window coalesces all d+p SET frames; pre-coalescing it cost one
+// flush per chunk.
+func TestPutBurstFlushCount(t *testing.T) {
+	writes := &atomic.Int64{}
+	c, _ := benchStack(t, func(addr string) (net.Conn, error) {
+		raw, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return &countingConn{Conn: raw, writes: writes}, nil
+	})
+	ctx := context.Background()
+	obj := make([]byte, 1<<10)
+	rand.New(rand.NewSource(1)).Read(obj)
+	// Warm: dial, JOIN_CLIENT, node invocations, first-ever PUT.
+	if err := c.PutCtx(ctx, "flush-count-obj", obj); err != nil {
+		t.Fatal(err)
+	}
+	start := writes.Load()
+	if err := c.PutCtx(ctx, "flush-count-obj", obj); err != nil {
+		t.Fatal(err)
+	}
+	if got := writes.Load() - start; got > 2 {
+		t.Fatalf("12-chunk PUT burst took %d client-conn writes, want <= 2", got)
 	}
 }

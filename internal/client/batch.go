@@ -119,9 +119,11 @@ func (c *Client) mgetBurst(ctx context.Context, addr string, keys []string, idxs
 		drainRecycle(ch)
 	}()
 
-	// One windowed burst: all GET frames go down the single writer back
-	// to back before any response is read.
+	// One windowed burst: all GET frames are staged back to back under
+	// one Pin window and the closing Flush ships them in one write —
+	// which must happen before the collect loop blocks on responses.
 	active := 0
+	pc.conn.Pin()
 	for _, i := range idxs {
 		seq := c.seq.Add(1)
 		if !pc.registerWith(seq, ch) {
@@ -136,6 +138,10 @@ func (c *Client) mgetBurst(ctx context.Context, addr string, keys []string, idxs
 		states[seq] = &mgetKey{idx: i, g: gather{obj: newObject(total), size: -1}}
 		active++
 	}
+	if err := pc.conn.Flush(); err != nil {
+		fail(err)
+		return
+	}
 
 	// Any abandon (timeout or cancellation) CANCELs the keys still
 	// collecting so the proxy releases their window slots.
@@ -147,13 +153,9 @@ func (c *Client) mgetBurst(ctx context.Context, addr string, keys []string, idxs
 		}
 		c.finishBurstKeys(states, res, err)
 	}
-	deadline := c.cfg.Clock.Now().Add(c.cfg.RequestTimeout)
+	// One timer covers the whole collect (fixed deadline).
+	timeout := c.cfg.Clock.After(c.cfg.RequestTimeout)
 	for active > 0 {
-		remain := deadline.Sub(c.cfg.Clock.Now())
-		if remain <= 0 {
-			abandon(ErrTimeout)
-			return
-		}
 		select {
 		case msg, ok := <-ch:
 			if !ok {
@@ -184,7 +186,7 @@ func (c *Client) mgetBurst(ctx context.Context, addr string, keys []string, idxs
 		case <-ctx.Done():
 			abandon(ctx.Err())
 			return
-		case <-c.cfg.Clock.After(remain):
+		case <-timeout:
 			abandon(ErrTimeout)
 			return
 		}
@@ -293,6 +295,10 @@ func (c *Client) mputBurst(ctx context.Context, addr string, pairs []KV, idxs []
 		}
 		nodes := c.placement(info.PoolSize, total)
 		gen := c.putGen.Add(1)
+		// One Pin window per pair: the pair's d+p SETs coalesce into
+		// O(1) writes, while other ops sharing the connection are not
+		// stalled behind the next pair's encode.
+		pc.conn.Pin()
 		for j, shard := range shards {
 			seq := c.seq.Add(1)
 			if !pc.registerWith(seq, ch) {
@@ -310,6 +316,7 @@ func (c *Client) mputBurst(ctx context.Context, addr string, pairs []KV, idxs []
 			}
 			seqIdx[seq] = mputChunk{resIdx: i, chunk: j}
 		}
+		pc.conn.Flush()
 		bufpool.PutAll(shards)
 	}
 

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,6 +56,10 @@ type Config struct {
 	// lost during a degraded GET.
 	EnableRecovery bool
 	Seed           int64
+	// Dial overrides the transport dialer; nil means net.Dial("tcp", ·).
+	// Tests use it to instrument the client's proxy connections (e.g.
+	// counting write syscalls to pin flush coalescing).
+	Dial func(addr string) (net.Conn, error)
 }
 
 func (c *Config) fillDefaults() {
@@ -166,6 +171,20 @@ func New(cfg Config, opts ...Option) (*Client, error) {
 
 // Stats returns the client's counters.
 func (c *Client) Stats() *Stats { return &c.stats }
+
+// WireStats sums the wire-plane counters (frames, socket flushes,
+// vectored writes) across the client's open proxy connections. The
+// flushes/frames ratio is the write-coalescing factor: 1.0 means one
+// syscall per frame, a pipelined burst drives it toward 1/(d+p).
+func (c *Client) WireStats() protocol.ConnStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out protocol.ConnStats
+	for _, pc := range c.conns {
+		out.Add(pc.conn.Stats())
+	}
+	return out
+}
 
 // Codec exposes the client's erasure codec (examples and tests use it).
 func (c *Client) Codec() *ec.Codec { return c.codec }
@@ -298,14 +317,21 @@ func (c *Client) putChunks(ctx context.Context, pc *proxyConn, key string, objSi
 		drainRecycle(ch)
 	}()
 
+	// The whole shard burst rides one Pin window: every SET frame is
+	// staged back to back and the closing Flush puts the burst on the
+	// wire in O(1) syscalls (large shards vector out as they stage).
+	// The Flush must land before collectAcks blocks — an unflushed SET
+	// would wait forever for its own ACK.
 	var firstErr error
 	var args [7]int64
+	pc.conn.Pin()
 	for i, shard := range shards {
 		if shard == nil {
 			continue
 		}
 		seq := c.seq.Add(1)
 		if !pc.registerWith(seq, ch) {
+			pc.conn.Flush()
 			return errConnClosed
 		}
 		seqIdx[seq] = i
@@ -315,8 +341,12 @@ func (c *Client) putChunks(ctx context.Context, pc *proxyConn, key string, objSi
 		}
 		if err := pc.conn.Forward(protocol.TSet, seq, key, "", args[:], shard); err != nil {
 			// The writer is dead; nothing later in the pipeline can land.
+			pc.conn.Flush()
 			return fmt.Errorf("chunk %d: %w", i, err)
 		}
+	}
+	if err := pc.conn.Flush(); err != nil {
+		return fmt.Errorf("put flush: %w", err)
 	}
 
 	// Acked seqs are deregistered as they land, so on an abandon seqIdx
@@ -353,12 +383,19 @@ func collectAcks[T any](c *Client, ctx context.Context, pc *proxyConn, ch chan *
 			pc.cancel(seq)
 		}
 	}
+	if len(seqIdx) == 0 {
+		return nil
+	}
+	remain := deadline.Sub(c.cfg.Clock.Now())
+	if remain <= 0 {
+		abandon()
+		return ErrTimeout
+	}
+	// The deadline is fixed, so one timer covers the whole wait — the
+	// previous per-iteration Clock.After allocated (and, on the real
+	// clock, leaked until expiry) a timer per received frame.
+	timeout := c.cfg.Clock.After(remain)
 	for len(seqIdx) > 0 {
-		remain := deadline.Sub(c.cfg.Clock.Now())
-		if remain <= 0 {
-			abandon()
-			return ErrTimeout
-		}
 		select {
 		case resp, ok := <-ch:
 			if !ok {
@@ -376,7 +413,7 @@ func collectAcks[T any](c *Client, ctx context.Context, pc *proxyConn, ch chan *
 		case <-ctx.Done():
 			abandon()
 			return ctx.Err()
-		case <-c.cfg.Clock.After(remain):
+		case <-timeout:
 			abandon()
 			return ErrTimeout
 		}
@@ -541,14 +578,10 @@ func (c *Client) getOnce(ctx context.Context, key string) (*Object, error) {
 			g.obj.Release()
 		}
 	}()
-	deadline := c.cfg.Clock.Now().Add(c.cfg.RequestTimeout)
+	// One timer covers the whole first-d wait (fixed deadline).
+	timeout := c.cfg.Clock.After(c.cfg.RequestTimeout)
 
 	for {
-		remain := deadline.Sub(c.cfg.Clock.Now())
-		if remain <= 0 {
-			pc.cancel(seq)
-			return nil, ErrTimeout
-		}
 		select {
 		case msg, ok := <-ch:
 			if !ok {
@@ -569,7 +602,7 @@ func (c *Client) getOnce(ctx context.Context, key string) (*Object, error) {
 		case <-ctx.Done():
 			pc.cancel(seq)
 			return nil, ctx.Err()
-		case <-c.cfg.Clock.After(remain):
+		case <-timeout:
 			pc.cancel(seq)
 			return nil, ErrTimeout
 		}

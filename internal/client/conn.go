@@ -28,7 +28,11 @@ func (c *Client) conn(addr string) (*proxyConn, error) {
 	}
 	c.mu.Unlock()
 
-	raw, err := net.Dial("tcp", addr)
+	dial := c.cfg.Dial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	raw, err := dial(addr)
 	if err != nil {
 		return nil, err
 	}

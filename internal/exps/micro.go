@@ -11,6 +11,7 @@ import (
 
 	"infinicache/internal/client"
 	"infinicache/internal/core"
+	"infinicache/internal/protocol"
 	"infinicache/internal/rediscache"
 	"infinicache/internal/stats"
 	"infinicache/internal/vclock"
@@ -416,5 +417,16 @@ func BatchProbe(keyCount, rounds int, seed int64) string {
 	fmt.Fprintf(&b, "%-16s %-22.0f %-22.0f\n", "PUT x keys", stats.Summarize(seqPut).P50, stats.Summarize(batPut).P50)
 	fmt.Fprintf(&b, "%-16s %-22.0f %-22.0f\n", "GET x keys", stats.Summarize(seqGet).P50, stats.Summarize(batGet).P50)
 	b.WriteString("\nbatched ops ride one windowed burst per owning proxy instead of one round trip per key.\n")
+
+	// Wire-plane coalescing across the proxies' client connections: how
+	// many frames rode each socket flush (1.0 = one syscall per frame).
+	var wire protocol.ConnStats
+	for _, px := range dep.Proxies {
+		wire.Add(px.WireSnapshot())
+	}
+	if wire.Flushes > 0 {
+		fmt.Fprintf(&b, "wire plane: %d client frames out over %d flushes (%.1f frames/flush, %d vectored writes)\n",
+			wire.FramesOut, wire.Flushes, float64(wire.FramesOut)/float64(wire.Flushes), wire.Vectored)
+	}
 	return b.String()
 }

@@ -178,16 +178,48 @@ func runServe(ctx *lambdaemu.Context, cfg Config, st *nodeState, pl *Payload) {
 				st.conn = nil
 				return
 			}
-			served := handleMessage(ctx, cfg, st, msg)
+			// The proxy dispatcher pipelines whole windows down this
+			// connection; handle everything already queued under one Pin
+			// so the batch's replies coalesce into one flush. The drain
+			// is non-blocking, keeping the billed-duration timer live.
+			conn := st.conn
+			conn.Pin()
+			served := 0
+			if handleMessage(ctx, cfg, st, msg) {
+				served++
+			}
+		drain:
+			for st.conn == conn && !conn.Dead() {
+				select {
+				case msg, ok = <-st.inbox:
+					if !ok {
+						break drain
+					}
+					if handleMessage(ctx, cfg, st, msg) {
+						served++
+					}
+				default:
+					break drain
+				}
+			}
+			conn.Flush()
+			if served > 0 {
+				reqsThisCycle += served
+				st.served += int64(served)
+				realign()
+			}
+			if !ok {
+				// Inbox closed mid-drain: same hangup handling as above.
+				if st.conn != nil {
+					st.conn.Close()
+					st.conn = nil
+				}
+				return
+			}
 			if st.conn == nil || st.conn.Dead() {
 				// A backup handed our connection to the peer replica
 				// (or the proxy hung up); this invocation is over.
 				return
-			}
-			if served {
-				reqsThisCycle++
-				st.served++
-				realign()
 			}
 		case <-clock.After(wait):
 			if !clock.Now().Before(hardStop) {

@@ -8,6 +8,34 @@
 // BYE on billed-duration expiry, and the backup handshake
 // (INITBACKUP/BACKUPCMD/HELLO/META).
 //
+// # Flush policy (syscall-light writes)
+//
+// Per-chunk message overhead multiplies by d+p on every object, so the
+// write path coalesces syscalls instead of flushing per frame:
+//
+//   - Send and Forward stage the frame in the connection's write buffer
+//     and flush only when they are the last writer out — a pending-senders
+//     count (incremented before the write lock is taken) lets a burst of
+//     concurrent senders ride one flush.
+//   - A single goroutine writing a known burst (a pipelined PUT's d+p
+//     SETs, an MGet fan-out, the node dispatcher's window drain) brackets
+//     it with Pin and Flush: Pin holds the pending count up so the
+//     interior sends stage without flushing, and the closing Flush puts
+//     the whole burst on the wire at once. Pin/Flush pairs nest. Every
+//     Flush (and Unpin) must close a matching Pin — an unpaired Flush
+//     racing a concurrent sender can consume that sender's pending slot
+//     and permanently disable coalescing on the connection.
+//   - Payloads of VectoredMin bytes or more skip the staging copy
+//     entirely: the buffered frames, the new header, and the payload go
+//     to the kernel as one vectored write (writev on TCP).
+//
+// The only hard rule: every Pin must eventually be followed by a Flush
+// on the same connection, before blocking on a response to the staged
+// frames — an unflushed request frame can deadlock a request/response
+// exchange. Callers that need a frame on the wire immediately (preflight
+// PING, CANCEL, a lock-step reply) either send outside any Pin window
+// (Forward self-flushes) or call Flush explicitly.
+//
 // # Payload buffer ownership
 //
 // Payload buffers flow through the pool in internal/bufpool, and exactly
@@ -15,9 +43,11 @@
 //
 //   - Read/Recv draw the payload from bufpool and pass ownership to the
 //     caller with the returned Message.
-//   - Send and Forward only *borrow* the payload: they synchronously copy
-//     it into the socket and never retain a reference, so the caller
-//     still owns the buffer when they return.
+//   - Send and Forward only *borrow* the payload: it is fully consumed
+//     before they return — copied into the write buffer, or (vectored
+//     path) handed to the kernel by reference for the duration of the
+//     call only — and no reference is retained, so the caller still owns
+//     the buffer when they return and may recycle or reuse it at once.
 //   - The hop that consumes a frame — forwards it, stores it, or drops
 //     it — recycles the payload with Message.Recycle (or takes ownership
 //     for as long as it retains the bytes, as the Lambda chunk store
@@ -103,6 +133,22 @@ const MaxPayload = 256 << 20
 // MaxKeyLen bounds the key and addr fields.
 const MaxKeyLen = 4096
 
+// maxHeaderSize is the largest possible wire header: every frame field
+// before the payload bytes, at the protocol's limits. Both the write
+// staging buffer and the read buffer must hold at least this much so a
+// header is always stageable (write side) and peekable (read side) as
+// one contiguous region.
+const maxHeaderSize = 1 + 8 + 2 + MaxKeyLen + 2 + MaxKeyLen + 1 + 255*8 + 4
+
+// bufSize is the per-direction buffer on a Conn.
+const bufSize = 64 << 10
+
+// VectoredMin is the payload size at which Send/Forward stop copying
+// the payload into the staging buffer and instead issue one vectored
+// write of staged-bytes+payload: a large DATA frame is header plus
+// payload in a single syscall with zero staging copy.
+const VectoredMin = 16 << 10
+
 // Message is one protocol frame.
 //
 // Wire layout (big endian):
@@ -154,74 +200,75 @@ var (
 	ErrTooManyArgs     = errors.New("protocol: more than 255 args")
 )
 
-// Write encodes m to w.
+// checkLimits validates the frame fields, in the same precedence order
+// the original encoder used (payload, then key/addr, then args).
+func checkLimits(key, addr string, nargs, payloadLen int) error {
+	if payloadLen > MaxPayload {
+		return ErrPayloadTooLarge
+	}
+	if len(key) > MaxKeyLen || len(addr) > MaxKeyLen {
+		return ErrKeyTooLong
+	}
+	if nargs > 255 {
+		return ErrTooManyArgs
+	}
+	return nil
+}
+
+// appendHeader appends the full wire header — everything before the
+// payload bytes, including the payload-length word — to dst. The caller
+// has already validated the field limits.
+func appendHeader(dst []byte, t Type, seq uint64, key, addr string, args []int64, payloadLen int) []byte {
+	dst = append(dst, byte(t))
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(key)))
+	dst = append(dst, key...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(addr)))
+	dst = append(dst, addr...)
+	dst = append(dst, byte(len(args)))
+	for _, a := range args {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(a))
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(payloadLen))
+	return dst
+}
+
+// headerSize returns the exact encoded header size for the fields.
+func headerSize(key, addr string, nargs int) int {
+	return 1 + 8 + 2 + len(key) + 2 + len(addr) + 1 + 8*nargs + 4
+}
+
+// Write encodes m to w. This is the plain io.Writer path (tests, tools);
+// connections stage frames in their own write buffer instead.
 func Write(w io.Writer, m *Message) error {
-	// Assemble the fixed-size header region in one pool-recycled buffer
-	// to issue a bounded number of writes without a per-frame allocation.
-	scratch := bufpool.Get(1 + 8 + 2 + len(m.Key) + 2 + len(m.Addr) + 1 + 8*len(m.Args) + 4)
-	_, err := writeFrame(w, scratch, m.Type, m.Seq, m.Key, m.Addr, m.Args, m.Payload)
+	if err := checkLimits(m.Key, m.Addr, len(m.Args), len(m.Payload)); err != nil {
+		return err
+	}
+	scratch := bufpool.Get(headerSize(m.Key, m.Addr, len(m.Args)))
+	hdr := appendHeader(scratch[:0], m.Type, m.Seq, m.Key, m.Addr, m.Args, len(m.Payload))
+	_, err := w.Write(hdr)
+	if err == nil && len(m.Payload) > 0 {
+		_, err = w.Write(m.Payload)
+	}
 	bufpool.Put(scratch)
 	return err
 }
 
-// writeFrame encodes one frame from explicit header fields, staging the
-// header in scratch (grown as needed; the possibly-reallocated buffer is
-// returned for reuse). The payload is only borrowed: it is copied into w
-// synchronously and never retained.
-func writeFrame(w io.Writer, scratch []byte, t Type, seq uint64, key, addr string, args []int64, payload []byte) ([]byte, error) {
-	if len(payload) > MaxPayload {
-		return scratch, ErrPayloadTooLarge
-	}
-	if len(key) > MaxKeyLen || len(addr) > MaxKeyLen {
-		return scratch, ErrKeyTooLong
-	}
-	if len(args) > 255 {
-		return scratch, ErrTooManyArgs
-	}
-	hdr := scratch[:0]
-	hdr = append(hdr, byte(t))
-	hdr = binary.BigEndian.AppendUint64(hdr, seq)
-	hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(key)))
-	hdr = append(hdr, key...)
-	hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(addr)))
-	hdr = append(hdr, addr...)
-	hdr = append(hdr, byte(len(args)))
-	for _, a := range args {
-		hdr = binary.BigEndian.AppendUint64(hdr, uint64(a))
-	}
-	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(payload)))
-	if _, err := w.Write(hdr); err != nil {
-		return hdr, err
-	}
-	if len(payload) > 0 {
-		if _, err := w.Write(payload); err != nil {
-			return hdr, err
-		}
-	}
-	return hdr, nil
-}
-
-// Read decodes one message from r. The payload buffer is drawn from
-// bufpool; ownership passes to the caller, who may hand it back with
-// bufpool.Put once the message is fully consumed (letting it simply be
-// garbage collected is also fine).
+// Read decodes one message from r with the reference per-field decoder.
+// The payload buffer is drawn from bufpool; ownership passes to the
+// caller, who may hand it back with bufpool.Put once the message is
+// fully consumed (letting it simply be garbage collected is also fine).
+//
+// Conn.Recv uses the single-read fast path instead; TestDecoderParity
+// and FuzzReadMessage pin the two byte- and error-compatible.
 func Read(r io.Reader) (*Message, error) {
-	return readMessage(r, nil, nil)
+	return readMessageSlow(r)
 }
 
-// internCap bounds a connection's key-intern cache; past it the cache
-// is reset wholesale (simple, and a working set that large means keys
-// are not repeating anyway).
-const internCap = 4096
-
-// readMessage decodes one message. scratch, when non-nil, stages the
-// key/addr bytes before their string copies (Conn.Recv passes a
-// per-connection buffer so steady-state reads only allocate for what
-// the message keeps); it must hold MaxKeyLen bytes. intern, when
-// non-nil, deduplicates key/addr strings across frames — chunk keys
-// repeat for the lifetime of an object, so steady-state reads hit the
-// cache and allocate no string at all.
-func readMessage(r io.Reader, scratch []byte, intern map[string]string) (*Message, error) {
+// readMessageSlow decodes one message with one small read per field —
+// the original decoder, kept as the arbitrary-io.Reader path and as the
+// behavioural reference for the buffered fast path.
+func readMessageSlow(r io.Reader) (*Message, error) {
 	var b [8]byte
 	if _, err := io.ReadFull(r, b[:1]); err != nil {
 		return nil, err
@@ -243,24 +290,9 @@ func readMessage(r io.Reader, scratch []byte, intern map[string]string) (*Messag
 		if int(n) > MaxKeyLen {
 			return "", ErrKeyTooLong
 		}
-		buf := scratch
-		if buf == nil {
-			buf = make([]byte, n)
-		}
-		buf = buf[:n]
+		buf := make([]byte, n)
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return "", err
-		}
-		if intern != nil {
-			if s, ok := intern[string(buf)]; ok { // alloc-free lookup
-				return s, nil
-			}
-			s := string(buf)
-			if len(intern) >= internCap {
-				clear(intern)
-			}
-			intern[s] = s
-			return s, nil
 		}
 		return string(buf), nil
 	}
@@ -305,80 +337,387 @@ func readMessage(r io.Reader, scratch []byte, intern map[string]string) (*Messag
 	return m, nil
 }
 
-// Conn is a message-oriented wrapper over a net.Conn with a buffered,
+// peekErr maps a failed header Peek onto the error the per-field
+// reference decoder returns for the same truncated input: io.EOF when
+// the cut falls exactly on a field-read boundary (a ReadFull that got
+// zero bytes), io.ErrUnexpectedEOF when it falls inside a field. reads
+// lists the reference decoder's per-field read sizes up to (at least)
+// the point of failure; got is what Peek could deliver.
+func peekErr(got []byte, err error, reads ...int) error {
+	if err != io.EOF {
+		return err
+	}
+	avail, off := len(got), 0
+	for _, n := range reads {
+		if n == 0 {
+			continue // zero-length fields are never read
+		}
+		if avail == off {
+			return io.EOF
+		}
+		if avail < off+n {
+			return io.ErrUnexpectedEOF
+		}
+		off += n
+	}
+	return io.ErrUnexpectedEOF
+}
+
+// readMessageFast decodes one frame off a buffered reader in a single
+// logical read: the whole variable-length header is obtained by peeking
+// into the reader's buffer (a handful of Peek calls, no copies, no
+// per-field ReadFull round trips), decoded in place, and consumed with
+// one Discard; only the payload is read into its own pooled buffer.
+// The reader's buffer must hold maxHeaderSize bytes. Byte layout and
+// error behaviour are pinned to readMessageSlow by TestDecoderParity
+// and FuzzReadMessage.
+func readMessageFast(r *bufio.Reader, it *internTable) (*Message, error) {
+	const fixed = 1 + 8 + 2 // type, seq, len(key)
+	hdr, err := r.Peek(fixed)
+	if err != nil {
+		return nil, peekErr(hdr, err, 1, 8, 2)
+	}
+	m := &Message{Type: Type(hdr[0])}
+	m.Seq = binary.BigEndian.Uint64(hdr[1:9])
+	klen := int(binary.BigEndian.Uint16(hdr[9:11]))
+	if klen > MaxKeyLen {
+		return nil, ErrKeyTooLong
+	}
+	keyEnd := fixed + klen
+	if hdr, err = r.Peek(keyEnd + 2); err != nil {
+		return nil, peekErr(hdr, err, 1, 8, 2, klen, 2)
+	}
+	alen := int(binary.BigEndian.Uint16(hdr[keyEnd : keyEnd+2]))
+	if alen > MaxKeyLen {
+		return nil, ErrKeyTooLong
+	}
+	addrEnd := keyEnd + 2 + alen
+	if hdr, err = r.Peek(addrEnd + 1); err != nil {
+		return nil, peekErr(hdr, err, 1, 8, 2, klen, 2, alen, 1)
+	}
+	nargs := int(hdr[addrEnd])
+	total := addrEnd + 1 + 8*nargs + 4
+	if hdr, err = r.Peek(total); err != nil {
+		reads := make([]int, 0, 8+nargs)
+		reads = append(reads, 1, 8, 2, klen, 2, alen, 1)
+		for i := 0; i < nargs; i++ {
+			reads = append(reads, 8)
+		}
+		reads = append(reads, 4)
+		return nil, peekErr(hdr, err, reads...)
+	}
+	// Everything below slices hdr, which aliases the reader's internal
+	// buffer — all copies out must happen before the Discard.
+	if it != nil {
+		m.Key = it.lookup(hdr[fixed:keyEnd])
+		m.Addr = it.lookup(hdr[keyEnd+2 : addrEnd])
+	} else {
+		m.Key = string(hdr[fixed:keyEnd])
+		m.Addr = string(hdr[keyEnd+2 : addrEnd])
+	}
+	if nargs > 0 {
+		if nargs <= len(m.argsArr) {
+			m.Args = m.argsArr[:nargs]
+		} else {
+			m.Args = make([]int64, nargs)
+		}
+		for i := range m.Args {
+			m.Args[i] = int64(binary.BigEndian.Uint64(hdr[addrEnd+1+8*i:]))
+		}
+	}
+	plen := binary.BigEndian.Uint32(hdr[total-4 : total])
+	if plen > MaxPayload {
+		return nil, ErrPayloadTooLarge
+	}
+	if _, err := r.Discard(total); err != nil {
+		return nil, err
+	}
+	if plen > 0 {
+		m.Payload = bufpool.Get(int(plen))
+		if _, err := io.ReadFull(r, m.Payload); err != nil {
+			bufpool.Put(m.Payload)
+			m.Payload = nil
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// internCap bounds a connection's key-intern cache.
+const internCap = 4096
+
+// internTable deduplicates key/addr strings across a connection's
+// frames — chunk keys repeat for the lifetime of an object, so
+// steady-state reads hit the cache and allocate no string at all.
+//
+// Eviction is second-chance by window: every entry records the window
+// generation it was last looked up in. When the table hits internCap, a
+// sweep drops only the entries not touched in the current window and
+// opens a new one — a connection's hot chunk keys survive the reset
+// while the cold tail is evicted (the previous wholesale clear() threw
+// the hot keys out with the cold ones).
+type internTable struct {
+	m   map[string]internEntry
+	gen uint8 // current touch window
+}
+
+type internEntry struct {
+	s   string
+	gen uint8
+}
+
+// lookup returns the interned string for b, inserting (and sweeping, at
+// capacity) as needed. The lookup itself is allocation-free on a hit.
+func (t *internTable) lookup(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if t.m == nil {
+		t.m = make(map[string]internEntry)
+	}
+	if e, ok := t.m[string(b)]; ok { // alloc-free map probe
+		if e.gen != t.gen {
+			e.gen = t.gen // second-chance bit: touched this window
+			t.m[e.s] = e
+		}
+		return e.s
+	}
+	if len(t.m) >= internCap {
+		t.sweep()
+	}
+	// New entries start untouched (gen-1): only a reuse within the
+	// current window marks a key hot enough to survive the next sweep.
+	s := string(b)
+	t.m[s] = internEntry{s: s, gen: t.gen - 1}
+	return s
+}
+
+// sweep drops every entry not touched in the current window, then opens
+// a new window (survivors must be touched again to survive the next
+// sweep). If everything was hot the table is cleared outright — a
+// working set that large means keys are not repeating anyway.
+func (t *internTable) sweep() {
+	for k, e := range t.m {
+		if e.gen != t.gen {
+			delete(t.m, k)
+		}
+	}
+	t.gen++
+	if len(t.m) >= internCap {
+		clear(t.m)
+	}
+}
+
+// ConnStats snapshots a connection's wire-plane counters.
+type ConnStats struct {
+	FramesOut uint64 // frames staged for the socket
+	FramesIn  uint64 // frames decoded off the socket
+	Flushes   uint64 // socket write calls (buffer flushes + vectored writes)
+	Vectored  uint64 // flushes that shipped a large payload via one vectored write
+}
+
+// Add accumulates o into s.
+func (s *ConnStats) Add(o ConnStats) {
+	s.FramesOut += o.FramesOut
+	s.FramesIn += o.FramesIn
+	s.Flushes += o.Flushes
+	s.Vectored += o.Vectored
+}
+
+// Conn is a message-oriented wrapper over a net.Conn with a staged,
 // mutex-guarded writer (many goroutines may send) and a single-reader
-// contract for Recv.
+// contract for Recv. See the package comment for the flush policy.
 type Conn struct {
 	raw net.Conn
 	r   *bufio.Reader
-	// rscratch stages key/addr bytes during Recv and rintern dedupes
-	// the resulting strings across frames (single-reader contract, so
-	// no lock); both are allocated on first use.
-	rscratch []byte
-	rintern  map[string]string
+	// rintern dedupes decoded key/addr strings across frames
+	// (single-reader contract, so no lock).
+	rintern internTable
 
-	wmu sync.Mutex
-	w   *bufio.Writer
-	// wscratch stages frame headers under wmu, so steady-state sends
-	// need no per-frame allocation at all; it grows to the largest
-	// header this connection has written.
-	wscratch []byte
+	// wpend counts writers that have committed to staging a frame plus
+	// open Pin windows; the writer that decrements it to zero flushes.
+	// It is incremented before wmu is taken so a sender queued on the
+	// lock keeps the earlier writer from flushing needlessly.
+	wpend   atomic.Int32
+	wmu     sync.Mutex
+	wbuf    []byte      // staged, unflushed frame bytes (headers + small payloads)
+	wvec    net.Buffers // scratch for vectored writes
+	wvecArr [2][]byte
+
+	framesOut atomic.Uint64
+	framesIn  atomic.Uint64
+	flushes   atomic.Uint64
+	vectored  atomic.Uint64
 
 	dead      atomic.Bool
 	closeOnce sync.Once
 	closeErr  error
+	closedCh  chan struct{} // closed by Close; unblocks a stuck Pump send
 }
 
 // NewConn wraps a net.Conn.
 func NewConn(c net.Conn) *Conn {
 	return &Conn{
-		raw: c,
-		r:   bufio.NewReaderSize(c, 64<<10),
-		w:   bufio.NewWriterSize(c, 64<<10),
+		raw:      c,
+		r:        bufio.NewReaderSize(c, bufSize),
+		wbuf:     make([]byte, 0, bufSize),
+		closedCh: make(chan struct{}),
 	}
 }
 
-// Send encodes and flushes one message. Safe for concurrent use. The
-// payload is only borrowed; the caller still owns it when Send returns.
+// Stats snapshots the connection's wire counters.
+func (c *Conn) Stats() ConnStats {
+	return ConnStats{
+		FramesOut: c.framesOut.Load(),
+		FramesIn:  c.framesIn.Load(),
+		Flushes:   c.flushes.Load(),
+		Vectored:  c.vectored.Load(),
+	}
+}
+
+// Send stages one message and flushes if last writer out. Safe for
+// concurrent use. The payload is only borrowed; the caller still owns
+// it when Send returns.
 func (c *Conn) Send(m *Message) error {
 	return c.Forward(m.Type, m.Seq, m.Key, m.Addr, m.Args, m.Payload)
 }
 
-// Forward encodes and flushes one frame assembled from explicit header
-// fields and an existing payload buffer — the zero-rewrap relay path: a
-// hop that received a DATA/SET frame re-sends its pooled payload under a
+// Forward stages one frame assembled from explicit header fields and an
+// existing payload buffer — the zero-rewrap relay path: a hop that
+// received a DATA/SET frame re-sends its pooled payload under a
 // rewritten header with no intermediate Message allocation and no
 // payload copy. Safe for concurrent use; the payload is only borrowed
-// (copied into the socket before Forward returns), so the caller keeps
+// (fully consumed before Forward returns), so the caller keeps
 // ownership and typically recycles it right after.
+//
+// The frame reaches the wire when the last concurrent writer (or the
+// enclosing Pin window's Flush) flushes; with no concurrency and no Pin
+// open, Forward flushes itself before returning.
 func (c *Conn) Forward(t Type, seq uint64, key, addr string, args []int64, payload []byte) error {
+	c.wpend.Add(1)
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	scratch, err := writeFrame(c.w, c.wscratch, t, seq, key, addr, args, payload)
-	c.wscratch = scratch[:0]
+	err := c.stageFrame(t, seq, key, addr, args, payload)
+	last := c.wpend.Add(-1) <= 0
 	if err != nil {
 		c.dead.Store(true)
 		return err
 	}
-	if err := c.w.Flush(); err != nil {
-		c.dead.Store(true)
+	if !last {
+		return nil // a pending writer or an open Pin window flushes
+	}
+	return c.flushLocked()
+}
+
+// Pin opens a write-burst window: until the matching Flush, sends on
+// this connection stage their frames without flushing, so a pipelined
+// burst reaches the kernel in one write. Pin/Flush pairs nest. The
+// caller must call Flush before blocking on any response to the burst.
+func (c *Conn) Pin() { c.wpend.Add(1) }
+
+// Unpin closes a Pin window without forcing a flush: staged frames
+// stay held until the next boundary — a later unpinned send's
+// self-flush, an explicit Flush, or a capacity flush. Only safe when
+// the held frames cannot be what the peer is blocked on (the proxy
+// session holds intermediate chunk acks this way: the client only
+// proceeds on an operation's final frame, which always Flushes).
+func (c *Conn) Unpin() { c.wpend.Add(-1) }
+
+// Flush closes a Pin window: if no other writer or window is still
+// pending, every staged frame goes to the socket. Safe for concurrent
+// use. Each Flush must close a matching Pin — calling it without one
+// is a programming error (racing a concurrent sender, an unpaired
+// Flush could consume that sender's pending slot and leave the count
+// skewed); the n<0 restore below only contains the uncontended case.
+func (c *Conn) Flush() error {
+	if n := c.wpend.Add(-1); n > 0 {
+		return nil // an open window or mid-send writer will flush
+	} else if n < 0 {
+		c.wpend.Add(1) // unpaired misuse: repair the count
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.flushLocked()
+}
+
+// stageFrame validates and appends one frame to the write buffer,
+// flushing as needed for space. Payloads of VectoredMin bytes or more
+// are not staged: the buffer and the payload are written together as
+// one vectored write. Called with wmu held.
+func (c *Conn) stageFrame(t Type, seq uint64, key, addr string, args []int64, payload []byte) error {
+	if err := checkLimits(key, addr, len(args), len(payload)); err != nil {
 		return err
 	}
-	return nil
+	c.framesOut.Add(1)
+	need := headerSize(key, addr, len(args))
+	small := len(payload) < VectoredMin
+	if small {
+		need += len(payload)
+	}
+	if len(c.wbuf)+need > cap(c.wbuf) {
+		if err := c.flushLocked(); err != nil {
+			return err
+		}
+	}
+	c.wbuf = appendHeader(c.wbuf, t, seq, key, addr, args, len(payload))
+	if small {
+		c.wbuf = append(c.wbuf, payload...)
+		return nil
+	}
+	return c.writeVectored(payload)
+}
+
+// flushLocked writes the staged bytes to the socket. Called with wmu
+// held.
+func (c *Conn) flushLocked() error {
+	if len(c.wbuf) == 0 {
+		return nil
+	}
+	c.flushes.Add(1)
+	_, err := c.raw.Write(c.wbuf)
+	c.wbuf = c.wbuf[:0]
+	if err != nil {
+		c.dead.Store(true)
+	}
+	return err
+}
+
+// writeVectored ships the staged bytes (coalesced frames plus the
+// current header) and a large payload to the kernel as one vectored
+// write — writev on TCP — with no staging copy. The payload is only
+// borrowed; the write completes before return and no reference is
+// kept. Called with wmu held.
+func (c *Conn) writeVectored(payload []byte) error {
+	c.flushes.Add(1)
+	c.vectored.Add(1)
+	c.wvecArr[0], c.wvecArr[1] = c.wbuf, payload
+	c.wvec = net.Buffers(c.wvecArr[:])
+	_, err := c.wvec.WriteTo(c.raw)
+	c.wvecArr[0], c.wvecArr[1] = nil, nil // payload is only borrowed
+	c.wbuf = c.wbuf[:0]
+	if err != nil {
+		c.dead.Store(true)
+	}
+	return err
 }
 
 // Recv reads the next message. Only one goroutine may call Recv.
 func (c *Conn) Recv() (*Message, error) {
-	if c.rscratch == nil {
-		c.rscratch = make([]byte, MaxKeyLen)
-		c.rintern = make(map[string]string)
-	}
-	m, err := readMessage(c.r, c.rscratch, c.rintern)
+	m, err := readMessageFast(c.r, &c.rintern)
 	if err != nil {
 		c.dead.Store(true)
+		return nil, err
 	}
-	return m, err
+	c.framesIn.Add(1)
+	return m, nil
 }
+
+// Buffered reports how many inbound bytes are already waiting in the
+// read buffer. A relay-style hop uses it to keep a Pin window open
+// while more input is on hand: input already buffered means the peer
+// has those bytes in flight, so a Recv cannot block indefinitely.
+// Single-reader contract, like Recv.
+func (c *Conn) Buffered() int { return c.r.Buffered() }
 
 // Dead reports whether the connection has been closed or has failed; a
 // dead connection must be redialed.
@@ -387,9 +726,17 @@ func (c *Conn) Dead() bool { return c.dead.Load() }
 // Close closes the underlying connection; it is idempotent.
 func (c *Conn) Close() error {
 	c.dead.Store(true)
-	c.closeOnce.Do(func() { c.closeErr = c.raw.Close() })
+	c.closeOnce.Do(func() {
+		close(c.closedCh)
+		c.closeErr = c.raw.Close()
+	})
 	return c.closeErr
 }
+
+// Done returns a channel closed when the connection is closed — for
+// auxiliary reader goroutines that must not block forever delivering
+// to a consumer that already left.
+func (c *Conn) Done() <-chan struct{} { return c.closedCh }
 
 // RemoteAddr exposes the underlying connection's remote address.
 func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
@@ -400,16 +747,40 @@ func (c *Conn) LocalAddr() net.Addr { return c.raw.LocalAddr() }
 // Pump starts a reader goroutine that delivers inbound messages on the
 // returned channel; the channel closes when the connection errors or
 // closes. It takes over the single-reader slot of c.
+//
+// A consumer that stops receiving before the connection dies must still
+// Close the connection: Close unblocks a pump stuck delivering into a
+// full channel, and when the pump goroutine returns it drains whatever
+// the consumer never took delivery of, recycling the pooled payloads
+// that would otherwise be stranded in the channel buffer. (A consumer
+// still draining the closed channel races that cleanup fairly — each
+// message is delivered exactly once either way.)
 func Pump(c *Conn) <-chan *Message {
 	ch := make(chan *Message, 128)
 	go func() {
-		defer close(ch)
+		defer func() {
+			close(ch)
+			for {
+				m, ok := <-ch
+				if !ok {
+					return
+				}
+				m.Recycle()
+			}
+		}()
 		for {
 			m, err := c.Recv()
 			if err != nil {
 				return
 			}
-			ch <- m
+			select {
+			case ch <- m:
+			case <-c.closedCh:
+				// The consumer left and closed the connection while the
+				// channel was full; this frame ends its journey here.
+				m.Recycle()
+				return
+			}
 		}
 	}()
 	return ch

@@ -5,10 +5,14 @@ import (
 	"math/rand"
 	"net"
 	"reflect"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
+	"unsafe"
 )
 
 func roundTrip(t *testing.T, m *Message) *Message {
@@ -409,5 +413,261 @@ func BenchmarkWriteRead1MB(b *testing.B) {
 		if _, err := Read(&buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// countedConn wraps one end of a pipe and counts Write calls — each is
+// what a real TCP conn would issue as one syscall, so the counter
+// observes flush coalescing directly.
+type countedConn struct {
+	net.Conn
+	writes atomic.Int64
+}
+
+func (c *countedConn) Write(b []byte) (int, error) {
+	c.writes.Add(1)
+	return c.Conn.Write(b)
+}
+
+// newCountedPair returns a Conn over a counted pipe end plus a peer
+// Conn, with a goroutine consuming peer frames into got.
+func newCountedPair(t *testing.T, frames int) (*Conn, *countedConn, chan *Message) {
+	t.Helper()
+	a, b := net.Pipe()
+	cc := &countedConn{Conn: a}
+	ca, cb := NewConn(cc), NewConn(b)
+	t.Cleanup(func() { ca.Close(); cb.Close() })
+	got := make(chan *Message, frames)
+	go func() {
+		defer close(got)
+		for i := 0; i < frames; i++ {
+			m, err := cb.Recv()
+			if err != nil {
+				return
+			}
+			got <- m
+		}
+	}()
+	return ca, cc, got
+}
+
+// TestPinCoalescesFlushes pins the loopy-writer behaviour: a Pin/Flush
+// burst of small frames reaches the socket in ONE write, while the same
+// frames sent without a Pin window cost one write each.
+func TestPinCoalescesFlushes(t *testing.T) {
+	const frames = 12
+	ca, cc, got := newCountedPair(t, frames)
+
+	ca.Pin()
+	for i := 0; i < frames; i++ {
+		if err := ca.Forward(TSet, uint64(i), "obj", "", nil, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := cc.writes.Load(); n != 0 {
+		t.Fatalf("pinned burst flushed early: %d writes before Flush", n)
+	}
+	if err := ca.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < frames; i++ {
+		m := <-got
+		if m == nil || m.Seq != uint64(i) {
+			t.Fatalf("frame %d missing or out of order: %+v", i, m)
+		}
+		m.Recycle()
+	}
+	if n := cc.writes.Load(); n != 1 {
+		t.Fatalf("12-frame pinned burst took %d writes, want 1", n)
+	}
+	if st := ca.Stats(); st.FramesOut != frames || st.Flushes != 1 {
+		t.Fatalf("stats = %+v, want %d frames / 1 flush", st, frames)
+	}
+}
+
+// TestUnpinnedForwardFlushes pins the other side of the policy: without
+// a Pin window and without sender concurrency, every Forward reaches
+// the wire before returning.
+func TestUnpinnedForwardFlushes(t *testing.T) {
+	const frames = 3
+	ca, cc, got := newCountedPair(t, frames)
+	for i := 0; i < frames; i++ {
+		if err := ca.Forward(TGet, uint64(i), "k", "", nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		if n := cc.writes.Load(); n != int64(i+1) {
+			t.Fatalf("after %d unpinned sends: %d writes", i+1, n)
+		}
+	}
+	for i := 0; i < frames; i++ {
+		(<-got).Recycle()
+	}
+}
+
+// TestExtraFlushHarmless: an unpaired Flush (forced boundary) must not
+// poison the pending-senders count for later sends.
+func TestExtraFlushHarmless(t *testing.T) {
+	ca, cc, got := newCountedPair(t, 2)
+	if err := ca.Flush(); err != nil { // nothing staged: no write
+		t.Fatal(err)
+	}
+	if err := ca.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := cc.writes.Load(); n != 0 {
+		t.Fatalf("empty Flush wrote: %d", n)
+	}
+	for i := 0; i < 2; i++ {
+		if err := ca.Forward(TGet, uint64(i), "k", "", nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		(<-got).Recycle()
+	}
+	if n := cc.writes.Load(); n != 2 {
+		t.Fatalf("sends after unpaired Flushes: %d writes, want 2", n)
+	}
+}
+
+// TestVectoredWriteRoundTrip sends a payload over the vectored
+// (writev-style) path and checks integrity plus the borrow contract.
+func TestVectoredWriteRoundTrip(t *testing.T) {
+	ca, _, got := newCountedPair(t, 1)
+	payload := bytes.Repeat([]byte{0x5A}, VectoredMin+123)
+	want := append([]byte(nil), payload...)
+	if err := ca.Forward(TData, 9, "big", "", []int64{1}, payload); err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload { // caller reuses the borrowed buffer at once
+		payload[i] = 0xFF
+	}
+	m := <-got
+	if m == nil {
+		t.Fatal("no frame")
+	}
+	if m.Seq != 9 || m.Key != "big" || m.Arg(0) != 1 || !bytes.Equal(m.Payload, want) {
+		t.Fatalf("vectored frame corrupted: seq=%d key=%q len=%d", m.Seq, m.Key, len(m.Payload))
+	}
+	m.Recycle()
+	if st := ca.Stats(); st.Vectored != 1 {
+		t.Fatalf("stats = %+v, want 1 vectored write", st)
+	}
+}
+
+// TestPinnedBurstWithLargePayloads: small frames staged before a large
+// payload ride the same vectored write; ordering is preserved.
+func TestPinnedBurstWithLargePayloads(t *testing.T) {
+	ca, cc, got := newCountedPair(t, 3)
+	big := bytes.Repeat([]byte{7}, VectoredMin)
+	ca.Pin()
+	ca.Forward(TAck, 1, "a", "", nil, nil)
+	ca.Forward(TData, 2, "b", "", nil, big)
+	ca.Forward(TAck, 3, "c", "", nil, nil)
+	if err := ca.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		m := <-got
+		if m == nil || m.Seq != want {
+			t.Fatalf("frame %d: %+v", i, m)
+		}
+		m.Recycle()
+	}
+	// Pipe fallback: the vectored write costs 2 Writes (staged + payload),
+	// the trailing small frame one more flush — but never one per frame.
+	if n := cc.writes.Load(); n > 3 {
+		t.Fatalf("mixed burst took %d writes", n)
+	}
+}
+
+// TestPumpDrainsUndelivered: a consumer that walks away (and closes the
+// conn, as all consumers do) must not strand messages in the pump
+// channel — the pump drains and recycles them, even when it was blocked
+// mid-delivery on a full channel.
+func TestPumpDrainsUndelivered(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+
+	const frames = 200 // > pump buffer, so the pump blocks mid-delivery
+	sendErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < frames; i++ {
+			if err := ca.Forward(TData, uint64(i), "k", "", nil, make([]byte, 64)); err != nil {
+				sendErr <- err
+				return
+			}
+		}
+		sendErr <- nil
+	}()
+
+	ch := Pump(cb)
+	// Consumer takes a couple of messages, then leaves and closes.
+	for i := 0; i < 2; i++ {
+		m := <-ch
+		if m == nil {
+			t.Fatal("early close")
+		}
+		m.Recycle()
+	}
+	cb.Close()
+	<-sendErr // sender unblocks with an error once the pipe dies
+
+	// The pump must drain the stranded tail: the channel ends closed AND
+	// empty within the timeout (pre-fix it stays full forever).
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case m, ok := <-ch:
+			if !ok {
+				return // drained and closed: fixed behaviour
+			}
+			m.Recycle() // racing the pump's own drain is fair game
+		case <-deadline:
+			t.Fatalf("pump never drained: %d messages still buffered", len(ch))
+		}
+	}
+}
+
+// TestInternKeepsHotKeys: reaching internCap must not evict keys that
+// are live this window — the hot key keeps its interned identity across
+// the sweep while the cold tail is dropped.
+func TestInternKeepsHotKeys(t *testing.T) {
+	var it internTable
+	hot := []byte("chunk/hot#0")
+	first := it.lookup(hot)
+	var cold [64]byte
+	for i := 0; i < internCap*3; i++ {
+		n := copy(cold[:], "cold-")
+		n += copy(cold[n:], strconv.Itoa(i))
+		it.lookup(cold[:n])
+		if i%8 == 0 {
+			it.lookup(hot) // stays hot through every window
+		}
+	}
+	again := it.lookup(hot)
+	if unsafe.StringData(first) != unsafe.StringData(again) {
+		t.Fatal("hot key was evicted and re-interned by a sweep")
+	}
+	if len(it.m) > internCap {
+		t.Fatalf("intern table unbounded: %d entries", len(it.m))
+	}
+}
+
+// TestInternAllHotFallsBack: when every key is touched in the window,
+// the sweep must still bound the table (wholesale clear), not grow
+// forever.
+func TestInternAllHotFallsBack(t *testing.T) {
+	var it internTable
+	var buf [64]byte
+	for round := 0; round < 3; round++ {
+		for i := 0; i < internCap+100; i++ {
+			n := copy(buf[:], "k-")
+			n += copy(buf[n:], strconv.Itoa(i))
+			it.lookup(buf[:n])
+			it.lookup(buf[:n]) // touch: everything is "hot"
+		}
+	}
+	if len(it.m) > internCap+1 {
+		t.Fatalf("all-hot table unbounded: %d entries", len(it.m))
 	}
 }

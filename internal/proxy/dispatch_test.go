@@ -432,3 +432,87 @@ func TestExhaustedRetriesFailCleanly(t *testing.T) {
 		t.Fatalf("ChunkFailures = %d, want 1", fails)
 	}
 }
+
+// TestWindowRefillOnResponses: responses are delivered by the
+// connection reader without waking the dispatcher loop, so the loop
+// must still learn that window slots freed up — a queue deeper than
+// maxInflight has to drain promptly via the reader's kick, not at the
+// next RequestTimeout-scale timer pop.
+func TestWindowRefillOnResponses(t *testing.T) {
+	const n = maxInflight + 64
+	// The node joins only after every submission is parked with the
+	// dispatcher, so ONE pump fills the whole window (its frames reach
+	// the node in one pinned flush) and the beyond-window tail is
+	// provably queued before any ack can free a slot. The node then acks
+	// the full window at once: only the reader's kick can get the tail
+	// sent promptly — the loop has no further submissions to wake on.
+	ready := make(chan struct{})
+	var invokes atomic.Int64
+	inv := invokerFunc(func(name string, payload []byte) error {
+		if invokes.Add(1) > 1 {
+			return nil
+		}
+		addr := proxyAddrFromPayload(t, payload)
+		go func() {
+			<-ready
+			c := joinProxy(t, addr, "test-node", false)
+			defer c.Close()
+			c.Send(&protocol.Message{Type: protocol.TPong, Key: "test-node"})
+			var held []uint64
+			released := false
+			for {
+				m, err := c.Recv()
+				if err != nil {
+					return
+				}
+				switch m.Type {
+				case protocol.TPing:
+					c.Send(&protocol.Message{Type: protocol.TPong, Seq: m.Seq})
+				case protocol.TSet:
+					m.Recycle()
+					if released {
+						c.Send(&protocol.Message{Type: protocol.TAck, Seq: m.Seq})
+						continue
+					}
+					held = append(held, m.Seq)
+					if len(held) == maxInflight {
+						released = true
+						for _, seq := range held {
+							c.Send(&protocol.Message{Type: protocol.TAck, Seq: seq})
+						}
+						held = nil
+					}
+				}
+			}
+		}()
+		return nil
+	})
+	p := testProxy(t, inv)
+
+	ch := make(chan nodeReply, n)
+	for i := 0; i < n; i++ {
+		if !p.nodes[0].submit(protocol.TSet, p.nextSeq(), fmt.Sprintf("chunk-%d", i), nil, ch) {
+			t.Fatal("submit refused")
+		}
+	}
+	start := time.Now()
+	close(ready)
+	for i := 0; i < n; i++ {
+		r := awaitReply(t, ch)
+		if r.Msg == nil || r.Msg.Type != protocol.TAck {
+			t.Fatalf("reply %d: %+v", i, r.Msg)
+		}
+		r.Msg.Recycle()
+	}
+	// The whole queue must clear promptly: without the refill kick, the
+	// beyond-window tail is not even sent until some unrelated timer
+	// pops (the stale 300 ms validation timer here, the 400 ms request
+	// expiry in general). The healthy path drains in single-digit
+	// milliseconds; anything approaching timer scale is the stall.
+	if elapsed := time.Since(start); elapsed >= 150*time.Millisecond {
+		t.Fatalf("queue beyond maxInflight took %v to drain (stalled until timer pop)", elapsed)
+	}
+	if f := p.stats.ChunkFailures.Load(); f != 0 {
+		t.Fatalf("%d chunk failures during refill", f)
+	}
+}

@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -104,8 +105,10 @@ type nodeManager struct {
 
 	reqCh    chan *pending
 	connCh   chan *joinedConn
-	delCh    chan string // chunk keys to delete lazily (eviction)
-	cancelCh chan uint64 // seqs of abandoned requests (client CANCEL)
+	delCh    chan string   // chunk keys to delete lazily (eviction)
+	cancelCh chan uint64   // seqs of abandoned requests (client CANCEL)
+	kickCh   chan struct{} // reader -> loop: a response freed window space
+	queued   atomic.Int32  // len(queue) snapshot, published each loop turn
 
 	// stateMirror publishes the current state for observers (the warm-up
 	// driver skips nodes that are not Sleeping — warming a running
@@ -121,9 +124,16 @@ type nodeManager struct {
 	valInvoke   bool      // the awaited PONG belongs to an invocation, not a PING
 	valDeadline time.Time // when the validation wait expires
 	instanceID  string
-	queue       []*pending          // waiting for a validated connection
-	inflight    map[uint64]*pending // sent, awaiting response, keyed by seq
+	queue       []*pending // waiting for a validated connection
 	pendingDel  []string
+
+	// The in-flight window is shared between the run loop (sends,
+	// re-drives, expiry, cancels) and the connection's reader goroutine,
+	// which matches chunk responses by seq and delivers them straight to
+	// the submitter — the dispatcher never wakes for a response. mu
+	// guards only this map; whoever deletes an entry owns its pending.
+	mu       sync.Mutex
+	inflight map[uint64]*pending // sent, awaiting response, keyed by seq
 
 	// sendOrder records (seq, deadline) in send order. Deadlines are
 	// assigned from a monotonic clock with a fixed timeout, so the
@@ -163,6 +173,7 @@ func newNodeManager(p *Proxy, idx int, name string) *nodeManager {
 		connCh:   make(chan *joinedConn, 8),
 		delCh:    make(chan string, 4096),
 		cancelCh: make(chan uint64, 1024),
+		kickCh:   make(chan struct{}, 1),
 		inflight: make(map[uint64]*pending),
 	}
 }
@@ -198,10 +209,10 @@ func (nm *nodeManager) cancel(seq uint64) {
 
 // cancelReq runs in the dispatcher loop: it frees the window slot (or
 // queue entry) held by seq. A response that still arrives from the node
-// is dropped as stale by handleMessage.
+// is dropped as stale by the reader.
 func (nm *nodeManager) cancelReq(seq uint64) {
-	if pr, ok := nm.inflight[seq]; ok {
-		delete(nm.inflight, seq) // sendOrder entry goes stale; skipped lazily
+	if pr, ok := nm.takeInflight(seq); ok {
+		// sendOrder entry goes stale; skipped lazily.
 		nm.deliver(pr, nil)
 		return
 	}
@@ -212,6 +223,77 @@ func (nm *nodeManager) cancelReq(seq uint64) {
 			return
 		}
 	}
+}
+
+// takeInflight removes and returns seq's window entry; the caller that
+// wins the removal owns the pending exclusively.
+func (nm *nodeManager) takeInflight(seq uint64) (*pending, bool) {
+	nm.mu.Lock()
+	pr, ok := nm.inflight[seq]
+	if ok {
+		delete(nm.inflight, seq)
+	}
+	nm.mu.Unlock()
+	return pr, ok
+}
+
+// startReader launches conn's read goroutine: chunk responses are
+// matched against the in-flight window and delivered straight to their
+// submitters — the dispatcher loop never wakes for them — while
+// control traffic (PONG, BYE, backup coordination) flows to the
+// returned channel. The channel closes when the connection dies;
+// stranded control frames are recycled, and a dispatcher that already
+// moved on (closing the conn) unblocks a full-channel send.
+func (nm *nodeManager) startReader(conn *protocol.Conn) <-chan *protocol.Message {
+	ctrl := make(chan *protocol.Message, 64)
+	go func() {
+		defer func() {
+			close(ctrl)
+			for {
+				m, ok := <-ctrl
+				if !ok {
+					return
+				}
+				m.Recycle()
+			}
+		}()
+		for {
+			m, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			switch m.Type {
+			case protocol.TData, protocol.TMiss, protocol.TAck, protocol.TErr:
+				if pr, ok := nm.takeInflight(m.Seq); ok {
+					nm.deliver(pr, m)
+					// The freed window slot is the only send opportunity
+					// the loop would otherwise miss (responses no longer
+					// pass through it): if requests are waiting, kick it
+					// so pump() refills the window now, not at the next
+					// timeout.
+					if nm.queued.Load() > 0 {
+						select {
+						case nm.kickCh <- struct{}{}:
+						default:
+						}
+					}
+				} else {
+					// Stale response (post-timeout straggler, cancelled
+					// request, or an eviction DEL's ack); recycle its
+					// payload rather than leaking it from the pool.
+					m.Recycle()
+				}
+			default:
+				select {
+				case ctrl <- m:
+				case <-conn.Done():
+					m.Recycle()
+					return
+				}
+			}
+		}
+	}()
+	return ctrl
 }
 
 // queueDel registers a chunk deletion to be flushed opportunistically
@@ -250,6 +332,8 @@ func (nm *nodeManager) run() {
 			}
 		case seq := <-nm.cancelCh:
 			nm.cancelReq(seq)
+		case <-nm.kickCh:
+			// Window space freed by the reader; pump() below refills it.
 		case pr := <-nm.reqCh:
 			nm.enqueue(pr)
 			// Drain whatever arrived with it so one validated pump sends
@@ -269,6 +353,7 @@ func (nm *nodeManager) run() {
 			nm.timerC, nm.timerAt = nil, time.Time{}
 		}
 		nm.pump()
+		nm.queued.Store(int32(len(nm.queue)))
 	}
 }
 
@@ -310,10 +395,17 @@ func (nm *nodeManager) retryOrFail(pr *pending, charge bool) {
 
 // requeueInflight pulls the whole in-flight window back into the queue
 // for a re-drive (connection swap, BYE, or disconnect — free; the op
-// budget still bounds them).
+// budget still bounds them). Entries the reader delivers concurrently
+// are simply not in the snapshot: answered is answered.
 func (nm *nodeManager) requeueInflight() {
+	nm.mu.Lock()
+	prs := make([]*pending, 0, len(nm.inflight))
 	for seq, pr := range nm.inflight {
 		delete(nm.inflight, seq)
+		prs = append(prs, pr)
+	}
+	nm.mu.Unlock()
+	for _, pr := range prs {
 		nm.retryOrFail(pr, false)
 	}
 }
@@ -348,7 +440,7 @@ func (nm *nodeManager) adopt(j *joinedConn) {
 	}
 	nm.requeueInflight()
 	nm.conn = j.conn
-	nm.inbox = protocol.Pump(j.conn)
+	nm.inbox = nm.startReader(j.conn)
 	nm.instanceID = j.instanceID
 	// The joining node's PONG follows its JOIN immediately (Figure 7
 	// steps 3/8); wait for it instead of spending a PING round trip.
@@ -375,19 +467,11 @@ func (nm *nodeManager) dropConn() {
 	nm.requeueInflight()
 }
 
-// handleMessage processes one frame from the node: responses are matched
-// to the in-flight window by seq; everything else is control traffic.
+// handleMessage processes one control frame from the node (chunk
+// responses never arrive here — the reader goroutine matches and
+// delivers them directly).
 func (nm *nodeManager) handleMessage(m *protocol.Message) {
 	switch m.Type {
-	case protocol.TData, protocol.TMiss, protocol.TAck, protocol.TErr:
-		if pr, ok := nm.inflight[m.Seq]; ok {
-			delete(nm.inflight, m.Seq)
-			nm.deliver(pr, m)
-			return
-		}
-		// Stale response (post-timeout straggler or an eviction DEL's
-		// ack); recycle its payload rather than leaking it from the pool.
-		m.Recycle()
 	case protocol.TPong:
 		nm.validated = true
 		nm.validating = false
@@ -412,6 +496,8 @@ func (nm *nodeManager) handleMessage(m *protocol.Message) {
 		nm.startBackup()
 	case protocol.TBackupDone:
 		nm.p.stats.BackupsDone.Add(1)
+	default:
+		m.Recycle() // stray frame; consume its payload
 	}
 }
 
@@ -430,21 +516,50 @@ func (nm *nodeManager) pump() {
 		nm.startPing()
 		return
 	}
+	// The whole window drain — queued dels plus every request the window
+	// can hold — rides one Pin/Flush: a re-driven window or a batch of
+	// submissions reaches the node in one write instead of one per frame.
+	conn := nm.conn
+	conn.Pin()
 	nm.flushDels()
 	now := nm.p.cfg.Clock.Now()
-	for len(nm.queue) > 0 && len(nm.inflight) < maxInflight {
+	for len(nm.queue) > 0 && nm.inflightLen() < maxInflight {
 		pr := nm.queue[0]
 		nm.queue = nm.queue[1:]
-		if err := nm.conn.Forward(pr.typ, pr.seq, pr.key, "", nil, pr.payload); err != nil {
-			nm.retryOrFail(pr, true)
+		// Publish the window entry BEFORE the frame can reach the wire:
+		// the reader matches responses by seq, and a node replying to a
+		// frame whose entry is not yet visible would drop the response
+		// as stale.
+		pr.deadline = now.Add(nm.p.cfg.RequestTimeout)
+		nm.mu.Lock()
+		nm.inflight[pr.seq] = pr
+		nm.mu.Unlock()
+		if err := conn.Forward(pr.typ, pr.seq, pr.key, "", nil, pr.payload); err != nil {
+			conn.Flush()
+			if _, ok := nm.takeInflight(pr.seq); ok {
+				nm.retryOrFail(pr, true)
+			}
 			nm.dropConn() // also re-drives the window
 			nm.pump()     // immediately start the re-invoke round
 			return
 		}
-		pr.deadline = now.Add(nm.p.cfg.RequestTimeout)
-		nm.inflight[pr.seq] = pr
 		nm.sendOrder = append(nm.sendOrder, sentMark{seq: pr.seq, deadline: pr.deadline})
 	}
+	if err := conn.Flush(); err != nil {
+		// The staged window never reached the wire; re-drive it through
+		// a fresh connection instead of letting every request wait out
+		// its response deadline (and get charged an attempt) for a local
+		// write failure.
+		nm.dropConn()
+		nm.pump()
+	}
+}
+
+func (nm *nodeManager) inflightLen() int {
+	nm.mu.Lock()
+	n := len(nm.inflight)
+	nm.mu.Unlock()
+	return n
 }
 
 // startInvoke asks the platform to run the node and opens the
@@ -499,6 +614,8 @@ func (nm *nodeManager) expireAndArm() <-chan time.Time {
 		nm.chargeQueued()
 		expired = true
 	}
+	var overdue []*pending
+	nm.mu.Lock()
 	for len(nm.sendOrder) > 0 {
 		e := nm.sendOrder[0]
 		pr, ok := nm.inflight[e.seq]
@@ -511,6 +628,10 @@ func (nm *nodeManager) expireAndArm() <-chan time.Time {
 		}
 		nm.sendOrder = nm.sendOrder[1:]
 		delete(nm.inflight, e.seq)
+		overdue = append(overdue, pr)
+	}
+	nm.mu.Unlock()
+	for _, pr := range overdue {
 		// An unanswered request demotes the connection: the retry
 		// must re-validate (PING, then re-invoke if that too hangs)
 		// before anything else is sent.

@@ -86,6 +86,15 @@ type Stats struct {
 	BackupSwaps   atomic.Int64 // λd connections adopted (Maybe state)
 	ChunkFailures atomic.Int64 // chunk requests that exhausted retries
 	Cancels       atomic.Int64 // client CANCELs matched to an in-flight op
+
+	// Wire-plane counters for client-facing connections, accumulated as
+	// sessions close; WireSnapshot folds still-open sessions in. The
+	// flushes/frames ratio is the write-coalescing factor ic-bench
+	// reports (1.0 = one syscall per frame, the pre-coalescing cost).
+	WireFramesOut atomic.Int64 // frames written to client conns
+	WireFramesIn  atomic.Int64 // frames read off client conns
+	WireFlushes   atomic.Int64 // socket writes those frames cost
+	WireVectored  atomic.Int64 // flushes that carried a large payload via writev
 }
 
 // Proxy is one InfiniCache proxy instance.
@@ -151,6 +160,23 @@ func (p *Proxy) PoolSize() int { return len(p.nodes) }
 
 // Stats returns the proxy's counters.
 func (p *Proxy) Stats() *Stats { return &p.stats }
+
+// WireSnapshot returns the client-facing wire-plane counters — frames
+// and socket flushes — across closed and still-open client sessions.
+func (p *Proxy) WireSnapshot() protocol.ConnStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := protocol.ConnStats{
+		FramesOut: uint64(p.stats.WireFramesOut.Load()),
+		FramesIn:  uint64(p.stats.WireFramesIn.Load()),
+		Flushes:   uint64(p.stats.WireFlushes.Load()),
+		Vectored:  uint64(p.stats.WireVectored.Load()),
+	}
+	for s := range p.sessions {
+		out.Add(s.conn.Stats())
+	}
+	return out
+}
 
 // CachedObjects returns how many objects the mapping table holds.
 func (p *Proxy) CachedObjects() int { return p.table.Len() }
@@ -229,8 +255,17 @@ func (p *Proxy) handleConn(raw net.Conn) {
 		p.sessions[s] = struct{}{}
 		p.mu.Unlock()
 		s.run()
+		// Retire the session and fold its counters in one critical
+		// section: a concurrent WireSnapshot (which reads the atomics
+		// under the same lock) must never see the session both in the
+		// live set and in the accumulated totals.
+		cs := conn.Stats()
 		p.mu.Lock()
 		delete(p.sessions, s)
+		p.stats.WireFramesOut.Add(int64(cs.FramesOut))
+		p.stats.WireFramesIn.Add(int64(cs.FramesIn))
+		p.stats.WireFlushes.Add(int64(cs.Flushes))
+		p.stats.WireVectored.Add(int64(cs.Vectored))
 		p.mu.Unlock()
 	default:
 		conn.Close()

@@ -88,7 +88,10 @@ func (p *Proxy) runRelay(ln net.Listener) {
 	// Bridge frames both ways until either side hangs up. The relay is
 	// a pure forwarding hop: each frame's pooled payload is re-sent
 	// under the same header and recycled here, never copied or
-	// re-wrapped.
+	// re-wrapped. While more input is already buffered (those bytes are
+	// in flight from the peer, so the next Recv cannot stall the pipe),
+	// the outbound Pin window stays open and the backlog rides one
+	// flush.
 	pipe := func(from, to *protocol.Conn, done chan<- struct{}) {
 		defer func() { done <- struct{}{} }()
 		for {
@@ -96,8 +99,20 @@ func (p *Proxy) runRelay(ln net.Listener) {
 			if err != nil {
 				return
 			}
+			to.Pin()
 			err = to.Forward(m.Type, m.Seq, m.Key, m.Addr, m.Args, m.Payload)
 			m.Recycle()
+			for err == nil && from.Buffered() > 0 {
+				if m, err = from.Recv(); err != nil {
+					to.Flush()
+					return
+				}
+				err = to.Forward(m.Type, m.Seq, m.Key, m.Addr, m.Args, m.Payload)
+				m.Recycle()
+			}
+			if ferr := to.Flush(); err == nil {
+				err = ferr
+			}
 			if err != nil {
 				return
 			}

@@ -54,6 +54,24 @@ type session struct {
 	outstanding int                     // chunk requests in flight
 	chunks      map[uint64]pendingChunk // node request seq -> owning op
 	byClient    map[uint64]pendingChunk // client seq -> op (CANCEL lookup)
+
+	// Flush policy: the event loop stages client-bound frames under a
+	// Pin window per wake and flushes only at client-visible progress
+	// points — a GET reaching its d-th DATA frame, the last chunk ack
+	// of a PUT generation, any verdict/error — because intermediate
+	// frames cannot unblock the client (it needs d shards to decode and
+	// every ack of a PUT to return). needFlush marks that such a point
+	// occurred this wake; genPending counts a PUT generation's chunk
+	// SETs still in flight so its last completion is recognisable.
+	needFlush  bool
+	genPending map[genKey]int
+}
+
+// genKey identifies one client PUT generation (all d+p chunk SETs of
+// one logical PUT to one key share it).
+type genKey struct {
+	key string
+	gen int64
 }
 
 // getOp tracks one client GET through its chunk fan-out.
@@ -97,6 +115,7 @@ type pendingChunk struct {
 func (s *session) run() {
 	defer s.conn.Close()
 	s.putGens = make(map[string]int64)
+	s.genPending = make(map[genKey]int)
 	s.completions = make(chan nodeReply, sessionWindow)
 	s.chunks = make(map[uint64]pendingChunk)
 	s.byClient = make(map[uint64]pendingChunk)
@@ -106,15 +125,62 @@ func (s *session) run() {
 		case <-s.p.done:
 			return
 		case m, ok := <-inbox:
+			// Pin the client conn across the whole ready batch: every
+			// DATA/ACK/ERR this wake produces rides one flush instead of
+			// one per frame. The drain below is strictly non-blocking, so
+			// the window always settles before the loop blocks again.
+			s.conn.Pin()
 			if !ok {
 				// Client hung up; finish the in-flight window (commits
 				// must still land in the mapping table) and exit.
 				inbox = nil
+			} else {
+				s.handle(m)
+			}
+			s.drainReady(&inbox)
+			s.settleFlush()
+		case r := <-s.completions:
+			s.conn.Pin()
+			s.complete(r)
+			s.drainReady(&inbox)
+			s.settleFlush()
+		}
+	}
+}
+
+// settleFlush closes the wake's Pin window: flush if the wake hit a
+// client-visible progress point, otherwise keep the intermediate
+// frames staged (they ride the flush of a later wake that does, or the
+// next unpinned send). Safe to hold because a client blocked on this
+// session is, by construction, waiting for a frame that WILL set
+// needFlush when it completes — intermediate frames alone never
+// unblock it.
+func (s *session) settleFlush() {
+	if s.needFlush {
+		s.needFlush = false
+		s.conn.Flush()
+	} else {
+		s.conn.Unpin()
+	}
+}
+
+// drainReady opportunistically processes every client frame and node
+// completion already queued, without ever blocking, so a burst — a
+// pipelined PUT's d+p SET frames, a GET fan-in's first-d DATA — is
+// handled (and its client-bound frames staged) in one pinned batch.
+func (s *session) drainReady(inbox *<-chan *protocol.Message) {
+	for {
+		select {
+		case m, ok := <-*inbox: // nil channel: case never ready
+			if !ok {
+				*inbox = nil
 				continue
 			}
 			s.handle(m)
 		case r := <-s.completions:
 			s.complete(r)
+		default:
+			return
 		}
 	}
 }
@@ -174,6 +240,7 @@ func (s *session) reserveWindow(n int) bool {
 }
 
 func (s *session) sendErr(seq uint64, key, text string) {
+	s.needFlush = true // verdicts always reach the wire this wake
 	s.conn.Send(&protocol.Message{Type: protocol.TErr, Seq: seq, Key: key, Payload: []byte(text)})
 }
 
@@ -253,7 +320,9 @@ func (s *session) handleSet(m *protocol.Message) {
 		delete(s.byClient, m.Seq)
 		s.p.table.ReleaseChunk(lambdaIdx, size)
 		m.Recycle()
+		return
 	}
+	s.genPending[genKey{m.Key, putGen}]++
 }
 
 // handleGet implements the first-d parallel fan-out (§3.2): every
@@ -266,6 +335,7 @@ func (s *session) handleGet(m *protocol.Message) {
 	meta, ok := s.p.table.Lookup(m.Key)
 	if !ok {
 		s.p.stats.GetMisses.Add(1)
+		s.needFlush = true
 		s.conn.Send(&protocol.Message{Type: protocol.TMiss, Seq: m.Seq, Key: m.Key})
 		return
 	}
@@ -330,6 +400,15 @@ func (s *session) complete(r nodeReply) {
 
 func (s *session) completeSet(op *setOp, resp *protocol.Message) {
 	delete(s.byClient, op.clientSeq)
+	// The last outstanding chunk of a PUT generation is the frame its
+	// client is actually blocked on; earlier acks can stay staged.
+	gk := genKey{op.key, op.gen}
+	if n := s.genPending[gk] - 1; n > 0 {
+		s.genPending[gk] = n
+	} else {
+		delete(s.genPending, gk)
+		s.needFlush = true
+	}
 	acked := resp != nil && resp.Type == protocol.TAck
 	if op.cancelled && !(op.recovery && acked) {
 		// The client abandoned the PUT: never commit. The node may have
@@ -368,7 +447,8 @@ func (s *session) completeSet(op *setOp, resp *protocol.Message) {
 			s.sendErr(op.clientSeq, op.key, "proxy: chunk superseded by a newer put")
 		} else {
 			s.p.table.CommitChunk(op.key, op.idx, op.node, op.size)
-			s.conn.Forward(protocol.TAck, op.clientSeq, op.key, "", []int64{int64(op.idx)}, nil)
+			args := [1]int64{int64(op.idx)}
+			s.conn.Forward(protocol.TAck, op.clientSeq, op.key, "", args[:], nil)
 		}
 	} else {
 		s.p.table.ReleaseChunk(op.node, op.size)
@@ -393,12 +473,14 @@ func (s *session) completeGet(op *getOp, idx int, resp *protocol.Message) {
 			// Zero-rewrap relay: the node frame's pooled payload goes
 			// out under a rewritten header, then straight back to the
 			// pool — no copy, no fresh Message.
-			s.conn.Forward(protocol.TData, op.clientSeq, op.key,
-				"", []int64{int64(idx), op.size, int64(op.d), int64(op.total)},
+			args := [4]int64{int64(idx), op.size, int64(op.d), int64(op.total)}
+			s.conn.Forward(protocol.TData, op.clientSeq, op.key, "", args[:],
 				resp.Payload)
 			op.forwarded++
 			if op.forwarded >= op.d {
+				// The d-th DATA frame is what unblocks the client.
 				op.done = true
+				s.needFlush = true
 				s.p.stats.GetHits.Add(1)
 				if op.missed+op.failed > 0 {
 					s.p.stats.DegradedGets.Add(1)
@@ -439,6 +521,7 @@ func (s *session) completeGet(op *getOp, idx int, resp *protocol.Message) {
 	}
 	// Not enough chunks arrived but the object may survive: tell the
 	// client to retry rather than declaring a loss.
+	s.needFlush = true
 	s.conn.Send(&protocol.Message{
 		Type: protocol.TErr, Seq: op.clientSeq, Key: op.key,
 		Args:    []int64{1}, // 1 = transient
@@ -451,6 +534,7 @@ func (s *session) completeGet(op *getOp, idx int, resp *protocol.Message) {
 func (s *session) objectLost(seq uint64, key string) {
 	s.p.stats.ObjectLosses.Add(1)
 	s.queueDels(s.p.table.Drop(key))
+	s.needFlush = true
 	s.conn.Send(&protocol.Message{
 		Type: protocol.TMiss, Seq: seq, Key: key, Args: []int64{1}, // 1 = loss, not cold miss
 	})
@@ -459,6 +543,7 @@ func (s *session) objectLost(seq uint64, key string) {
 func (s *session) handleDel(m *protocol.Message) {
 	s.p.stats.Dels.Add(1)
 	s.queueDels(s.p.table.Drop(m.Key))
+	s.needFlush = true
 	s.conn.Forward(protocol.TAck, m.Seq, m.Key, "", nil, nil)
 	m.Recycle()
 }
