@@ -329,14 +329,16 @@ func (c *countingConn) Write(b []byte) (int, error) {
 
 // benchStack wires a live loopback stack: one proxy over a
 // benchNodePool and one client speaking RS(10+2), with an optional
-// dialer override for the client's proxy connections.
-func benchStack(tb testing.TB, dial func(string) (net.Conn, error)) (*client.Client, *benchNodePool) {
+// dialer override for the client's proxy connections and an optional
+// proxy-resident hot tier (hotBytes > 0).
+func benchStack(tb testing.TB, dial func(string) (net.Conn, error), hotBytes int64) (*client.Client, *benchNodePool, *proxy.Proxy) {
 	tb.Helper()
 	pool := &benchNodePool{}
 	px, err := proxy.New(proxy.Config{
 		Invoker:      pool,
 		Nodes:        benchNodeNames(12),
 		NodeMemoryMB: 3072,
+		HotTierBytes: hotBytes,
 	})
 	if err != nil {
 		tb.Fatal(err)
@@ -353,13 +355,15 @@ func benchStack(tb testing.TB, dial func(string) (net.Conn, error)) (*client.Cli
 		tb.Fatal(err)
 	}
 	tb.Cleanup(func() { c.Close() })
-	return c, pool
+	return c, pool, px
 }
 
 // benchRequestPlane is benchStack over plain TCP (so the vectored-write
-// path is live); flushes/op comes from the client's own wire counters.
+// path is live) with the hot tier off — the PR 4 cold path; flushes/op
+// comes from the client's own wire counters.
 func benchRequestPlane(tb testing.TB) (*client.Client, *benchNodePool) {
-	return benchStack(tb, nil)
+	c, pool, _ := benchStack(tb, nil, 0)
+	return c, pool
 }
 
 func benchNodeNames(n int) []string {
@@ -428,6 +432,42 @@ func BenchmarkRequestPlane(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(pool.pings.Load()-start)/float64(b.N), "pings/op")
 			b.ReportMetric(float64(c.WireStats().Flushes-startW)/float64(b.N), "flushes/op")
+		})
+		if sz.n > 1<<20 {
+			continue // above the hot tier's default admission threshold
+		}
+		// The hot split: same stack with a 64 MiB proxy-resident tier.
+		// Two priming PUTs write-through-admit the object (the second
+		// touch passes the frequency gate), so every timed GET is a
+		// tier hit served straight from the proxy's session loop —
+		// zero node chunk round trips.
+		b.Run("GEThot/"+sz.name, func(b *testing.B) {
+			c, pool, px := benchStack(b, nil, 64<<20)
+			ctx := context.Background()
+			for i := 0; i < 2; i++ {
+				if err := c.PutCtx(ctx, "bench-obj", obj); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := c.GetCtx(ctx, "bench-obj"); err != nil {
+				b.Fatal(err)
+			}
+			start := pool.pings.Load()
+			startHits := px.Stats().HotHits.Load()
+			b.SetBytes(int64(sz.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.GetCtx(ctx, "bench-obj"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			hits := px.Stats().HotHits.Load() - startHits
+			if hits < int64(b.N) {
+				b.Fatalf("only %d/%d GETs were tier hits", hits, b.N)
+			}
+			b.ReportMetric(float64(pool.pings.Load()-start)/float64(b.N), "pings/op")
+			b.ReportMetric(float64(hits)/float64(b.N), "hothits/op")
 		})
 	}
 }
@@ -592,13 +632,13 @@ func BenchmarkAvailabilityModel(b *testing.B) {
 // flush per chunk.
 func TestPutBurstFlushCount(t *testing.T) {
 	writes := &atomic.Int64{}
-	c, _ := benchStack(t, func(addr string) (net.Conn, error) {
+	c, _, _ := benchStack(t, func(addr string) (net.Conn, error) {
 		raw, err := net.Dial("tcp", addr)
 		if err != nil {
 			return nil, err
 		}
 		return &countingConn{Conn: raw, writes: writes}, nil
-	})
+	}, 0)
 	ctx := context.Background()
 	obj := make([]byte, 1<<10)
 	rand.New(rand.NewSource(1)).Read(obj)

@@ -1,9 +1,10 @@
 // ic-bench runs the live-system microbenchmarks (Figures 4, 11, 12,
-// plus the batched-client probe) against a real in-process deployment.
+// plus the batched-client and hot-tier probes) against a real
+// in-process deployment.
 //
 // Usage:
 //
-//	ic-bench [-fig 4|11|11f|12|batch|all] [-samples 5] [-quick]
+//	ic-bench [-fig 4|11|11f|12|batch|hot|all] [-samples 5] [-quick]
 package main
 
 import (
@@ -47,5 +48,12 @@ func main() {
 			keys = 8
 		}
 		fmt.Println(exps.BatchProbe(keys, *samples, *seed))
+	}
+	if want("hot") {
+		keys := 16
+		if *quick {
+			keys = 6
+		}
+		fmt.Println(exps.HotTierProbe(keys, *samples, 4<<10, *seed))
 	}
 }

@@ -74,6 +74,14 @@ type Config struct {
 	// TimeScale compresses virtual time (e.g. 0.01 runs 100x faster
 	// than the wall clock); 0 means real time.
 	TimeScale float64
+	// HotTierBytes enables a proxy-resident hot-object tier of that
+	// many bytes per proxy: GETs for small, frequently-read objects are
+	// served straight from proxy memory instead of paying the d+p chunk
+	// round trips to Lambda nodes. 0 (the default) disables the tier.
+	HotTierBytes int64
+	// HotMaxObjectBytes caps the size of objects the hot tier admits
+	// (default 1 MiB when the tier is enabled).
+	HotMaxObjectBytes int64
 	// RequestTimeout bounds each client operation (default 60s).
 	RequestTimeout time.Duration
 	// EnableRecovery re-inserts EC-reconstructed chunks after degraded
@@ -121,6 +129,27 @@ func WithBackupInterval(d time.Duration) Option {
 		}
 		c.BackupInterval = d
 	}
+}
+
+// WithHotTier gives each proxy a resident hot-object tier of bytes
+// bytes: small, frequently-read objects are served from proxy memory,
+// short-circuiting the Lambda round trip (admission is write-through
+// and read-through, frequency-gated; overwrites, deletes and cancelled
+// PUTs invalidate synchronously). Off by default; 0 or negative
+// disables.
+func WithHotTier(bytes int64) Option {
+	return func(c *Config) {
+		if bytes < 0 {
+			bytes = 0
+		}
+		c.HotTierBytes = bytes
+	}
+}
+
+// WithHotTierMaxObject caps the object size the hot tier admits
+// (default 1 MiB). Only meaningful together with WithHotTier.
+func WithHotTierMaxObject(bytes int64) Option {
+	return func(c *Config) { c.HotMaxObjectBytes = bytes }
 }
 
 // WithReclaimPolicy drives provider-side reclamation.
@@ -222,18 +251,20 @@ func NewFromConfig(cfg Config) (*Cache, error) {
 		cfg.BackupInterval = 0
 	}
 	d, err := core.New(core.Config{
-		Proxies:        cfg.Proxies,
-		NodesPerProxy:  cfg.NodesPerProxy,
-		NodeMemoryMB:   cfg.NodeMemoryMB,
-		DataShards:     cfg.DataShards,
-		ParityShards:   cfg.ParityShards,
-		WarmupInterval: cfg.WarmupInterval,
-		BackupInterval: cfg.BackupInterval,
-		ReclaimPolicy:  cfg.ReclaimPolicy,
-		TimeScale:      cfg.TimeScale,
-		RequestTimeout: cfg.RequestTimeout,
-		EnableRecovery: cfg.EnableRecovery,
-		Seed:           cfg.Seed,
+		Proxies:           cfg.Proxies,
+		NodesPerProxy:     cfg.NodesPerProxy,
+		NodeMemoryMB:      cfg.NodeMemoryMB,
+		DataShards:        cfg.DataShards,
+		ParityShards:      cfg.ParityShards,
+		HotTierBytes:      cfg.HotTierBytes,
+		HotMaxObjectBytes: cfg.HotMaxObjectBytes,
+		WarmupInterval:    cfg.WarmupInterval,
+		BackupInterval:    cfg.BackupInterval,
+		ReclaimPolicy:     cfg.ReclaimPolicy,
+		TimeScale:         cfg.TimeScale,
+		RequestTimeout:    cfg.RequestTimeout,
+		EnableRecovery:    cfg.EnableRecovery,
+		Seed:              cfg.Seed,
 	})
 	if err != nil {
 		return nil, err

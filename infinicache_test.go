@@ -69,6 +69,62 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	}
 }
 
+// TestPublicAPIHotTier drives the WithHotTier option through the full
+// deployment: a re-read small object becomes tier-resident at its
+// owning proxy, the proxy's hot counters move, and overwrites stay
+// immediately visible (the tier invalidates synchronously).
+func TestPublicAPIHotTier(t *testing.T) {
+	cache, err := infinicache.New(
+		infinicache.WithNodesPerProxy(8),
+		infinicache.WithNodeMemoryMB(256),
+		infinicache.WithShards(4, 2),
+		infinicache.WithSeed(1),
+		infinicache.WithHotTier(32<<20),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cache.Close)
+	cl, err := cache.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	obj := make([]byte, 64<<10)
+	rand.New(rand.NewSource(7)).Read(obj)
+	if err := cl.PutCtx(ctx, "hot", obj); err != nil {
+		t.Fatal(err)
+	}
+	// First GET read-admits (the PUT left the key ghost-warm); the
+	// second must be a tier hit.
+	for i := 0; i < 2; i++ {
+		got, err := cl.GetCtx(ctx, "hot")
+		if err != nil || !bytes.Equal(got, obj) {
+			t.Fatalf("GET %d: %v", i, err)
+		}
+	}
+	st := cache.Deployment().Proxies[0].Stats()
+	if st.HotHits.Load() == 0 {
+		t.Fatal("no hot-tier hits through the public API")
+	}
+	if st.HotBytes.Load() <= 0 {
+		t.Fatal("HotBytes gauge not populated")
+	}
+
+	// Overwrite: the very next read must see the new bytes.
+	obj2 := make([]byte, 64<<10)
+	rand.New(rand.NewSource(8)).Read(obj2)
+	if err := cl.PutCtx(ctx, "hot", obj2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.GetCtx(ctx, "hot")
+	if err != nil || !bytes.Equal(got, obj2) {
+		t.Fatalf("GET after overwrite served stale/err: %v", err)
+	}
+}
+
 func TestPublicAPIZeroCopyObject(t *testing.T) {
 	cache := newTestCache(t)
 	cl, err := cache.NewClient()

@@ -1,15 +1,29 @@
 // Package clockcache implements the CLOCK (second-chance) replacement
 // policy from Corbató's Multics paging experiment, the algorithm
-// InfiniCache uses in two places:
+// InfiniCache uses in four places:
 //
 //   - per proxy, at object granularity, to pick eviction victims when a
-//     Lambda pool runs out of memory (§3.2), and
+//     Lambda pool runs out of memory (§3.2);
 //   - per Lambda node, to keep cached chunks in approximate MRU→LRU order
-//     for the delta-sync backup protocol (§3.3, §4.2).
+//     for the delta-sync backup protocol (§3.3, §4.2);
+//   - inside the proxy-resident hot-object tier, both for the resident
+//     set (eviction under the byte cap) and as the payload-less "ghost"
+//     admission filter that frequency-gates what may enter the tier.
 //
 // CLOCK approximates LRU with O(1) access cost: entries sit on a circular
 // list with a reference bit; the eviction hand sweeps the circle, clearing
 // bits and evicting the first entry whose bit is already clear.
+//
+// # Contract
+//
+// A Cache tracks keys and accounting sizes only — values live with the
+// caller (the proxy's mapping table, the node's chunk store, the hot
+// tier's entry map), which is also responsible for locking: no method
+// here is safe for concurrent use. Add/Touch set the reference bit;
+// Evict/EvictUntil run the hand; KeysByPriority orders MRU-first by
+// touch generation for the §4.2 backup metadata. A set where every
+// entry has size 1 doubles as a bounded key filter (Size() == Len()),
+// which is how the hot tier's ghost filter uses it.
 package clockcache
 
 import (

@@ -3,11 +3,90 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
+
+	"infinicache/internal/client"
+	"infinicache/internal/vclock"
 )
 
-// waitFor polls cond until it holds or the wall-clock deadline passes.
+// The backup tests previously ran on a Scaled clock (TimeScale 0.01)
+// and polled with wall-time sleeps, which made them sensitive to
+// scheduling jitter on a 1-core container (billing cycles compressed to
+// 1 ms of wall time sit at the edge of scheduler granularity). They now
+// run on the injected vclock.Manual: virtual time advances only while
+// some component is actually blocked on the clock (the pumper below),
+// so TCP round trips and chunk stores run at full real-time speed
+// between steps and no virtual deadline can expire while real work is
+// still in flight.
+
+// backupDeployment builds a deployment on a hand-stepped clock plus a
+// pumper goroutine that advances virtual time in small steps whenever a
+// component is blocked on the clock. The pumper outlives the
+// deployment's Close (cleanup LIFO order), so shutdown paths sleeping
+// on the clock still wake.
+func backupDeployment(t *testing.T, mutate func(*Config)) (*Deployment, *client.Client, *vclock.Manual) {
+	t.Helper()
+	clk := vclock.NewManual(time.Unix(0, 0))
+	stop := make(chan struct{})
+	var pumper sync.WaitGroup
+	pumper.Add(1)
+	go func() {
+		defer pumper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// The step:sleep ratio caps time compression at ~25x so no
+			// virtual deadline (billing cycle, ping timeout, T_bak) can
+			// expire while the real work it is waiting on — a TCP round
+			// trip, a chunk store — is still in flight on a busy 1-core
+			// scheduler. Pumping faster re-creates the flake this file
+			// exists to kill: mid-migration sources time out and chunks
+			// go missing.
+			if clk.Waiters() > 0 {
+				clk.Advance(5 * time.Millisecond) // virtual
+			}
+			time.Sleep(200 * time.Microsecond) // real: let woken goroutines run
+		}
+	}()
+	t.Cleanup(func() { close(stop); pumper.Wait() })
+
+	cfg := Config{
+		Proxies:         1,
+		NodesPerProxy:   6,
+		NodeMemoryMB:    256,
+		DataShards:      4,
+		ParityShards:    2,
+		Clock:           clk,
+		WarmupInterval:  3 * time.Second, // virtual
+		BackupInterval:  6 * time.Second, // virtual
+		ColdStartDelay:  50 * time.Millisecond,
+		WarmInvokeDelay: 10 * time.Millisecond,
+		Seed:            1,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	c, err := d.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return d, c, clk
+}
+
+// waitFor polls cond while the pumper advances virtual time; the
+// wall-clock deadline is only a safety net against a genuinely hung
+// deployment.
 func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(d)
@@ -15,7 +94,7 @@ func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
 		if cond() {
 			return
 		}
-		time.Sleep(5 * time.Millisecond)
+		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatalf("timed out waiting for %s", what)
 }
@@ -24,24 +103,15 @@ func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
 // T_bak, warm-up invocations trigger delta-sync backups that spawn peer
 // replica instances holding copies of the cached chunks.
 func TestBackupCreatesPeerReplicas(t *testing.T) {
-	d, c := testDeployment(t, func(cfg *Config) {
-		cfg.NodesPerProxy = 6
-		cfg.DataShards = 4
-		cfg.ParityShards = 2
-		cfg.WarmupInterval = 3 * time.Second        // virtual
-		cfg.BackupInterval = 6 * time.Second        // virtual
-		cfg.TimeScale = 0.01                        // 100x compression
-		cfg.ColdStartDelay = 50 * time.Millisecond  // virtual
-		cfg.WarmInvokeDelay = 10 * time.Millisecond // virtual
-	})
+	d, c, _ := backupDeployment(t, nil)
 	obj := randObj(42, 512<<10)
 	if err := c.Put("backed-up", obj); err != nil {
 		t.Fatal(err)
 	}
 
-	// Backups fire once T_bak has elapsed past the first post-data
-	// invocation; with 100x compression, seconds of wall time suffice.
-	waitFor(t, 30*time.Second, "backup completions", func() bool {
+	// Backups fire once T_bak of virtual time has elapsed past the first
+	// post-data invocation; the pumper supplies that time on demand.
+	waitFor(t, 60*time.Second, "backup completions", func() bool {
 		return d.Proxies[0].Stats().BackupsDone.Load() >= 6
 	})
 
@@ -61,21 +131,12 @@ func TestBackupCreatesPeerReplicas(t *testing.T) {
 // after a backup, reclaiming one replica of every node must not lose the
 // object, even with zero parity headroom left.
 func TestBackupSurvivesSourceReclaim(t *testing.T) {
-	d, c := testDeployment(t, func(cfg *Config) {
-		cfg.NodesPerProxy = 6
-		cfg.DataShards = 4
-		cfg.ParityShards = 2
-		cfg.WarmupInterval = 3 * time.Second
-		cfg.BackupInterval = 6 * time.Second
-		cfg.TimeScale = 0.01
-		cfg.ColdStartDelay = 50 * time.Millisecond
-		cfg.WarmInvokeDelay = 10 * time.Millisecond
-	})
+	d, c, _ := backupDeployment(t, nil)
 	obj := randObj(43, 512<<10)
 	if err := c.Put("durable", obj); err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, 30*time.Second, "completed backups on all nodes", func() bool {
+	waitFor(t, 60*time.Second, "completed backups on all nodes", func() bool {
 		return d.Proxies[0].Stats().BackupsDone.Load() >= 6
 	})
 
@@ -100,20 +161,14 @@ func TestBackupSurvivesSourceReclaim(t *testing.T) {
 // delta: the destination replica keeps chunks from round one and the
 // subsequent rounds complete quickly because nothing new must move.
 func TestBackupDeltaSync(t *testing.T) {
-	d, c := testDeployment(t, func(cfg *Config) {
-		cfg.NodesPerProxy = 6
-		cfg.DataShards = 4
-		cfg.ParityShards = 2
+	d, c, _ := backupDeployment(t, func(cfg *Config) {
 		cfg.WarmupInterval = 2 * time.Second
 		cfg.BackupInterval = 4 * time.Second
-		cfg.TimeScale = 0.01
-		cfg.ColdStartDelay = 50 * time.Millisecond
-		cfg.WarmInvokeDelay = 10 * time.Millisecond
 	})
 	if err := c.Put("delta-1", randObj(1, 128<<10)); err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, 30*time.Second, "first backup wave", func() bool {
+	waitFor(t, 60*time.Second, "first backup wave", func() bool {
 		return d.Proxies[0].Stats().BackupsDone.Load() >= 6
 	})
 	// Insert more data, then let further backup rounds replicate it.
@@ -122,7 +177,7 @@ func TestBackupDeltaSync(t *testing.T) {
 		t.Fatal(err)
 	}
 	first := d.Proxies[0].Stats().BackupsDone.Load()
-	waitFor(t, 30*time.Second, "second backup wave", func() bool {
+	waitFor(t, 60*time.Second, "second backup wave", func() bool {
 		return d.Proxies[0].Stats().BackupsDone.Load() >= first+6
 	})
 	// Reclaim one replica everywhere; both objects must survive.
@@ -138,17 +193,21 @@ func TestBackupDeltaSync(t *testing.T) {
 
 // TestServingDuringBackup verifies availability is not interrupted while
 // a backup is in flight (the §4.2 "high availability" property): GETs
-// issued continuously during backup rounds keep succeeding.
+// issued continuously across several virtual backup rounds keep
+// succeeding. The serving window is measured on the injected clock, not
+// the wall clock, so it always spans the same amount of backup activity
+// regardless of how fast the container runs.
 func TestServingDuringBackup(t *testing.T) {
-	d, c := testDeployment(t, func(cfg *Config) {
-		cfg.NodesPerProxy = 6
-		cfg.DataShards = 4
-		cfg.ParityShards = 2
+	d, c, clk := backupDeployment(t, func(cfg *Config) {
 		cfg.WarmupInterval = time.Second
 		cfg.BackupInterval = 2 * time.Second
-		cfg.TimeScale = 0.01
-		cfg.ColdStartDelay = 50 * time.Millisecond
-		cfg.WarmInvokeDelay = 10 * time.Millisecond
+		// The window spans ~30 backup rounds, and each round carries a
+		// small chance of a chunk failing to migrate (λd answers MISS
+		// and the chunk is marked lost). Availability over that much
+		// churn is exactly what client-side EC recovery exists for
+		// (§5.2): degraded GETs reconstruct and re-insert lost chunks,
+		// so per-round attrition cannot accumulate past parity.
+		cfg.EnableRecovery = true
 	})
 	objs := map[string][]byte{}
 	for i := 0; i < 4; i++ {
@@ -158,9 +217,9 @@ func TestServingDuringBackup(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	deadline := time.Now().Add(4 * time.Second) // spans several backup rounds
+	start := clk.Now()
 	gets := 0
-	for time.Now().Before(deadline) {
+	for clk.Since(start) < 60*time.Second { // virtual; spans many rounds
 		for key, want := range objs {
 			got, err := c.Get(key)
 			if err != nil {
@@ -171,6 +230,11 @@ func TestServingDuringBackup(t *testing.T) {
 			}
 			gets++
 		}
+		// Idle between request rounds in VIRTUAL time: nodes must cross
+		// billing-cycle boundaries (and return) for warm-up invocations
+		// to piggy-back the T_bak backup trigger — continuous traffic
+		// would keep every instance resident forever.
+		clk.Sleep(500 * time.Millisecond)
 	}
 	if d.Proxies[0].Stats().Backups.Load() == 0 {
 		t.Fatal("no backups happened during the serving window")

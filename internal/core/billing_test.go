@@ -14,14 +14,14 @@ import (
 // paying a new invocation each time.
 
 func TestWarmupBilledExactlyOneCycle(t *testing.T) {
-	d, c := testDeployment(t, func(cfg *Config) {
-		cfg.TimeScale = 0.1 // gentle compression: scheduling noise stays < 1 cycle
-		cfg.NodesPerProxy = 6
-		cfg.DataShards = 4
-		cfg.ParityShards = 2
-		// The return buffer is "empirically decided" (§3.3); under time
-		// compression the wall-clock timer slop inflates 10x, so the
-		// buffer must absorb it to stay inside the cycle.
+	// This is the strictest billing assertion in the suite (exactly one
+	// cycle), so it runs on the injected Manual clock like the backup
+	// tests: the node's return happens a fixed amount of VIRTUAL time
+	// before the boundary, and real scheduling noise (worst under
+	// -race) can no longer push the billed duration across it.
+	d, c, _ := backupDeployment(t, func(cfg *Config) {
+		cfg.WarmupInterval = 0 // warm-ups fired manually below
+		cfg.BackupInterval = 0
 		cfg.BufferTime = 30 * time.Millisecond
 	})
 	_ = c

@@ -37,6 +37,11 @@ type Config struct {
 	BackupInterval time.Duration
 	// ReclaimPolicy drives provider-side reclamation; nil disables it.
 	ReclaimPolicy lambdaemu.ReclaimPolicy
+	// HotTierBytes caps each proxy's resident hot-object tier; 0
+	// disables it. HotMaxObjectBytes is the tier's admission size
+	// threshold (0 takes the proxy default of 1 MiB).
+	HotTierBytes      int64
+	HotMaxObjectBytes int64
 	// TimeScale compresses virtual time (0.1 = 10x faster than wall
 	// clock); 0 or 1 runs in real time.
 	TimeScale float64
@@ -136,10 +141,12 @@ func New(cfg Config) (*Deployment, error) {
 			}
 		}
 		px, err := proxy.New(proxy.Config{
-			Clock:        cfg.Clock,
-			Invoker:      platform,
-			Nodes:        names,
-			NodeMemoryMB: cfg.NodeMemoryMB,
+			Clock:             cfg.Clock,
+			Invoker:           platform,
+			Nodes:             names,
+			NodeMemoryMB:      cfg.NodeMemoryMB,
+			HotTierBytes:      cfg.HotTierBytes,
+			HotMaxObjectBytes: cfg.HotMaxObjectBytes,
 		})
 		if err != nil {
 			d.Close()

@@ -3,10 +3,30 @@
 // returns a plain-text report (series/rows matching the published plot)
 // so the same code serves cmd/ic-repro and the root benchmark suite.
 //
+// # Two kinds of harness
+//
+// Live harnesses (micro.go: Figure4, Figure11, Figure11f, Figure12,
+// BatchProbe, HotTierProbe) build a real in-process deployment —
+// emulated platform, proxies, TCP, erasure coding — and measure
+// wall-clock latencies, so protocol and CPU costs are honest; they are
+// what cmd/ic-bench runs. Simulated harnesses (exps.go: the trace
+// replays behind Figures 13-17 and Table 1) drive internal/sim's
+// discrete-event model over an internal/workload trace, compressing 50
+// trace hours into seconds; they are what cmd/ic-sim and cmd/ic-repro
+// run at full length.
+//
 // The canonical replay configuration mirrors §5.2: 400 x 1.5 GB Lambda
 // functions, RS(10+2), T_warm = 1 min, T_bak = 5 min, and a reclaim
 // regime calibrated to the §4.1 measurements (truncated Zipf per-minute
 // counts with host-correlated replica wipes).
+//
+// # Conventions
+//
+// Every harness takes an explicit seed and returns a deterministic
+// report for it; reports are plain text rendered with
+// internal/stats.Table so successive runs diff cleanly. Harnesses own
+// their deployments (build, measure, Close) and never share state, so
+// any subset can run in any order.
 package exps
 
 import (

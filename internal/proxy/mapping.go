@@ -21,6 +21,17 @@ type objMeta struct {
 	DataShards  int
 	TotalShards int
 	Chunks      []chunkLoc
+	// Epoch identifies this incarnation of the key: BeginObject bumps
+	// it, so a GET op snapshotting the entry can tell whether the entry
+	// it later reports losses against is still the one it read — a GET
+	// racing an overwrite must neither mark the NEW generation's chunks
+	// lost (its MISSes are answers about the old generation's chunks)
+	// nor drop the new entry.
+	Epoch uint64
+	// Lost counts chunks positively lost (a node answered MISS after a
+	// reclaim). present < d with Lost == 0 means the object is simply
+	// mid-write: its chunks have not all committed yet.
+	Lost int
 }
 
 // presentChunks counts chunks still believed present.
@@ -43,6 +54,17 @@ type mappingTable struct {
 	lru      *clockcache.Cache
 	nodeUsed []int64
 	nodeCap  int64
+	epochSeq uint64 // source of objMeta.Epoch
+
+	// hot, when non-nil, is invalidated inside this table's critical
+	// sections: dropping an entry (overwrite, DEL, pool eviction, loss)
+	// invalidates the tier before the drop is visible, and BeginObject
+	// runs the tier's invalidate+admission under t.mu so the table's
+	// epoch order and the tier's invalidation order can never invert —
+	// two sessions racing PUTs to one key serialise both structures
+	// identically. Lock order is strictly table.mu → hotTier.mu; the
+	// tier never calls back into the table.
+	hot *hotTier
 }
 
 func newMappingTable(nodes int, nodeCapBytes int64) *mappingTable {
@@ -94,6 +116,15 @@ func (t *mappingTable) Lookup(key string) (objMeta, bool) {
 	return cp, true
 }
 
+// Touch sets key's CLOCK bit without copying its metadata — a GET
+// served from the hot tier still counts as pool-level recency, so the
+// tier must keep the object's node chunks from looking cold.
+func (t *mappingTable) Touch(key string) {
+	t.mu.Lock()
+	t.lru.Touch(key)
+	t.mu.Unlock()
+}
+
 // delta describes eviction work produced while reserving space: chunks
 // that must be deleted from nodes.
 type evictedChunk struct {
@@ -103,28 +134,43 @@ type evictedChunk struct {
 
 // BeginObject prepares the table for a fresh PUT of key: any existing
 // entry is dropped (cache invalidation upon overwrite, §3.1) and its
-// chunk deletions are returned for asynchronous execution.
-func (t *mappingTable) BeginObject(key string, size int64, d, total int) []evictedChunk {
+// chunk deletions are returned for asynchronous execution. The new
+// incarnation's epoch is returned so the writing session can guard its
+// commits and end-of-generation cleanup against later overwrites.
+//
+// The hot tier's invalidate+admission decision runs under the same
+// critical section (see mappingTable.hot), so admit/token reflect the
+// tier state at exactly this epoch.
+func (t *mappingTable) BeginObject(key string, size int64, d, total int) (dels []evictedChunk, epoch uint64, admit bool, token uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var dels []evictedChunk
 	if old, ok := t.objects[key]; ok {
 		dels = t.dropLocked(old)
 	}
+	t.epochSeq++
 	t.objects[key] = &objMeta{
 		Key:         key,
 		Size:        size,
 		DataShards:  d,
 		TotalShards: total,
 		Chunks:      make([]chunkLoc, total),
+		Epoch:       t.epochSeq,
 	}
 	t.lru.Add(key, size)
-	return dels
+	if t.hot != nil {
+		admit, token = t.hot.beginPut(key, size)
+	}
+	return dels, t.epochSeq, admit, token
 }
 
 // dropLocked removes an object, releasing its memory accounting, and
-// returns the chunk deletions to push to nodes.
+// returns the chunk deletions to push to nodes. Every drop — overwrite,
+// DEL, pool eviction, loss — also invalidates the hot tier, so the tier
+// can never hold an object the table no longer maps.
 func (t *mappingTable) dropLocked(o *objMeta) []evictedChunk {
+	if t.hot != nil {
+		t.hot.invalidate(o.Key)
+	}
 	var dels []evictedChunk
 	for i, c := range o.Chunks {
 		if c.Size > 0 {
@@ -148,6 +194,21 @@ func (t *mappingTable) Drop(key string) []evictedChunk {
 		return nil
 	}
 	return t.dropLocked(o)
+}
+
+// DropIfEpoch removes an object only if it is still the incarnation the
+// caller read (loss reporting): a GET that decided "lost" against an
+// entry a concurrent overwrite has since replaced must not destroy the
+// new generation. Returns ok=false (and drops nothing) when the entry
+// is gone or has moved on.
+func (t *mappingTable) DropIfEpoch(key string, epoch uint64) ([]evictedChunk, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	o, ok := t.objects[key]
+	if !ok || o.Epoch != epoch {
+		return nil, false
+	}
+	return t.dropLocked(o), true
 }
 
 // ErrNoCapacity is wrapped by Reserve failures.
@@ -205,22 +266,49 @@ func (t *mappingTable) Reserve(node int, size int64, protect string) ([]evictedC
 	return dels, evicted, nil
 }
 
-// CommitChunk records a stored chunk's location. Reserve must have been
-// called for the same size beforehand.
-func (t *mappingTable) CommitChunk(key string, idx, node int, size int64) {
+// CommitChunk records a stored chunk's location; Reserve must have been
+// called for the same size beforehand. epoch is the incarnation the
+// writing generation created with BeginObject: a commit arriving after
+// another session's overwrite replaced the entry must not splice one
+// generation's chunk into another's (the RS decoder would mix shard
+// sets into silent corruption). epoch 0 skips the guard — the recovery
+// path re-inserts an existing object's true chunk content into whatever
+// incarnation is current. Returns false (and releases the reservation)
+// when the entry is gone or has moved on; the caller then deletes the
+// node's copy like any superseded chunk.
+func (t *mappingTable) CommitChunk(key string, idx, node int, size int64, epoch uint64) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	o, ok := t.objects[key]
-	if !ok || idx < 0 || idx >= len(o.Chunks) {
-		// Object was dropped (eviction race) — release the reservation.
+	if !ok || (epoch != 0 && o.Epoch != epoch) || idx < 0 || idx >= len(o.Chunks) {
+		// Dropped or superseded (eviction/overwrite race) — release the
+		// reservation.
 		t.nodeUsed[node] -= size
-		return
+		return false
 	}
 	old := o.Chunks[idx]
 	if old.Size > 0 {
 		t.nodeUsed[old.Node] -= old.Size
 	}
 	o.Chunks[idx] = chunkLoc{Node: node, Size: size, Present: true}
+	return true
+}
+
+// DropIfIncomplete drops key's entry if it is still the given
+// incarnation AND can never serve a GET (fewer than d chunks present
+// with none positively lost — the shape a failed or cancelled PUT
+// leaves behind). The writing session calls this when a generation ends
+// with uncommitted chunks, so the key reads as a clean MISS (RESET
+// path) instead of "write in progress" forever. Returns the chunk
+// deletions for whatever partial state had committed.
+func (t *mappingTable) DropIfIncomplete(key string, epoch uint64) ([]evictedChunk, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	o, ok := t.objects[key]
+	if !ok || o.Epoch != epoch || o.presentChunks() >= o.DataShards {
+		return nil, false
+	}
+	return t.dropLocked(o), true
 }
 
 // ReleaseChunk undoes a reservation after a failed store.
@@ -231,17 +319,21 @@ func (t *mappingTable) ReleaseChunk(node int, size int64) {
 }
 
 // MarkChunkLost flags a chunk as gone (node answered MISS after a
-// reclaim). It returns how many chunks remain present.
-func (t *mappingTable) MarkChunkLost(key string, idx int) int {
+// reclaim). The caller passes the entry epoch its GET snapshotted: a
+// MISS earned against a superseded incarnation says nothing about the
+// current one's chunks and is ignored. It returns how many chunks
+// remain present.
+func (t *mappingTable) MarkChunkLost(key string, idx int, epoch uint64) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	o, ok := t.objects[key]
-	if !ok || idx < 0 || idx >= len(o.Chunks) {
+	if !ok || o.Epoch != epoch || idx < 0 || idx >= len(o.Chunks) {
 		return 0
 	}
 	c := &o.Chunks[idx]
 	if c.Present {
 		c.Present = false
+		o.Lost++
 		// The bytes are no longer on the node.
 		t.nodeUsed[c.Node] -= c.Size
 		c.Size = 0

@@ -19,18 +19,18 @@ func TestChunkKey(t *testing.T) {
 
 func TestBeginCommitLookup(t *testing.T) {
 	tb := newTable()
-	dels := tb.BeginObject("a", 1000, 2, 3)
+	dels, _, _, _ := tb.BeginObject("a", 1000, 2, 3)
 	if len(dels) != 0 {
 		t.Fatal("fresh BeginObject returned deletions")
 	}
 	if _, _, err := tb.Reserve(0, 500, "a"); err != nil {
 		t.Fatal(err)
 	}
-	tb.CommitChunk("a", 0, 0, 500)
+	tb.CommitChunk("a", 0, 0, 500, 0)
 	if _, _, err := tb.Reserve(1, 500, "a"); err != nil {
 		t.Fatal(err)
 	}
-	tb.CommitChunk("a", 1, 1, 500)
+	tb.CommitChunk("a", 1, 1, 500, 0)
 
 	meta, ok := tb.Lookup("a")
 	if !ok {
@@ -51,7 +51,7 @@ func TestLookupReturnsSnapshot(t *testing.T) {
 	tb := newTable()
 	tb.BeginObject("a", 10, 1, 1)
 	tb.Reserve(0, 10, "a")
-	tb.CommitChunk("a", 0, 0, 10)
+	tb.CommitChunk("a", 0, 0, 10, 0)
 	meta, _ := tb.Lookup("a")
 	meta.Chunks[0].Present = false
 	again, _ := tb.Lookup("a")
@@ -64,11 +64,11 @@ func TestOverwriteReturnsDeletions(t *testing.T) {
 	tb := newTable()
 	tb.BeginObject("a", 100, 1, 2)
 	tb.Reserve(0, 50, "a")
-	tb.CommitChunk("a", 0, 0, 50)
+	tb.CommitChunk("a", 0, 0, 50, 0)
 	tb.Reserve(1, 50, "a")
-	tb.CommitChunk("a", 1, 1, 50)
+	tb.CommitChunk("a", 1, 1, 50, 0)
 
-	dels := tb.BeginObject("a", 200, 1, 2)
+	dels, _, _, _ := tb.BeginObject("a", 200, 1, 2)
 	if len(dels) != 2 {
 		t.Fatalf("overwrite returned %d deletions, want 2", len(dels))
 	}
@@ -81,7 +81,7 @@ func TestDrop(t *testing.T) {
 	tb := newTable()
 	tb.BeginObject("a", 100, 1, 1)
 	tb.Reserve(2, 100, "a")
-	tb.CommitChunk("a", 0, 2, 100)
+	tb.CommitChunk("a", 0, 2, 100, 0)
 	dels := tb.Drop("a")
 	if len(dels) != 1 || dels[0].Node != 2 || dels[0].Key != "a#0" {
 		t.Fatalf("dels = %+v", dels)
@@ -103,7 +103,7 @@ func TestReserveEvictsAtPoolPressure(t *testing.T) {
 		if _, _, err := tb.Reserve(i, 1<<20, key); err != nil {
 			t.Fatalf("reserve %d: %v", i, err)
 		}
-		tb.CommitChunk(key, 0, i, 1<<20)
+		tb.CommitChunk(key, 0, i, 1<<20, 0)
 	}
 	// A new object must evict at least one victim.
 	tb.BeginObject("new", 1<<20, 1, 1)
@@ -125,7 +125,7 @@ func TestReserveNeverEvictsProtected(t *testing.T) {
 	if _, _, err := tb.Reserve(0, 600, "self"); err != nil {
 		t.Fatal(err)
 	}
-	tb.CommitChunk("self", 0, 0, 600)
+	tb.CommitChunk("self", 0, 0, 600, 0)
 	// Second chunk exceeds the pool; the only candidate victim is the
 	// protected object itself, so Reserve must fail rather than evict it.
 	_, _, err := tb.Reserve(0, 600, "self")
@@ -156,7 +156,7 @@ func TestReleaseChunk(t *testing.T) {
 func TestCommitWithoutObjectReleases(t *testing.T) {
 	tb := newTable()
 	tb.Reserve(1, 100, "ghost")
-	tb.CommitChunk("ghost", 0, 1, 100) // object never began: must release
+	tb.CommitChunk("ghost", 0, 1, 100, 0) // object never began: must release
 	if tb.NodeUsed(1) != 0 {
 		t.Fatal("orphan commit leaked accounting")
 	}
@@ -167,30 +167,123 @@ func TestMarkChunkLost(t *testing.T) {
 	tb.BeginObject("a", 100, 2, 3)
 	for i := 0; i < 3; i++ {
 		tb.Reserve(i, 40, "a")
-		tb.CommitChunk("a", i, i, 40)
+		tb.CommitChunk("a", i, i, 40, 0)
 	}
-	if left := tb.MarkChunkLost("a", 0); left != 2 {
+	epoch := mustEpoch(t, tb, "a")
+	if left := tb.MarkChunkLost("a", 0, epoch); left != 2 {
 		t.Fatalf("present after loss = %d, want 2", left)
 	}
 	if tb.NodeUsed(0) != 0 {
 		t.Fatal("lost chunk still accounted")
 	}
 	// Double-mark is idempotent.
-	if left := tb.MarkChunkLost("a", 0); left != 2 {
+	if left := tb.MarkChunkLost("a", 0, epoch); left != 2 {
 		t.Fatal("double MarkChunkLost changed count")
 	}
-	if tb.MarkChunkLost("missing", 0) != 0 {
+	if tb.MarkChunkLost("missing", 0, 1) != 0 {
 		t.Fatal("unknown object should report 0")
 	}
+}
+
+func mustEpoch(t *testing.T, tb *mappingTable, key string) uint64 {
+	t.Helper()
+	meta, ok := tb.Lookup(key)
+	if !ok {
+		t.Fatalf("object %q not mapped", key)
+	}
+	return meta.Epoch
+}
+
+// TestEpochGuards pins the overwrite-race rules: losses reported against
+// a superseded incarnation (an older Epoch) neither taint the current
+// entry's chunks nor drop it.
+func TestEpochGuards(t *testing.T) {
+	tb := newTable()
+	tb.BeginObject("a", 100, 1, 2)
+	tb.Reserve(0, 50, "a")
+	tb.CommitChunk("a", 0, 0, 50, 0)
+	oldEpoch := mustEpoch(t, tb, "a")
+
+	// Overwrite: a fresh incarnation replaces the entry.
+	tb.BeginObject("a", 100, 1, 2)
+	tb.Reserve(1, 50, "a")
+	tb.CommitChunk("a", 0, 1, 50, 0)
+
+	// A stale GET's MISS must not mark the new chunk lost.
+	tb.MarkChunkLost("a", 0, oldEpoch)
+	meta, _ := tb.Lookup("a")
+	if !meta.Chunks[0].Present || meta.Lost != 0 {
+		t.Fatal("stale-epoch MISS tainted the new incarnation")
+	}
+	// A stale GET's loss verdict must not drop the new entry.
+	if _, ok := tb.DropIfEpoch("a", oldEpoch); ok {
+		t.Fatal("stale-epoch drop removed the new incarnation")
+	}
+	if _, ok := tb.Lookup("a"); !ok {
+		t.Fatal("new incarnation vanished")
+	}
+	// A stale GET's... and a stale COMMIT: a chunk acked after another
+	// session's overwrite must not splice into the new incarnation.
+	tb.Reserve(2, 50, "a")
+	if tb.CommitChunk("a", 1, 2, 50, oldEpoch) {
+		t.Fatal("stale-epoch commit spliced into the new incarnation")
+	}
+	if tb.NodeUsed(2) != 0 {
+		t.Fatal("refused commit did not release its reservation")
+	}
+	// Epoch 0 (recovery) commits into whatever incarnation is current.
+	tb.Reserve(2, 50, "a")
+	if !tb.CommitChunk("a", 1, 2, 50, 0) {
+		t.Fatal("recovery commit refused")
+	}
+	// The current epoch still drops normally.
+	if _, ok := tb.DropIfEpoch("a", meta.Epoch); !ok {
+		t.Fatal("current-epoch drop refused")
+	}
+	if _, ok := tb.Lookup("a"); ok {
+		t.Fatal("drop did not remove the entry")
+	}
+}
+
+// TestDropIfIncomplete pins the failed-PUT cleanup: an entry with fewer
+// than d chunks committed and none lost is dropped (the key reads as a
+// clean MISS for the RESET path), while a complete or superseded entry
+// is left alone.
+func TestDropIfIncomplete(t *testing.T) {
+	tb := newTable()
+	_, epoch, _, _ := tb.BeginObject("a", 100, 2, 3)
+	tb.Reserve(0, 40, "a")
+	tb.CommitChunk("a", 0, 0, 40, epoch) // 1 of 2 data shards: incomplete
+	if _, ok := tb.DropIfIncomplete("a", epoch); !ok {
+		t.Fatal("incomplete entry not dropped")
+	}
+	if _, ok := tb.Lookup("a"); ok {
+		t.Fatal("entry survived DropIfIncomplete")
+	}
+
+	// A complete entry must never be dropped by the failed-PUT path.
+	_, epoch, _, _ = tb.BeginObject("b", 100, 1, 2)
+	tb.Reserve(0, 50, "b")
+	tb.CommitChunk("b", 0, 0, 50, epoch)
+	if _, ok := tb.DropIfIncomplete("b", epoch); ok {
+		t.Fatal("complete entry dropped")
+	}
+
+	// A superseded epoch must not drop the new incarnation.
+	_, epoch2, _, _ := tb.BeginObject("b", 100, 1, 2)
+	if _, ok := tb.DropIfIncomplete("b", epoch); ok {
+		t.Fatal("stale epoch dropped the new incarnation")
+	}
+	_ = epoch2
 }
 
 func TestUsedBytesAggregates(t *testing.T) {
 	tb := newTable()
 	tb.BeginObject("a", 100, 1, 2)
 	tb.Reserve(0, 60, "a")
-	tb.CommitChunk("a", 0, 0, 60)
+	tb.CommitChunk("a", 0, 0, 60, 0)
 	tb.Reserve(3, 60, "a")
-	tb.CommitChunk("a", 1, 3, 60)
+	tb.CommitChunk("a", 1, 3, 60, 0)
 	if tb.UsedBytes() != 120 {
 		t.Fatalf("UsedBytes = %d, want 120", tb.UsedBytes())
 	}

@@ -3,8 +3,41 @@
 // connections), the owner of the chunk→Lambda mapping table and the
 // CLOCK-based object-granularity eviction policy, the first-d parallel
 // I/O engine that streams erasure-coded chunks between clients and
-// Lambda nodes, and the coordinator (plus relay) for the §4.2 delta-sync
-// backup protocol.
+// Lambda nodes, the optional proxy-resident hot-object tier, and the
+// coordinator (plus relay) for the §4.2 delta-sync backup protocol.
+//
+// # Structure and goroutine ownership
+//
+// One Proxy runs: an accept loop classifying inbound connections
+// (JOIN_LAMBDA → its node's dispatcher, JOIN_CLIENT → a session), one
+// session goroutine per client connection (session.go — a single event
+// loop running per-request GET/SET state machines; no goroutine per
+// message), one dispatcher goroutine per Lambda node (node.go — the
+// Figure 6 state machine plus a windowed in-flight map its connection's
+// reader matches responses against), and one relay per backup round
+// (relay.go). Each piece of mutable state has exactly one owner:
+//
+//   - session state (putGens, genPending, hotPuts, per-op structs) —
+//     the session goroutine only; other goroutines reach a session
+//     solely through its completions channel.
+//   - the dispatcher queue and Figure 6 state — the dispatcher
+//     goroutine; the in-flight window map is the one structure shared
+//     with its reader goroutine (guarded by nodeManager.mu — whoever
+//     deletes an entry owns that request's pending).
+//   - the mapping table and the hot tier — internally locked; any
+//     session may call them. Hot-tier entries are immutable after
+//     insert and their chunk buffers GC-owned, so sessions forward
+//     them without holding the tier lock.
+//
+// # Consistency rules
+//
+// The consistent-hash ring gives every key exactly one owning proxy, so
+// ordering decisions are local: a PUT generation invalidates the hot
+// tier before its first chunk reaches a node (beginPut), commits are
+// epoch-guarded against superseded incarnations (mapping.go), and loss
+// verdicts earned against a replaced entry neither drop nor taint the
+// new one — see the "Hot tier" section of ARCHITECTURE.md for the full
+// coherence argument.
 package proxy
 
 import (
@@ -42,6 +75,13 @@ type Config struct {
 	// Retries is how many validate/re-invoke attempts a chunk request
 	// gets before failing.
 	Retries int
+	// HotTierBytes caps the proxy-resident hot-object tier; 0 disables
+	// it (the default — every GET then pays the full node round trip).
+	HotTierBytes int64
+	// HotMaxObjectBytes is the hot tier's admission size threshold;
+	// objects larger than this are never tier-resident. Defaults to
+	// 1 MiB when the tier is enabled.
+	HotMaxObjectBytes int64
 }
 
 func (c *Config) fillDefaults() {
@@ -66,6 +106,9 @@ func (c *Config) fillDefaults() {
 	if c.Retries == 0 {
 		c.Retries = 3
 	}
+	if c.HotTierBytes > 0 && c.HotMaxObjectBytes <= 0 {
+		c.HotMaxObjectBytes = 1 << 20
+	}
 }
 
 // Stats exposes the proxy's operation counters (all atomic).
@@ -87,6 +130,14 @@ type Stats struct {
 	ChunkFailures atomic.Int64 // chunk requests that exhausted retries
 	Cancels       atomic.Int64 // client CANCELs matched to an in-flight op
 
+	// Hot-tier counters (all zero while the tier is disabled). HotBytes
+	// is a gauge — the tier's current resident payload bytes, pinned
+	// ≤ Config.HotTierBytes by eviction; the rest are monotonic.
+	HotHits      atomic.Int64 // GETs served from the proxy-resident tier
+	HotMisses    atomic.Int64 // GETs that fell through to the node path
+	HotBytes     atomic.Int64 // resident payload bytes (gauge)
+	HotEvictions atomic.Int64 // objects evicted by the tier's CLOCK hand
+
 	// Wire-plane counters for client-facing connections, accumulated as
 	// sessions close; WireSnapshot folds still-open sessions in. The
 	// flushes/frames ratio is the write-coalescing factor ic-bench
@@ -104,6 +155,7 @@ type Proxy struct {
 	addr  string
 	nodes []*nodeManager
 	table *mappingTable
+	hot   *hotTier // nil when Config.HotTierBytes == 0
 
 	seq atomic.Uint64
 
@@ -141,6 +193,13 @@ func New(cfg Config) (*Proxy, error) {
 		sessions: make(map[*session]struct{}),
 	}
 	p.table = newMappingTable(len(cfg.Nodes), int64(cfg.NodeMemoryMB)<<20)
+	if cfg.HotTierBytes > 0 {
+		p.hot = newHotTier(cfg.HotTierBytes, cfg.HotMaxObjectBytes, &p.stats)
+		// The table invalidates the tier inside its own critical
+		// sections (overwrite, DEL, pool eviction, loss), keeping the
+		// two structures' orderings identical; see mappingTable.hot.
+		p.table.hot = p.hot
+	}
 	p.nodes = make([]*nodeManager, len(cfg.Nodes))
 	for i, name := range cfg.Nodes {
 		p.nodes[i] = newNodeManager(p, i, name)

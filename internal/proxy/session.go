@@ -61,10 +61,38 @@ type session struct {
 	// of a PUT generation, any verdict/error — because intermediate
 	// frames cannot unblock the client (it needs d shards to decode and
 	// every ack of a PUT to return). needFlush marks that such a point
-	// occurred this wake; genPending counts a PUT generation's chunk
-	// SETs still in flight so its last completion is recognisable.
+	// occurred this wake; genPending tracks each PUT generation's chunk
+	// SETs still in flight (so its last completion is recognisable),
+	// the mapping incarnation it created, and whether any chunk failed.
 	needFlush  bool
-	genPending map[genKey]int
+	genPending map[genKey]*genState
+
+	// hotPuts tracks write-through hot-tier admissions in flight: one
+	// entry per admitted PUT generation, holding GC-owned copies of the
+	// data-shard payloads until the generation's last chunk completes
+	// (insert) or any chunk fails/cancels/supersedes (discard). Only
+	// populated when the proxy's hot tier is enabled.
+	hotPuts map[genKey]*hotPut
+}
+
+// hotPut accumulates one PUT generation's hot-tier admission.
+type hotPut struct {
+	size   int64
+	d      int
+	total  int
+	token  uint64   // epoch token from beginPut; validates the insert
+	chunks [][]byte // len total; data-shard copies land at idx < d
+	failed bool     // any chunk failed, was cancelled, or was superseded
+}
+
+// complete reports whether every data shard was captured.
+func (hp *hotPut) complete() bool {
+	for i := 0; i < hp.d; i++ {
+		if hp.chunks[i] == nil {
+			return false
+		}
+	}
+	return true
 }
 
 // genKey identifies one client PUT generation (all d+p chunk SETs of
@@ -72,6 +100,17 @@ type session struct {
 type genKey struct {
 	key string
 	gen int64
+}
+
+// genState tracks one PUT generation through the session: chunk SETs
+// still in flight, the mapping-table incarnation its BeginObject
+// created (0 for recovery generations, which have none), and whether
+// any chunk failed to commit — a failed generation must neither reach
+// the hot tier nor leave a never-completable mapping entry behind.
+type genState struct {
+	pending int
+	epoch   uint64
+	failed  bool
 }
 
 // getOp tracks one client GET through its chunk fan-out.
@@ -87,6 +126,14 @@ type getOp struct {
 	failed    int      // transient failures (timeout, swap)
 	done      bool     // the client already got its answer (or walked away)
 	seqs      []uint64 // node request seqs, for cancellation
+	epoch     uint64   // mapping-entry incarnation this GET snapshotted
+
+	// Read-through hot-tier admission: when the tier's ghost filter
+	// marked this key warm, the first d forwarded payloads are copied
+	// here (sparse by index) and inserted on the d-th; hotToken fences
+	// the insert against writes that land during the fan-in.
+	capture  [][]byte
+	hotToken uint64
 }
 
 // setOp tracks one client chunk SET through its node store.
@@ -115,7 +162,10 @@ type pendingChunk struct {
 func (s *session) run() {
 	defer s.conn.Close()
 	s.putGens = make(map[string]int64)
-	s.genPending = make(map[genKey]int)
+	s.genPending = make(map[genKey]*genState)
+	if s.p.hot != nil {
+		s.hotPuts = make(map[genKey]*hotPut)
+	}
 	s.completions = make(chan nodeReply, sessionWindow)
 	s.chunks = make(map[uint64]pendingChunk)
 	s.byClient = make(map[uint64]pendingChunk)
@@ -253,6 +303,28 @@ func (s *session) queueDels(dels []evictedChunk) {
 	}
 }
 
+// serveHot answers a GET entirely from the hot tier: the d resident
+// chunk payloads replay as the same DATA frames a node fan-in would
+// have produced (index, size and RS geometry included, so the client
+// decode path is untouched), all staged under the wake's pin and put on
+// the wire by one flush. The entry's chunk slices are immutable and
+// GC-owned, so forwarding them needs no tier lock and cannot race an
+// invalidation. The mapping-table CLOCK bit is still touched: a
+// tier-served object must not look cold to pool-level eviction.
+func (s *session) serveHot(seq uint64, key string, e *hotEntry) {
+	s.p.table.Touch(key)
+	var args [4]int64
+	for i, chunk := range e.chunks {
+		if chunk == nil {
+			continue
+		}
+		args = [4]int64{int64(i), e.size, int64(e.d), int64(e.total)}
+		s.conn.Forward(protocol.TData, seq, key, "", args[:], chunk)
+	}
+	s.needFlush = true
+	s.p.stats.GetHits.Add(1)
+}
+
 // handleSet stores one erasure-coded chunk on the client-chosen node.
 // The frame's pooled payload travels to the node without a copy or a
 // re-wrap and is recycled when the node's ACK (or failure) completes
@@ -284,17 +356,38 @@ func (s *session) handleSet(m *protocol.Message) {
 		}
 	} else {
 		// The first chunk of a new PUT generation (re)initialises the
-		// object's mapping entry — cache invalidation upon overwrite.
+		// object's mapping entry — cache invalidation upon overwrite —
+		// and, in the same critical section, invalidates the hot tier
+		// (a concurrent GET can never observe the superseded payload)
+		// and decides write-through admission. Running both under the
+		// table lock keeps the table's epoch order and the tier's
+		// invalidation order identical even when two sessions race
+		// PUTs to one key.
 		if s.putGens[m.Key] != putGen {
 			s.putGens[m.Key] = putGen
-			s.queueDels(s.p.table.BeginObject(m.Key, objSize, dShards, total))
+			dels, epoch, admit, token := s.p.table.BeginObject(m.Key, objSize, dShards, total)
+			s.queueDels(dels)
+			gk := genKey{m.Key, putGen}
+			s.genPending[gk] = &genState{epoch: epoch}
+			if admit {
+				s.hotPuts[gk] = &hotPut{
+					size: objSize, d: dShards, total: total, token: token,
+					chunks: make([][]byte, total),
+				}
+			}
 		}
+	}
+	if hp := s.hotPuts[genKey{m.Key, putGen}]; hp != nil && !recovery &&
+		idx < hp.d && idx < len(hp.chunks) && hp.chunks[idx] == nil {
+		// Write-through admission copy of a data shard; GC-owned.
+		hp.chunks[idx] = append([]byte(nil), m.Payload...)
 	}
 
 	dels, evicted, err := s.p.table.Reserve(lambdaIdx, size, m.Key)
 	s.queueDels(dels)
 	s.p.stats.Evictions.Add(int64(evicted))
 	if err != nil {
+		s.failGen(m.Key, putGen)
 		s.sendErr(m.Seq, m.Key, err.Error())
 		m.Recycle()
 		return
@@ -322,7 +415,17 @@ func (s *session) handleSet(m *protocol.Message) {
 		m.Recycle()
 		return
 	}
-	s.genPending[genKey{m.Key, putGen}]++
+	gk := genKey{m.Key, putGen}
+	gs := s.genPending[gk]
+	if gs == nil {
+		// Recovery generations never pass the BeginObject branch; they
+		// track pending chunks only (epoch 0: commits are unguarded by
+		// design — recovery re-inserts TRUE chunk content into whatever
+		// incarnation is current).
+		gs = &genState{}
+		s.genPending[gk] = gs
+	}
+	gs.pending++
 }
 
 // handleGet implements the first-d parallel fan-out (§3.2): every
@@ -332,6 +435,16 @@ func (s *session) handleSet(m *protocol.Message) {
 func (s *session) handleGet(m *protocol.Message) {
 	s.p.stats.Gets.Add(1)
 	defer m.Recycle()
+	var hotToken uint64
+	var hotCapture bool
+	if s.p.hot != nil {
+		e, token, capture := s.p.hot.get(m.Key)
+		if e != nil {
+			s.serveHot(m.Seq, m.Key, e)
+			return
+		}
+		hotToken, hotCapture = token, capture
+	}
 	meta, ok := s.p.table.Lookup(m.Key)
 	if !ok {
 		s.p.stats.GetMisses.Add(1)
@@ -347,8 +460,16 @@ func (s *session) handleGet(m *protocol.Message) {
 	}
 	d := meta.DataShards
 	if len(present) < d {
+		if meta.Lost == 0 {
+			// No chunk was ever positively lost: the object is simply
+			// mid-write (a fresh generation's chunks have not all
+			// committed). Not a loss — tell the client to retry; the
+			// next attempt reads the committed generation.
+			s.sendTransient(m.Seq, m.Key)
+			return
+		}
 		// More than p chunks already lost: the object is gone.
-		s.objectLost(m.Seq, m.Key)
+		s.objectLost(m.Seq, m.Key, meta.Epoch)
 		return
 	}
 	if !s.reserveWindow(len(present)) {
@@ -356,8 +477,14 @@ func (s *session) handleGet(m *protocol.Message) {
 	}
 	op := &getOp{
 		clientSeq: m.Seq, key: m.Key, size: meta.Size,
-		d: d, total: meta.TotalShards,
+		d: d, total: meta.TotalShards, epoch: meta.Epoch,
 		seqs: make([]uint64, 0, len(present)),
+	}
+	if hotCapture && meta.Size <= s.p.hot.maxObj {
+		// Ghost-warm key: read-admit by copying the first-d payloads as
+		// they stream through (whatever d chunks win the fan-in race).
+		op.capture = make([][]byte, meta.TotalShards)
+		op.hotToken = hotToken
 	}
 	s.byClient[m.Seq] = pendingChunk{get: op}
 	for _, i := range present {
@@ -376,6 +503,53 @@ func (s *session) handleGet(m *protocol.Message) {
 				delete(s.byClient, m.Seq)
 			}
 			return // shutting down
+		}
+	}
+}
+
+// markGenFailed records that one of a generation's chunks did not
+// commit: the generation must not reach the hot tier, and its mapping
+// entry may end up never-completable (finishGen handles both).
+func (s *session) markGenFailed(gk genKey, gs *genState) {
+	if gs != nil {
+		gs.failed = true
+	}
+	if hp := s.hotPuts[gk]; hp != nil {
+		hp.failed = true
+	}
+}
+
+// failGen marks a generation failed from a path where the chunk never
+// even reached a node (bad reservation). With nothing in flight the
+// generation finalises immediately — completeSet will never run for it.
+func (s *session) failGen(key string, gen int64) {
+	gk := genKey{key, gen}
+	gs := s.genPending[gk]
+	s.markGenFailed(gk, gs)
+	if gs != nil && gs.pending == 0 {
+		delete(s.genPending, gk)
+		s.finishGen(gk, gs)
+	}
+}
+
+// finishGen runs a PUT generation's end-of-life bookkeeping once its
+// last in-flight chunk has completed (or it failed before submitting
+// any): a clean, fully-captured write-through admission inserts into
+// the hot tier (the epoch token still rejects it if a newer generation
+// began during the ack wait), and a failed generation whose mapping
+// entry can never serve a GET — fewer than d chunks committed, none
+// positively lost — is dropped so the key reads as a clean MISS (the
+// §5.2 RESET path) instead of "write in progress" forever.
+func (s *session) finishGen(gk genKey, gs *genState) {
+	if hp := s.hotPuts[gk]; hp != nil {
+		delete(s.hotPuts, gk)
+		if !gs.failed && hp.complete() {
+			s.p.hot.insert(gk.key, hp.size, hp.d, hp.total, hp.chunks, hp.token)
+		}
+	}
+	if gs.failed && gs.epoch != 0 {
+		if dels, dropped := s.p.table.DropIfIncomplete(gk.key, gs.epoch); dropped {
+			s.queueDels(dels)
 		}
 	}
 }
@@ -403,14 +577,24 @@ func (s *session) completeSet(op *setOp, resp *protocol.Message) {
 	// The last outstanding chunk of a PUT generation is the frame its
 	// client is actually blocked on; earlier acks can stay staged.
 	gk := genKey{op.key, op.gen}
-	if n := s.genPending[gk] - 1; n > 0 {
-		s.genPending[gk] = n
-	} else {
-		delete(s.genPending, gk)
-		s.needFlush = true
+	gs := s.genPending[gk]
+	last := false
+	var epoch uint64 // generation's mapping incarnation; 0 for recovery
+	if gs != nil {
+		epoch = gs.epoch
+		if gs.pending--; gs.pending <= 0 {
+			delete(s.genPending, gk)
+			s.needFlush = true
+			last = true
+		}
 	}
 	acked := resp != nil && resp.Type == protocol.TAck
 	if op.cancelled && !(op.recovery && acked) {
+		// A cancelled chunk never commits, so the generation must not
+		// reach the hot tier either (the synchronous-invalidate rule:
+		// cancel/un-commit paths keep the tier from serving data the
+		// client believes unwritten).
+		s.markGenFailed(gk, gs)
 		// The client abandoned the PUT: never commit. The node may have
 		// stored the chunk anyway — a cancel withdrawn in flight gets a
 		// nil outcome here while the SET still lands — so delete its
@@ -432,26 +616,36 @@ func (s *session) completeSet(op *setOp, resp *protocol.Message) {
 		}
 		bufpool.Put(op.payload)
 		op.payload = nil
+		if last {
+			s.finishGen(gk, gs)
+		}
 		return
 	}
 	if resp != nil && resp.Type == protocol.TAck {
-		if !op.recovery && s.putGens[op.key] != op.gen {
-			// A newer PUT generation superseded this chunk while it was
-			// being re-driven: committing would point the mapping table
-			// at stale bytes. Release the reservation and delete the
-			// node's copy (it may have clobbered the new generation's
-			// chunk under the same key; a lost chunk is recoverable
-			// through parity, a silently mixed one is not).
-			s.p.table.ReleaseChunk(op.node, op.size)
-			s.p.nodes[op.node].queueDel(ChunkKey(op.key, op.idx))
-			s.sendErr(op.clientSeq, op.key, "proxy: chunk superseded by a newer put")
-		} else {
-			s.p.table.CommitChunk(op.key, op.idx, op.node, op.size)
+		superseded := !op.recovery && s.putGens[op.key] != op.gen
+		if !superseded && s.p.table.CommitChunk(op.key, op.idx, op.node, op.size, epoch) {
 			args := [1]int64{int64(op.idx)}
 			s.conn.Forward(protocol.TAck, op.clientSeq, op.key, "", args[:], nil)
+		} else {
+			// A newer PUT generation superseded this chunk — either
+			// same-session (putGens moved on while it was re-driven) or
+			// cross-session (the entry's epoch no longer matches, and
+			// CommitChunk refused and released the reservation).
+			// Committing would splice stale bytes into the newer
+			// incarnation. Delete the node's copy too: it may have
+			// clobbered the new generation's chunk under the same key —
+			// a lost chunk is recoverable through parity, a silently
+			// mixed one is not.
+			if superseded {
+				s.p.table.ReleaseChunk(op.node, op.size)
+			}
+			s.p.nodes[op.node].queueDel(ChunkKey(op.key, op.idx))
+			s.markGenFailed(gk, gs)
+			s.sendErr(op.clientSeq, op.key, "proxy: chunk superseded by a newer put")
 		}
 	} else {
 		s.p.table.ReleaseChunk(op.node, op.size)
+		s.markGenFailed(gk, gs)
 		s.sendErr(op.clientSeq, op.key, "proxy: chunk store failed")
 	}
 	if resp != nil {
@@ -460,6 +654,9 @@ func (s *session) completeSet(op *setOp, resp *protocol.Message) {
 	// This hop consumed the client's SET frame; its payload is free.
 	bufpool.Put(op.payload)
 	op.payload = nil
+	if last {
+		s.finishGen(gk, gs)
+	}
 }
 
 func (s *session) completeGet(op *getOp, idx int, resp *protocol.Message) {
@@ -476,6 +673,10 @@ func (s *session) completeGet(op *getOp, idx int, resp *protocol.Message) {
 			args := [4]int64{int64(idx), op.size, int64(op.d), int64(op.total)}
 			s.conn.Forward(protocol.TData, op.clientSeq, op.key, "", args[:],
 				resp.Payload)
+			if op.capture != nil {
+				// Read-through admission copy; GC-owned, never pooled.
+				op.capture[idx] = append([]byte(nil), resp.Payload...)
+			}
 			op.forwarded++
 			if op.forwarded >= op.d {
 				// The d-th DATA frame is what unblocks the client.
@@ -485,6 +686,10 @@ func (s *session) completeGet(op *getOp, idx int, resp *protocol.Message) {
 				if op.missed+op.failed > 0 {
 					s.p.stats.DegradedGets.Add(1)
 				}
+				if op.capture != nil {
+					s.p.hot.insert(op.key, op.size, op.d, op.total, op.capture, op.hotToken)
+					op.capture = nil
+				}
 			}
 		}
 		// First-d already served → this is a straggler; either way the
@@ -493,9 +698,12 @@ func (s *session) completeGet(op *getOp, idx int, resp *protocol.Message) {
 	case resp != nil && resp.Type == protocol.TMiss:
 		if !op.done {
 			// The node definitively lost this chunk (reclaimed
-			// instance): record it in the mapping table.
+			// instance): record it in the mapping table. Epoch-guarded —
+			// if an overwrite replaced the entry mid-fan-out, this MISS
+			// is about the old generation's chunk and must not taint the
+			// new one.
 			s.p.stats.ChunkMisses.Add(1)
-			s.p.table.MarkChunkLost(op.key, idx)
+			s.p.table.MarkChunkLost(op.key, idx, op.epoch)
 			op.missed++
 		}
 		resp.Recycle()
@@ -516,14 +724,21 @@ func (s *session) completeGet(op *getOp, idx int, resp *protocol.Message) {
 	op.done = true
 	if op.requested-op.missed < op.d {
 		// Confirmed losses alone exceed parity: the object is gone.
-		s.objectLost(op.clientSeq, op.key)
+		s.objectLost(op.clientSeq, op.key, op.epoch)
 		return
 	}
 	// Not enough chunks arrived but the object may survive: tell the
 	// client to retry rather than declaring a loss.
+	s.sendTransient(op.clientSeq, op.key)
+}
+
+// sendTransient tells the client to retry: the object is not (known)
+// lost, this attempt just cannot produce d chunks — node timeouts
+// during a backup swap, or a fan-out that raced an overwrite.
+func (s *session) sendTransient(seq uint64, key string) {
 	s.needFlush = true
 	s.conn.Send(&protocol.Message{
-		Type: protocol.TErr, Seq: op.clientSeq, Key: op.key,
+		Type: protocol.TErr, Seq: seq, Key: key,
 		Args:    []int64{1}, // 1 = transient
 		Payload: []byte("proxy: transient chunk failures; retry"),
 	})
@@ -531,9 +746,19 @@ func (s *session) completeGet(op *getOp, idx int, resp *protocol.Message) {
 
 // objectLost reports an unavailable object: > p chunks lost. The client
 // will RESET it (fetch from the backing store and re-insert, §5.2).
-func (s *session) objectLost(seq uint64, key string) {
+// Epoch-guarded: if a concurrent overwrite already replaced the entry
+// this GET read, nothing is dropped — the loss verdict belongs to the
+// superseded incarnation, so the client is told to retry (and will read
+// the new generation) instead of resetting an object that just got
+// rewritten.
+func (s *session) objectLost(seq uint64, key string, epoch uint64) {
+	dels, ok := s.p.table.DropIfEpoch(key, epoch)
+	if !ok {
+		s.sendTransient(seq, key)
+		return
+	}
 	s.p.stats.ObjectLosses.Add(1)
-	s.queueDels(s.p.table.Drop(key))
+	s.queueDels(dels)
 	s.needFlush = true
 	s.conn.Send(&protocol.Message{
 		Type: protocol.TMiss, Seq: seq, Key: key, Args: []int64{1}, // 1 = loss, not cold miss
@@ -542,6 +767,9 @@ func (s *session) objectLost(seq uint64, key string) {
 
 func (s *session) handleDel(m *protocol.Message) {
 	s.p.stats.Dels.Add(1)
+	// Drop invalidates the hot tier inside the table's critical section
+	// (dropLocked), so after the ACK below no GET can be served the
+	// deleted object from either structure.
 	s.queueDels(s.p.table.Drop(m.Key))
 	s.needFlush = true
 	s.conn.Forward(protocol.TAck, m.Seq, m.Key, "", nil, nil)

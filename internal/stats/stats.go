@@ -1,6 +1,22 @@
 // Package stats provides the small statistical toolkit used by the
 // benchmark harness and the experiment drivers: percentiles, CDFs,
 // histograms, and box-plot summaries matching the figures in the paper.
+//
+// # Contract
+//
+// Every function is pure and allocation-transparent: inputs are never
+// mutated (Summarize/CDF sort a private copy), outputs are fresh
+// values, and nothing here locks — callers own any synchronisation.
+// Percentile expects an ascending-sorted slice (Summarize handles the
+// sort internally) and interpolates linearly between ranks, matching
+// the paper's box-and-whisker conventions (Figures 4 and 11).
+// WeightedCDF weighs each sample (the Figure 1b byte-footprint
+// distribution); Table renders the aligned plain-text tables every
+// experiment harness emits, so reports diff cleanly across runs.
+//
+// The package deliberately has no dependencies beyond the standard
+// library: internal/exps, internal/sim and cmd/* all embed it, and it
+// must never import them back.
 package stats
 
 import (
