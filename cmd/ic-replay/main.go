@@ -1,0 +1,180 @@
+// ic-replay replays a trace open-loop against a pluggable cache
+// backend and prints a Figure 11/13-style report: per-outcome latency
+// percentiles measured from each request's scheduled arrival, hit
+// ratio, and backend cost.
+//
+// Usage:
+//
+//	ic-replay -trace trace.csv [-format csv|ibmdocker|azure]
+//	          [-backend infinicache|redis|dummy]
+//	          [-speedup 60] [-sessions 8] [-batch 8] [-size-cap 1048576]
+//	          [-preload] [-no-insert]
+//	          [-nodes 20] [-mem 1536] [-d 10] [-p 2] [-warm 1m]
+//	          [-backup 5m] [-hot bytes] [-hot-max bytes]
+//	          [-timescale 0.01] [-shards 1] [-redis-mem bytes]
+//	          [-instance cache.r5.large] [-seed 1]
+//
+// Without -trace, a canonical synthetic trace of -hours hours is
+// generated (the same generator as ic-sim, so results line up).
+// -speedup divides trace inter-arrival times; 0 disables pacing and
+// replays as fast as the sessions drain. -timescale additionally
+// compresses the infinicache/redis backends' virtual clock, which
+// speeds up the replay AND every deployment timer (warm-ups, billing,
+// reclamation) coherently — use -speedup to change only the offered
+// load.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"infinicache"
+	"infinicache/internal/exps"
+	"infinicache/internal/replay"
+	"infinicache/internal/vclock"
+	"infinicache/internal/workload"
+)
+
+func main() {
+	traceFile := flag.String("trace", "", "trace file to replay (default: synthetic)")
+	format := flag.String("format", "csv",
+		"trace format: "+strings.Join(workload.Formats(), ", "))
+	hours := flag.Int("hours", 1, "synthetic trace length (ignored with -trace)")
+	backend := flag.String("backend", "infinicache", "backend: infinicache, redis, dummy")
+	speedup := flag.Float64("speedup", 1, "replay speed factor (0 = unpaced)")
+	sessions := flag.Int("sessions", 8, "concurrent client sessions")
+	batch := flag.Int("batch", 1, "MGet burst cap for queued requests (>= 2 enables batching)")
+	sizeCap := flag.Int64("size-cap", 0, "clamp object sizes to this many bytes (0 = off)")
+	preload := flag.Bool("preload", false, "bulk-insert every distinct object before replaying")
+	noInsert := flag.Bool("no-insert", false, "disable GET-upon-miss insertion")
+	seed := flag.Int64("seed", 1, "random seed")
+
+	nodes := flag.Int("nodes", 20, "infinicache: Lambda pool size")
+	mem := flag.Int("mem", 1536, "infinicache: Lambda memory MB")
+	d := flag.Int("d", 10, "infinicache: data shards")
+	p := flag.Int("p", 2, "infinicache: parity shards")
+	warm := flag.Duration("warm", time.Minute, "infinicache: T_warm (0 disables)")
+	backup := flag.Duration("backup", 5*time.Minute, "infinicache: T_bak (0 disables)")
+	hot := flag.Int64("hot", 0, "infinicache: proxy hot-tier bytes (0 disables)")
+	hotMax := flag.Int64("hot-max", 0, "infinicache: hot-tier admission cap (0 = 1 MiB)")
+	timescale := flag.Float64("timescale", 0, "virtual clock scale for infinicache/redis (0.01 = 100x faster; 0 = real time)")
+
+	shards := flag.Int("shards", 1, "redis: number of cache servers")
+	redisMem := flag.Int64("redis-mem", 4<<30, "redis: memory bytes per shard")
+	instance := flag.String("instance", "cache.r5.large", "redis: instance type for pricing")
+	flag.Parse()
+
+	var trace *workload.Trace
+	if *traceFile != "" {
+		fm, err := workload.ParseFormat(*format)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trace, err = workload.ReadTrace(fm, f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		trace = exps.CanonicalTrace(*hours, *seed)
+	}
+	st := trace.ComputeStats()
+	fmt.Printf("trace: %d records, %d objects, WSS %.1f MB, %.0f GETs/hour\n",
+		st.Records, st.DistinctObjects, float64(st.WorkingSetBytes)/(1<<20), st.GetsPerHour)
+
+	var clk vclock.Clock = vclock.NewReal()
+	if *timescale > 0 {
+		clk = vclock.NewScaled(*timescale)
+	}
+
+	var b replay.Backend
+	switch *backend {
+	case "dummy":
+		b = replay.NewDummy()
+	case "redis":
+		rb, err := replay.NewRedis(replay.RedisConfig{
+			Clock:        clk,
+			Shards:       *shards,
+			MemoryBytes:  *redisMem,
+			InstanceType: *instance,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		b = rb
+	case "infinicache":
+		opts := []infinicache.Option{
+			infinicache.WithNodesPerProxy(*nodes),
+			infinicache.WithNodeMemoryMB(*mem),
+			infinicache.WithShards(*d, *p),
+			infinicache.WithWarmupInterval(*warm),
+			infinicache.WithBackupInterval(*backup),
+			infinicache.WithSeed(*seed),
+		}
+		if *hot > 0 {
+			opts = append(opts, infinicache.WithHotTier(*hot))
+			if *hotMax > 0 {
+				opts = append(opts, infinicache.WithHotTierMaxObject(*hotMax))
+			}
+		}
+		if *timescale > 0 {
+			opts = append(opts, infinicache.WithTimeScale(*timescale))
+		}
+		cache, err := infinicache.New(opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cache.Close()
+		clk = cache.Clock()
+		ib, err := replay.NewInfiniCache(cache)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b = ib
+	default:
+		log.Fatalf("unknown backend %q (want infinicache, redis, or dummy)", *backend)
+	}
+	defer b.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *preload {
+		n, err := replay.Preload(ctx, b, trace.Records, *sizeCap, max(*batch, 16))
+		if err != nil {
+			log.Fatalf("preload: %v", err)
+		}
+		fmt.Printf("preloaded %d objects\n", n)
+	}
+
+	cfg := replay.Config{
+		Clock:          clk,
+		Speedup:        *speedup,
+		Sessions:       *sessions,
+		Batch:          *batch,
+		SizeCap:        *sizeCap,
+		NoInsertOnMiss: *noInsert,
+	}
+	if *speedup == 0 {
+		cfg.Speedup = -1 // CLI convention: 0 means unpaced
+	}
+	fmt.Printf("replaying against %s (%d sessions, speedup %v)...\n\n", *backend, *sessions, *speedup)
+
+	res, err := replay.Run(ctx, cfg, trace, b)
+	if res != nil {
+		fmt.Print(res.Summary())
+	}
+	if err != nil {
+		log.Fatalf("replay interrupted: %v", err)
+	}
+}

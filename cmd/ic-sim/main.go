@@ -1,10 +1,11 @@
-// ic-sim replays a trace (synthetic or CSV) against the modeled
+// ic-sim replays a trace (synthetic or from a file) against the modeled
 // InfiniCache deployment and prints Table 1/Figure 13-style results.
 //
 // Usage:
 //
-//	ic-sim [-hours 50] [-trace file.csv] [-nodes 400] [-mem 1536]
-//	       [-d 10] [-p 2] [-backup 5m] [-warm 1m] [-large-only]
+//	ic-sim [-hours 50] [-trace file.csv] [-format csv|ibmdocker|azure]
+//	       [-nodes 400] [-mem 1536] [-d 10] [-p 2] [-backup 5m]
+//	       [-warm 1m] [-hot bytes] [-hot-max bytes] [-large-only]
 package main
 
 import (
@@ -12,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"infinicache/internal/exps"
@@ -21,24 +23,32 @@ import (
 
 func main() {
 	hours := flag.Int("hours", 50, "synthetic trace length (ignored with -trace)")
-	traceFile := flag.String("trace", "", "CSV trace to replay (timestamp_ns,op,key,size_bytes)")
+	traceFile := flag.String("trace", "", "trace file to replay")
+	format := flag.String("format", "csv",
+		"trace format: "+strings.Join(workload.Formats(), ", "))
 	nodes := flag.Int("nodes", 400, "Lambda pool size")
 	mem := flag.Int("mem", 1536, "Lambda memory MB")
 	d := flag.Int("d", 10, "data shards")
 	p := flag.Int("p", 2, "parity shards")
 	backup := flag.Duration("backup", 5*time.Minute, "T_bak (0 disables backup)")
 	warm := flag.Duration("warm", time.Minute, "T_warm")
+	hot := flag.Int64("hot", 0, "proxy hot-tier capacity in bytes (0 disables; adds a hot-enabled column)")
+	hotMax := flag.Int64("hot-max", 0, "hot-tier admission threshold in bytes (0 = 1 MiB)")
 	largeOnly := flag.Bool("large-only", false, "replay only objects >= 10 MB")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
 	var trace *workload.Trace
 	if *traceFile != "" {
+		fm, err := workload.ParseFormat(*format)
+		if err != nil {
+			log.Fatal(err)
+		}
 		f, err := os.Open(*traceFile)
 		if err != nil {
 			log.Fatal(err)
 		}
-		trace, err = workload.ReadCSV(f)
+		trace, err = workload.ReadTrace(fm, f)
 		f.Close()
 		if err != nil {
 			log.Fatal(err)
@@ -53,7 +63,7 @@ func main() {
 	fmt.Printf("trace: %d records, %d objects, WSS %d GB, %.0f GETs/hour\n\n",
 		st.Records, st.DistinctObjects, st.WorkingSetBytes>>30, st.GetsPerHour)
 
-	res := sim.Run(sim.Config{
+	cfg := sim.Config{
 		Nodes:          *nodes,
 		NodeMemoryMB:   *mem,
 		DataShards:     *d,
@@ -62,19 +72,38 @@ func main() {
 		BackupInterval: *backup,
 		ReclaimPolicy:  exps.CanonicalPolicy(),
 		Seed:           *seed,
-	}, trace)
+	}
+	res := sim.Run(cfg, trace)
 
-	fmt.Printf("InfiniCache (%d x %d MB, RS(%d+%d), warm %v, backup %v):\n",
-		*nodes, *mem, *d, *p, *warm, *backup)
-	fmt.Printf("  hit ratio:   %.1f%% (%d hits / %d gets)\n", res.HitRatio()*100, res.Hits, res.Gets)
-	fmt.Printf("  cold misses: %d\n", res.ColdMisses)
-	fmt.Printf("  RESETs:      %d\n", res.Resets)
-	fmt.Printf("  recoveries:  %d chunks\n", res.Recoveries)
-	fmt.Printf("  reclaims:    %d instances\n", res.Reclaims)
-	fmt.Printf("  cost:        $%.2f total (serving $%.2f, warm-up $%.2f, backup $%.2f)\n",
-		res.TotalCost(), res.ServingCost, res.WarmupCost, res.BackupCost)
-	if res.Gets > 0 {
-		fmt.Printf("  availability: %.2f%% of accesses\n", 100*(1-float64(res.Resets)/float64(res.Gets)))
+	report := func(name string, r *sim.Result) {
+		fmt.Printf("%s:\n", name)
+		fmt.Printf("  hit ratio:   %.1f%% (%d hits / %d gets)\n", r.HitRatio()*100, r.Hits, r.Gets)
+		if r.HotHits > 0 {
+			fmt.Printf("  hot hits:    %d (%.1f%% of gets, served from proxy memory)\n",
+				r.HotHits, 100*float64(r.HotHits)/float64(r.Gets))
+		}
+		fmt.Printf("  cold misses: %d\n", r.ColdMisses)
+		fmt.Printf("  RESETs:      %d\n", r.Resets)
+		fmt.Printf("  recoveries:  %d chunks\n", r.Recoveries)
+		fmt.Printf("  reclaims:    %d instances\n", r.Reclaims)
+		fmt.Printf("  cost:        $%.2f total (serving $%.2f, warm-up $%.2f, backup $%.2f)\n",
+			r.TotalCost(), r.ServingCost, r.WarmupCost, r.BackupCost)
+		if r.Gets > 0 {
+			fmt.Printf("  availability: %.2f%% of accesses\n", 100*(1-float64(r.Resets)/float64(r.Gets)))
+		}
+	}
+	report(fmt.Sprintf("InfiniCache (%d x %d MB, RS(%d+%d), warm %v, backup %v)",
+		*nodes, *mem, *d, *p, *warm, *backup), res)
+
+	if *hot > 0 {
+		hotCfg := cfg
+		hotCfg.HotTierBytes = *hot
+		hotCfg.HotMaxObjectBytes = *hotMax
+		hotRes := sim.Run(hotCfg, trace)
+		fmt.Println()
+		report(fmt.Sprintf("InfiniCache + hot tier (%d MB cap)", *hot>>20), hotRes)
+		fmt.Printf("\nhot tier saves $%.2f of serving cost (%.1fx cheaper serving)\n",
+			res.ServingCost-hotRes.ServingCost, res.ServingCost/hotRes.ServingCost)
 	}
 
 	ec := sim.RunElastiCache("cache.r5.24xlarge", trace, *seed+1)

@@ -1,9 +1,10 @@
 // ic-tracegen synthesises IBM-Docker-registry-like traces (Figure 1
-// characteristics) and writes them as CSV.
+// characteristics) and writes them in any supported trace format.
 //
 // Usage:
 //
 //	ic-tracegen [-hours 50] [-objects 18000] [-rate 3654] [-large-only]
+//	            [-max-size bytes] [-format csv|ibmdocker|azure]
 //	            [-seed 1] [-o trace.csv]
 package main
 
@@ -12,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"infinicache/internal/workload"
@@ -22,31 +24,46 @@ func main() {
 	objects := flag.Int("objects", 0, "catalogue size (0 = Dallas-like default)")
 	rate := flag.Float64("rate", 0, "mean GETs per hour (0 = default 3654)")
 	largeOnly := flag.Bool("large-only", false, "only objects >= 10 MB")
+	maxSize := flag.Int64("max-size", 0, "cap object sizes in bytes (0 = default 4 GB)")
+	format := flag.String("format", "csv",
+		"output format: "+strings.Join(workload.Formats(), ", "))
+	quantize := flag.Duration("quantize", 0,
+		"round record times to this granularity (formats with coarse tick resolution)")
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("o", "trace.csv", "output file (- for stdout)")
 	flag.Parse()
 
+	f, err := workload.ParseFormat(*format)
+	if err != nil {
+		log.Fatal(err)
+	}
 	tr := workload.Generate(workload.Config{
 		Objects:         *objects,
 		Duration:        time.Duration(*hours) * time.Hour,
 		MeanGetsPerHour: *rate,
 		LargeOnly:       *largeOnly,
+		MaxObjectBytes:  *maxSize,
 		Seed:            *seed,
 	})
+	if *quantize > 0 {
+		for i := range tr.Records {
+			tr.Records[i].Time = tr.Records[i].Time.Round(*quantize)
+		}
+	}
 	st := tr.ComputeStats()
 	fmt.Fprintf(os.Stderr, "generated %d records, %d objects, WSS %d GB, %.0f GETs/hour, %.0f%% large bytes\n",
 		st.Records, st.DistinctObjects, st.WorkingSetBytes>>30, st.GetsPerHour, st.LargeBytePct*100)
 
 	w := os.Stdout
 	if *out != "-" {
-		f, err := os.Create(*out)
+		file, err := os.Create(*out)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		w = f
+		defer file.Close()
+		w = file
 	}
-	if err := tr.WriteCSV(w); err != nil {
+	if err := workload.WriteTrace(f, w, tr); err != nil {
 		log.Fatal(err)
 	}
 }

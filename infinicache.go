@@ -74,6 +74,10 @@ type Config struct {
 	// TimeScale compresses virtual time (e.g. 0.01 runs 100x faster
 	// than the wall clock); 0 means real time.
 	TimeScale float64
+	// Clock overrides the deployment clock entirely (wins over
+	// TimeScale). Harnesses use this to drive a deployment on a
+	// hand-stepped vclock.Manual for deterministic replay.
+	Clock vclock.Clock
 	// HotTierBytes enables a proxy-resident hot-object tier of that
 	// many bytes per proxy: GETs for small, frequently-read objects are
 	// served straight from proxy memory instead of paying the d+p chunk
@@ -160,6 +164,10 @@ func WithReclaimPolicy(p lambdaemu.ReclaimPolicy) Option {
 // WithTimeScale compresses virtual time (0.01 = 100x faster).
 func WithTimeScale(s float64) Option { return func(c *Config) { c.TimeScale = s } }
 
+// WithClock runs the deployment on an explicit clock (wins over
+// WithTimeScale); pass a *vclock.Manual for deterministic tests.
+func WithClock(clk vclock.Clock) Option { return func(c *Config) { c.Clock = clk } }
+
 // WithTimeout bounds each client operation (the default for clients
 // made by NewClient; override per client with ClientTimeout).
 func WithTimeout(d time.Duration) Option { return func(c *Config) { c.RequestTimeout = d } }
@@ -217,6 +225,10 @@ var (
 	ErrLost = client.ErrLost
 	// ErrTimeout: the operation outlived the request timeout.
 	ErrTimeout = client.ErrTimeout
+	// ErrRejected: the proxy refused the request even after the
+	// client's internal retries (e.g. a chunk-timeout window during a
+	// racing write or backup swap); reload from the backing store.
+	ErrRejected = client.ErrRejected
 	// ErrReleased: an Object was used after Release.
 	ErrReleased = client.ErrReleased
 )
@@ -262,6 +274,7 @@ func NewFromConfig(cfg Config) (*Cache, error) {
 		BackupInterval:    cfg.BackupInterval,
 		ReclaimPolicy:     cfg.ReclaimPolicy,
 		TimeScale:         cfg.TimeScale,
+		Clock:             cfg.Clock,
 		RequestTimeout:    cfg.RequestTimeout,
 		EnableRecovery:    cfg.EnableRecovery,
 		Seed:              cfg.Seed,

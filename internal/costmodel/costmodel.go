@@ -24,6 +24,7 @@ const (
 // paper's era; $10.368/hour x 50 hours reproduces the paper's $518.40
 // for cache.r5.24xlarge; smaller sizes scale linearly).
 var ElastiCachePricePerHour = map[string]float64{
+	"cache.r5.large":    0.216,
 	"cache.r5.xlarge":   0.432,
 	"cache.r5.8xlarge":  3.456,
 	"cache.r5.24xlarge": 10.368,
@@ -32,6 +33,7 @@ var ElastiCachePricePerHour = map[string]float64{
 // ElastiCacheMemoryGB maps instance types to usable memory (the paper
 // quotes 635.61 GB for r5.24xlarge).
 var ElastiCacheMemoryGB = map[string]float64{
+	"cache.r5.large":    13.07,
 	"cache.r5.xlarge":   26.32,
 	"cache.r5.8xlarge":  209.55,
 	"cache.r5.24xlarge": 635.61,

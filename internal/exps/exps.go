@@ -79,6 +79,15 @@ func canonicalSim(backup time.Duration) sim.Config {
 	}
 }
 
+// canonicalSimHot is canonicalSim plus the PR 5 proxy-resident
+// hot-object tier (4 GiB per pool, 1 MiB admission cap), the
+// configuration behind the hot-enabled comparison columns.
+func canonicalSimHot(backup time.Duration) sim.Config {
+	cfg := canonicalSim(backup)
+	cfg.HotTierBytes = 4 << 30
+	return cfg
+}
+
 // Figure1 reports the trace characteristics: object-size CDF, byte
 // footprint CDF, access-count CDF for >10 MB objects, and reuse-interval
 // CDF for >10 MB objects.
@@ -235,6 +244,7 @@ func Figure13(hours int, seed int64) string {
 
 	ec := sim.RunElastiCache("cache.r5.24xlarge", tr, seed+1)
 	icAll := sim.Run(canonicalSim(5*time.Minute), tr)
+	icAllHot := sim.Run(canonicalSimHot(5*time.Minute), tr)
 	icLarge := sim.Run(canonicalSim(5*time.Minute), large)
 	icNoBak := sim.Run(canonicalSim(0), large)
 
@@ -243,6 +253,8 @@ func Figure13(hours int, seed int64) string {
 	rows := [][]string{
 		{"ElastiCache (r5.24xlarge)", fmt.Sprintf("$%.2f", ec.TotalCost), "(paper: $518.40)"},
 		{"InfiniCache (all objects)", fmt.Sprintf("$%.2f", icAll.TotalCost()), "(paper: $20.52)"},
+		{"InfiniCache (all, hot tier)", fmt.Sprintf("$%.2f", icAllHot.TotalCost()),
+			fmt.Sprintf("(%d hot hits)", icAllHot.HotHits)},
 		{"InfiniCache (large only)", fmt.Sprintf("$%.2f", icLarge.TotalCost()), "(paper: $16.51)"},
 		{"InfiniCache (large, no backup)", fmt.Sprintf("$%.2f", icNoBak.TotalCost()), "(paper: $5.41)"},
 	}
@@ -305,7 +317,9 @@ func Table1(hours int, seed int64) string {
 	ecAll := sim.RunElastiCache("cache.r5.24xlarge", tr, seed+1)
 	ecLarge := sim.RunElastiCache("cache.r5.24xlarge", large, seed+1)
 	icAll := sim.Run(canonicalSim(5*time.Minute), tr)
+	icAllHot := sim.Run(canonicalSimHot(5*time.Minute), tr)
 	icLarge := sim.Run(canonicalSim(5*time.Minute), large)
+	icLargeHot := sim.Run(canonicalSimHot(5*time.Minute), large)
 	icNoBak := sim.Run(canonicalSim(0), large)
 
 	var b strings.Builder
@@ -316,17 +330,21 @@ func Table1(hours int, seed int64) string {
 			fmt.Sprintf("%.0f", allStats.GetsPerHour),
 			fmt.Sprintf("%.1f%%", ecAll.HitRatio()*100),
 			fmt.Sprintf("%.1f%%", icAll.HitRatio()*100),
+			fmt.Sprintf("%.1f%%", icAllHot.HitRatio()*100),
 			"-"},
 		{"Large obj. only",
 			fmt.Sprintf("%d GB", largeStats.WorkingSetBytes>>30),
 			fmt.Sprintf("%.0f", largeStats.GetsPerHour),
 			fmt.Sprintf("%.1f%%", ecLarge.HitRatio()*100),
 			fmt.Sprintf("%.1f%%", icLarge.HitRatio()*100),
+			fmt.Sprintf("%.1f%%", icLargeHot.HitRatio()*100),
 			fmt.Sprintf("%.1f%%", icNoBak.HitRatio()*100)},
 	}
 	b.WriteString(stats.Table(
-		[]string{"Workload", "WSS", "Thpt(GET/h)", "EC hit", "IC hit", "IC w/o backup"}, rows))
+		[]string{"Workload", "WSS", "Thpt(GET/h)", "EC hit", "IC hit", "IC+hot hit", "IC w/o backup"}, rows))
 	b.WriteString("\npaper: WSS 1,169/1,036 GB; thpt 3,654/750; EC 67.9/65.9%; IC 64.7/63.6%; IC w/o backup 56.1%\n")
+	fmt.Fprintf(&b, "hot tier (4 GiB, 1 MiB cap): %.1f%% of all-object GETs served from proxy memory; none for large-only (admission cap)\n",
+		100*float64(icAllHot.HotHits)/float64(max(icAllHot.Gets, 1)))
 	return b.String()
 }
 

@@ -10,14 +10,49 @@ import (
 	"infinicache/internal/vclock"
 )
 
-func fastPlatform(policy ReclaimPolicy) *Platform {
-	return New(Config{
-		Clock:           vclock.NewScaled(0.001), // 1000x compression
+// pumpedClock builds a hand-stepped clock plus a pumper goroutine that
+// advances virtual time in small steps whenever something is blocked on
+// the clock (the internal/core/backup_test.go pattern). Unlike a Scaled
+// clock, no virtual deadline can expire while real work — goroutine
+// scheduling, channel handoffs — is still in flight, so billing and
+// reclaim assertions stay exact under -race and -count N. The pumper
+// outlives any platform built afterwards (cleanup LIFO order), so
+// shutdown paths sleeping on the clock still wake.
+func pumpedClock(t *testing.T) *vclock.Manual {
+	t.Helper()
+	clk := vclock.NewManual(time.Unix(0, 0))
+	stop := make(chan struct{})
+	var pumper sync.WaitGroup
+	pumper.Add(1)
+	go func() {
+		defer pumper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if clk.Waiters() > 0 {
+				clk.Advance(5 * time.Millisecond) // virtual
+			}
+			time.Sleep(200 * time.Microsecond) // real: let woken goroutines run
+		}
+	}()
+	t.Cleanup(func() { close(stop); pumper.Wait() })
+	return clk
+}
+
+func fastPlatform(t *testing.T, policy ReclaimPolicy) *Platform {
+	t.Helper()
+	p := New(Config{
+		Clock:           pumpedClock(t),
 		ColdStartDelay:  time.Millisecond,
 		WarmInvokeDelay: time.Millisecond,
 		ReclaimPolicy:   policy,
 		Seed:            1,
 	})
+	t.Cleanup(p.Close)
+	return p
 }
 
 func TestRegisterValidation(t *testing.T) {
@@ -38,16 +73,14 @@ func TestRegisterValidation(t *testing.T) {
 }
 
 func TestInvokeUnknownFunction(t *testing.T) {
-	p := fastPlatform(nil)
-	defer p.Close()
+	p := fastPlatform(t, nil)
 	if err := p.Invoke("ghost", nil); err == nil {
 		t.Fatal("invoking unknown function succeeded")
 	}
 }
 
 func TestWarmStateSurvivesBetweenInvocations(t *testing.T) {
-	p := fastPlatform(nil)
-	defer p.Close()
+	p := fastPlatform(t, nil)
 	got := make(chan int, 10)
 	_, err := p.Register("counter", FunctionConfig{MemoryMB: 256}, func(ctx *Context, _ []byte) {
 		n, _ := ctx.Locals()["n"].(int)
@@ -77,8 +110,7 @@ func TestWarmStateSurvivesBetweenInvocations(t *testing.T) {
 }
 
 func TestAutoScalingSpawnsPeerReplica(t *testing.T) {
-	p := fastPlatform(nil)
-	defer p.Close()
+	p := fastPlatform(t, nil)
 	block := make(chan struct{})
 	started := make(chan string, 4)
 	_, err := p.Register("busy", FunctionConfig{MemoryMB: 256}, func(ctx *Context, _ []byte) {
@@ -107,8 +139,7 @@ func TestAutoScalingSpawnsPeerReplica(t *testing.T) {
 }
 
 func TestBinPackingFirstFit(t *testing.T) {
-	p := fastPlatform(nil)
-	defer p.Close()
+	p := fastPlatform(t, nil)
 	var wg sync.WaitGroup
 	// 256 MB functions: 11 fit on a 3008 MB host.
 	for i := 0; i < 11; i++ {
@@ -141,8 +172,7 @@ func TestBinPackingFirstFit(t *testing.T) {
 
 func TestLargeFunctionsGetExclusiveHosts(t *testing.T) {
 	// §3.1: with >= 1.5 GB functions every VM host is exclusive.
-	p := fastPlatform(nil)
-	defer p.Close()
+	p := fastPlatform(t, nil)
 	var wg sync.WaitGroup
 	names := []string{"big0", "big1", "big2"}
 	for _, name := range names {
@@ -161,15 +191,10 @@ func TestLargeFunctionsGetExclusiveHosts(t *testing.T) {
 }
 
 func TestBillingLedgerRoundsUp(t *testing.T) {
-	// A gentler time compression than fastPlatform: at 1000x, scheduler
-	// noise of 1 ms wall time inflates to 1 s of virtual billed time.
-	p := New(Config{
-		Clock:           vclock.NewScaled(0.1),
-		ColdStartDelay:  time.Millisecond,
-		WarmInvokeDelay: time.Millisecond,
-		Seed:            1,
-	})
-	defer p.Close()
+	// On the pumped manual clock the handler's 130ms virtual sleep is
+	// exact — no scheduler noise can leak into the billed duration, so
+	// the ceil-to-100ms assertion is deterministic.
+	p := fastPlatform(t, nil)
 	done := make(chan struct{}, 1)
 	_, err := p.Register("work", FunctionConfig{MemoryMB: 1024}, func(ctx *Context, _ []byte) {
 		ctx.Clock().Sleep(130 * time.Millisecond) // virtual
@@ -205,8 +230,7 @@ func TestBillingLedgerRoundsUp(t *testing.T) {
 }
 
 func TestHandlerPanicIsContained(t *testing.T) {
-	p := fastPlatform(nil)
-	defer p.Close()
+	p := fastPlatform(t, nil)
 	_, err := p.Register("boom", FunctionConfig{MemoryMB: 128}, func(*Context, []byte) {
 		panic("function error")
 	})
@@ -228,8 +252,7 @@ func TestHandlerPanicIsContained(t *testing.T) {
 }
 
 func TestForceReclaimDropsStateAndSignalsDone(t *testing.T) {
-	p := fastPlatform(nil)
-	defer p.Close()
+	p := fastPlatform(t, nil)
 	ready := make(chan *Context, 1)
 	_, err := p.Register("victim", FunctionConfig{MemoryMB: 256}, func(ctx *Context, _ []byte) {
 		ctx.Locals()["data"] = "cached"
@@ -275,8 +298,7 @@ func TestForceReclaimDropsStateAndSignalsDone(t *testing.T) {
 }
 
 func TestReclaimFreesHostMemory(t *testing.T) {
-	p := fastPlatform(nil)
-	defer p.Close()
+	p := fastPlatform(t, nil)
 	var wg sync.WaitGroup
 	wg.Add(1)
 	if _, err := p.Register("a", FunctionConfig{MemoryMB: 1536}, func(*Context, []byte) { wg.Done() }); err != nil {
@@ -303,13 +325,13 @@ func TestReclaimFreesHostMemory(t *testing.T) {
 
 func TestReclaimTickPolicyDriven(t *testing.T) {
 	p := New(Config{
-		Clock:           vclock.NewScaled(0.0001),
+		Clock:           pumpedClock(t),
 		ColdStartDelay:  time.Millisecond,
 		WarmInvokeDelay: time.Millisecond,
 		Seed:            7,
 		ReclaimPolicy:   PoissonPerMinute{RatePerMinute: 1000}, // reclaim everything idle
 	})
-	defer p.Close()
+	t.Cleanup(p.Close)
 	var wg sync.WaitGroup
 	for i := 0; i < 5; i++ {
 		wg.Add(1)
@@ -322,23 +344,25 @@ func TestReclaimTickPolicyDriven(t *testing.T) {
 		}
 	}
 	wg.Wait()
-	// Let every instance settle to idle before ticking.
-	deadline := time.Now().Add(5 * time.Second)
-	reclaimed := 0
-	for time.Now().Before(deadline) && reclaimed < 5 {
-		reclaimed += p.ReclaimTick(1)
+	// Tick until everything is gone. The platform's own reclaim daemon
+	// (armed by the policy) may also fire on the pumped clock, so the
+	// assertion counts outcomes — instances gone, one reclaim-log entry
+	// each — rather than this loop's ReclaimTick return values.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && p.InstanceCount("") > 0 {
+		p.ReclaimTick(1)
 		time.Sleep(time.Millisecond)
 	}
-	if reclaimed != 5 {
-		t.Fatalf("policy reclaimed %d instances, want 5", reclaimed)
+	if c := p.InstanceCount(""); c != 0 {
+		t.Fatalf("%d alive instances remain", c)
 	}
-	if p.InstanceCount("") != 0 {
-		t.Fatal("alive instances remain")
+	if got := len(p.ReclaimLog()); got != 5 {
+		t.Fatalf("reclaim log has %d entries, want 5 (one per instance)", got)
 	}
 }
 
 func TestCloseIsIdempotentAndStopsInvokes(t *testing.T) {
-	p := fastPlatform(PoissonPerMinute{RatePerMinute: 0.1})
+	p := fastPlatform(t, PoissonPerMinute{RatePerMinute: 0.1})
 	if _, err := p.Register("f", FunctionConfig{MemoryMB: 128}, func(*Context, []byte) {}); err != nil {
 		t.Fatal(err)
 	}
@@ -353,8 +377,7 @@ func TestCloseIsIdempotentAndStopsInvokes(t *testing.T) {
 }
 
 func TestConcurrentInvocationsAreAllBilled(t *testing.T) {
-	p := fastPlatform(nil)
-	defer p.Close()
+	p := fastPlatform(t, nil)
 	var ran atomic.Int64
 	if _, err := p.Register("f", FunctionConfig{MemoryMB: 128}, func(*Context, []byte) {
 		ran.Add(1)

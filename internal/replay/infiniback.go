@@ -1,0 +1,121 @@
+package replay
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"infinicache"
+	"infinicache/internal/costmodel"
+)
+
+// InfiniCacheBackend replays against a running infinicache.Cache
+// deployment through the public client API. The Cache stays owned by
+// the caller (so a harness can share one deployment between replay and
+// direct inspection); Close releases only the backend's client.
+type InfiniCacheBackend struct {
+	cache  *infinicache.Cache
+	client *infinicache.Client
+}
+
+// NewInfiniCache wraps an existing deployment. The backend opens its
+// own client (clients are concurrency-safe, so one serves all replay
+// sessions) configured by opts.
+func NewInfiniCache(cache *infinicache.Cache, opts ...infinicache.ClientOption) (*InfiniCacheBackend, error) {
+	cl, err := cache.NewClient(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &InfiniCacheBackend{cache: cache, client: cl}, nil
+}
+
+func (b *InfiniCacheBackend) Get(ctx context.Context, key string) (bool, error) {
+	obj, err := b.client.GetObject(ctx, key)
+	switch {
+	case err == nil:
+		obj.Release()
+		return true, nil
+	case errors.Is(err, infinicache.ErrMiss):
+		return false, nil
+	// A proxy rejection after the client's internal retries (typically
+	// a GET racing an in-flight write of the same key, or a backup
+	// connection swap) has the same client-visible meaning as a lost
+	// object: the cache cannot produce it, refetch from the backing
+	// store. The engine's single-flight map keeps the RESET-triggered
+	// re-insert from duplicating a racing backfill.
+	case errors.Is(err, infinicache.ErrLost), errors.Is(err, infinicache.ErrRejected):
+		return false, fmt.Errorf("%w: %v", ErrLost, err)
+	default:
+		return false, err
+	}
+}
+
+func (b *InfiniCacheBackend) Put(ctx context.Context, key string, size int64) error {
+	return b.client.PutCtx(ctx, key, payload(size))
+}
+
+// MGet serves a batch of keys as one pipelined burst per owning proxy.
+func (b *InfiniCacheBackend) MGet(ctx context.Context, keys []string) []GetStatus {
+	out := make([]GetStatus, len(keys))
+	for i, r := range b.client.MGet(ctx, keys...) {
+		switch {
+		case r.Err == nil:
+			r.Object.Release()
+			out[i] = GetStatus{Hit: true}
+		case errors.Is(r.Err, infinicache.ErrMiss):
+			out[i] = GetStatus{}
+		case errors.Is(r.Err, infinicache.ErrLost), errors.Is(r.Err, infinicache.ErrRejected):
+			out[i] = GetStatus{Err: fmt.Errorf("%w: %v", ErrLost, r.Err)}
+		default:
+			out[i] = GetStatus{Err: r.Err}
+		}
+	}
+	return out
+}
+
+// MPut stores a batch in one pipelined burst per owning proxy.
+func (b *InfiniCacheBackend) MPut(ctx context.Context, keys []string, sizes []int64) []error {
+	pairs := make([]infinicache.KV, len(keys))
+	for i, k := range keys {
+		var size int64
+		if i < len(sizes) {
+			size = sizes[i]
+		}
+		pairs[i] = infinicache.KV{Key: k, Value: payload(size)}
+	}
+	out := make([]error, len(keys))
+	for i, r := range b.client.MPut(ctx, pairs...) {
+		out[i] = r.Err
+	}
+	return out
+}
+
+// Cost prices the deployment's accrued Lambda usage — invocations plus
+// billed GB-seconds off the platform ledger, at the paper's public
+// AWS prices.
+func (b *InfiniCacheBackend) Cost() (float64, bool) {
+	return costmodel.LambdaCost(b.cache.Deployment().Platform.Ledger().Total()), true
+}
+
+// ReportLines surfaces the proxy-side hot-tier counters when the
+// deployment runs with WithHotTier.
+func (b *InfiniCacheBackend) ReportLines() []string {
+	var hits, misses, evictions int64
+	for _, p := range b.cache.Deployment().Proxies {
+		st := p.Stats()
+		hits += st.HotHits.Load()
+		misses += st.HotMisses.Load()
+		evictions += st.HotEvictions.Load()
+	}
+	if hits == 0 && evictions == 0 {
+		return nil
+	}
+	return []string{fmt.Sprintf(
+		"hot tier: %d hits / %d proxy GETs served from proxy memory (%d evictions)",
+		hits, hits+misses, evictions)}
+}
+
+// Close releases the backend's client; the deployment itself stays up.
+func (b *InfiniCacheBackend) Close() error {
+	return b.client.Close()
+}

@@ -1,0 +1,136 @@
+package replay
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"infinicache/internal/costmodel"
+	"infinicache/internal/rediscache"
+	"infinicache/internal/vclock"
+)
+
+// RedisConfig sizes the emulated ElastiCache cluster the RedisBackend
+// spins up.
+type RedisConfig struct {
+	// Clock paces the servers' NIC/service models (default wall clock);
+	// pass the replay clock so backend timing shares the run timeline.
+	Clock vclock.Clock
+	// Shards is the number of single-threaded cache servers (default 1).
+	Shards int
+	// MemoryBytes is the capacity per shard (default 4 GiB).
+	MemoryBytes int64
+	// InstanceType prices the cluster (default cache.r5.large).
+	InstanceType string
+}
+
+// RedisBackend replays against an in-process internal/rediscache
+// cluster — the paper's ElastiCache baseline. Cost is instance-hours:
+// shards x hourly price x ceil(virtual hours elapsed), the always-on
+// billing model InfiniCache's pay-per-use economics are compared
+// against.
+type RedisBackend struct {
+	cfg     RedisConfig
+	clk     vclock.Clock
+	start   int64 // UnixNano at construction, on clk
+	servers []*rediscache.Server
+	client  *rediscache.Client
+}
+
+// NewRedis starts the cluster and connects a sharding client.
+func NewRedis(cfg RedisConfig) (*RedisBackend, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.NewReal()
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.MemoryBytes <= 0 {
+		cfg.MemoryBytes = 4 << 30
+	}
+	if cfg.InstanceType == "" {
+		cfg.InstanceType = "cache.r5.large"
+	}
+	b := &RedisBackend{cfg: cfg, clk: cfg.Clock, start: cfg.Clock.Now().UnixNano()}
+	addrs := make([]string, 0, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		s, err := rediscache.NewServer(rediscache.ServerConfig{
+			Clock:       cfg.Clock,
+			MemoryBytes: cfg.MemoryBytes,
+		})
+		if err != nil {
+			b.Close()
+			return nil, err
+		}
+		b.servers = append(b.servers, s)
+		addrs = append(addrs, s.Addr())
+	}
+	cl, err := rediscache.NewClient(cfg.Clock, addrs)
+	if err != nil {
+		b.Close()
+		return nil, err
+	}
+	b.client = cl
+	return b, nil
+}
+
+func (b *RedisBackend) Get(_ context.Context, key string) (bool, error) {
+	_, err := b.client.Get(key)
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, rediscache.ErrMiss):
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
+func (b *RedisBackend) Put(_ context.Context, key string, size int64) error {
+	return b.client.Put(key, payload(size))
+}
+
+// Cost bills whole instance-hours of virtual time elapsed since the
+// cluster started, for every shard — reserved capacity is charged
+// whether or not the trace touched it.
+func (b *RedisBackend) Cost() (float64, bool) {
+	hourly := costmodel.ElastiCacheHourly(b.cfg.InstanceType)
+	if hourly == 0 {
+		return 0, false
+	}
+	elapsed := float64(b.clk.Now().UnixNano()-b.start) / float64(3600e9)
+	hours := math.Ceil(elapsed)
+	if hours < 1 {
+		hours = 1
+	}
+	return hours * hourly * float64(b.cfg.Shards), true
+}
+
+// ReportLines surfaces server-side hit/miss/eviction counters.
+func (b *RedisBackend) ReportLines() []string {
+	var hits, misses, evictions int64
+	for _, s := range b.servers {
+		h, m, e := s.Stats()
+		hits += h
+		misses += m
+		evictions += e
+	}
+	return []string{fmt.Sprintf(
+		"redis cluster: %d shards x %s (%d MB each); server-side %d hits, %d misses, %d evictions",
+		b.cfg.Shards, b.cfg.InstanceType, b.cfg.MemoryBytes>>20, hits, misses, evictions)}
+}
+
+// Close tears down the client and every server.
+func (b *RedisBackend) Close() error {
+	if b.client != nil {
+		b.client.Close()
+	}
+	var firstErr error
+	for _, s := range b.servers {
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

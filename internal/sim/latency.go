@@ -47,6 +47,15 @@ func (lm *latencyModel) infiniCache(size int64, d int, nodeBandwidth float64, de
 	return lat
 }
 
+// Hot-tier GET latency: proxy-memory chunks replayed straight down the
+// client connection — no invoke, no node transfer. Calibrated to the
+// PR 5 in-process measurements (~20 us for 1 KiB, ~0.66 ms for 1 MiB).
+func (lm *latencyModel) hotTier(size int64) time.Duration {
+	const floor = 20 * time.Microsecond
+	const bandwidth = 1.6e9 // proxy memory -> client copy rate
+	return lm.jitter(floor+time.Duration(float64(size)/bandwidth*float64(time.Second)), 0.10)
+}
+
 // ElastiCache GET latency (one big instance).
 func (lm *latencyModel) elastiCache(size int64) time.Duration {
 	const floor = 600 * time.Microsecond

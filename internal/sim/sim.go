@@ -40,6 +40,14 @@ type Config struct {
 	// the delta-sync must walk the resident set, which is why backup
 	// cost grows with cached bytes (§5.2). Default 2 GB/s.
 	MetaScanRate float64
+	// HotTierBytes enables the proxy-resident hot-object tier model
+	// with the given byte capacity (0 disables it, the pre-PR-5
+	// behaviour). Hot hits are served from proxy memory: no chunk
+	// fan-out, no Lambda invocations, no serving cost.
+	HotTierBytes int64
+	// HotMaxObjectBytes is the tier's admission size threshold
+	// (default 1 MiB, matching the live WithHotTierMaxObject default).
+	HotMaxObjectBytes int64
 	// CorrelatedWipeProb is the chance that a reclaim of a backed-up
 	// node takes both replicas at once: peer replicas of one function
 	// frequently share a VM host (greedy bin-packing), and the provider
@@ -66,6 +74,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MetaScanRate == 0 {
 		c.MetaScanRate = 2e9
+	}
+	if c.HotTierBytes > 0 && c.HotMaxObjectBytes == 0 {
+		c.HotMaxObjectBytes = 1 << 20
 	}
 	if c.CorrelatedWipeProb == 0 {
 		c.CorrelatedWipeProb = 0.3
@@ -106,6 +117,7 @@ type nodeState struct {
 type HourBucket struct {
 	Gets       int
 	Hits       int
+	HotHits    int // subset of Hits served by the hot-tier model
 	ColdMisses int
 	Resets     int // loss-triggered reloads (Figure 14 RESET)
 	Recoveries int // chunk re-inserts after degraded reads (Figure 14)
@@ -125,6 +137,7 @@ type Result struct {
 
 	Gets       int
 	Hits       int
+	HotHits    int // subset of Hits served by the hot-tier model
 	ColdMisses int
 	Resets     int
 	Recoveries int
@@ -184,12 +197,21 @@ func Run(cfg Config, trace *workload.Trace) *Result {
 	d, p := cfg.DataShards, cfg.ParityShards
 	total := d + p
 
+	var hot *hotModel
+	if cfg.HotTierBytes > 0 {
+		hot = newHotModel(cfg.HotTierBytes, cfg.HotMaxObjectBytes, d)
+	}
+
 	// Pool-level accounting (§3.2: eviction triggers on pool pressure).
 	poolCap := nodeCap * int64(cfg.Nodes)
 	var poolUsed int64
 
-	// dropObject releases an object's accounting.
+	// dropObject releases an object's accounting. As in the live proxy,
+	// every mapping-entry drop also invalidates the hot tier.
 	drop := func(key string) {
+		if hot != nil {
+			hot.invalidate(key)
+		}
 		o := objects[key]
 		if o == nil {
 			return
@@ -215,6 +237,13 @@ func Run(cfg Config, trace *workload.Trace) *Result {
 	insert := func(key string, size int64, now time.Duration) {
 		if o := objects[key]; o != nil {
 			drop(key)
+		}
+		// Write-through tier admission: beginPut invalidates before any
+		// chunk lands and decides admission (resident or ghost-known,
+		// and under maxObj).
+		hotAdmit := false
+		if hot != nil {
+			hotAdmit = hot.beginPut(key, size)
 		}
 		chunk := chunkSize(size, d)
 		need := chunk * int64(total)
@@ -253,6 +282,9 @@ func Run(cfg Config, trace *workload.Trace) *Result {
 			float64(total)*dur.Seconds()*pool.MemoryGB*costmodel.PricePerGBSecond
 		res.ServingCost += cost
 		bucket(now).ServingCost += cost
+		if hotAdmit {
+			hot.insert(key, size)
+		}
 	}
 
 	// reclaimNode models the provider killing one instance of a node:
@@ -359,6 +391,31 @@ func Run(cfg Config, trace *workload.Trace) *Result {
 		b := bucket(rec.Time)
 		b.Gets++
 
+		// Hot tier first, as in the live session: a resident entry is
+		// served from proxy memory even when pool chunks were lost, and
+		// costs nothing (no invocations, no node transfer).
+		hotCapture := false
+		if hot != nil {
+			hit, capture := hot.get(rec.Key)
+			if hit {
+				o := objects[rec.Key]
+				size := rec.Size
+				if o != nil {
+					size = o.size
+				}
+				res.Hits++
+				b.Hits++
+				res.HotHits++
+				b.HotHits++
+				lru.Touch(rec.Key)
+				lat := lm.hotTier(size)
+				res.LatencySeconds = append(res.LatencySeconds, lat.Seconds())
+				res.Sizes = append(res.Sizes, size)
+				continue
+			}
+			hotCapture = capture
+		}
+
 		o := objects[rec.Key]
 		switch {
 		case o != nil && o.presentChunks() >= d:
@@ -377,6 +434,11 @@ func Run(cfg Config, trace *workload.Trace) *Result {
 			cost := n*costmodel.PricePerInvocation + n*dur.Seconds()*pool.MemoryGB*costmodel.PricePerGBSecond
 			res.ServingCost += cost
 			b.ServingCost += cost
+			// Read-through tier admission: a ghost-warm GET captures the
+			// first d data chunks as they stream through the proxy.
+			if hotCapture && o.size <= hot.maxObj {
+				hot.insert(rec.Key, o.size)
+			}
 			if missing > 0 {
 				// EC recovery: reconstruct and re-insert lost chunks.
 				res.Recoveries += missing

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Format names a trace serialisation. Three are supported:
+//
+//   - FormatCSV: the repo's native timestamp_ns,op,key,size_bytes layout
+//     (csv.go);
+//   - FormatIBMDocker: JSON-lines in the shape of the published IBM
+//     Docker-registry traces the paper replays in §5.2 (ibmdocker.go);
+//   - FormatAzure: the Azure Functions blob-access CSV layout used by
+//     the Faa$T line of work (azure.go).
+//
+// Readers normalise to the in-memory Trace contract: records sorted by
+// time, times as offsets from the first event, and a complete object
+// catalogue.
+type Format string
+
+// Supported formats.
+const (
+	FormatCSV       Format = "csv"
+	FormatIBMDocker Format = "ibmdocker"
+	FormatAzure     Format = "azure"
+)
+
+// Formats lists the supported format names for flag help text.
+func Formats() []string {
+	return []string{string(FormatCSV), string(FormatIBMDocker), string(FormatAzure)}
+}
+
+// ParseFormat validates a format name from a flag.
+func ParseFormat(s string) (Format, error) {
+	switch Format(strings.ToLower(s)) {
+	case FormatCSV:
+		return FormatCSV, nil
+	case FormatIBMDocker:
+		return FormatIBMDocker, nil
+	case FormatAzure:
+		return FormatAzure, nil
+	}
+	return "", fmt.Errorf("workload: unknown trace format %q (have %s)",
+		s, strings.Join(Formats(), ", "))
+}
+
+// ReadTrace parses a trace in the named format and normalises record
+// order (real traces are frequently written by concurrent frontends and
+// arrive with mildly out-of-order timestamps).
+func ReadTrace(f Format, r io.Reader) (*Trace, error) {
+	var (
+		t   *Trace
+		err error
+	)
+	switch f {
+	case FormatCSV:
+		t, err = ReadCSV(r)
+	case FormatIBMDocker:
+		t, err = ReadIBMDocker(r)
+	case FormatAzure:
+		t, err = ReadAzure(r)
+	default:
+		return nil, fmt.Errorf("workload: unknown trace format %q", f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	normalize(t)
+	return t, nil
+}
+
+// WriteTrace serialises a trace in the named format.
+func WriteTrace(f Format, w io.Writer, t *Trace) error {
+	switch f {
+	case FormatCSV:
+		return t.WriteCSV(w)
+	case FormatIBMDocker:
+		return t.WriteIBMDocker(w)
+	case FormatAzure:
+		return t.WriteAzure(w)
+	}
+	return fmt.Errorf("workload: unknown trace format %q", f)
+}
+
+// normalize sorts records by time (stable, so simultaneous events keep
+// file order) and rebases offsets so the first record is at zero.
+func normalize(t *Trace) {
+	if len(t.Records) == 0 {
+		return
+	}
+	sort.SliceStable(t.Records, func(i, j int) bool {
+		return t.Records[i].Time < t.Records[j].Time
+	})
+	if base := t.Records[0].Time; base != 0 {
+		for i := range t.Records {
+			t.Records[i].Time -= base
+		}
+	}
+}
