@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net"
 	"strings"
@@ -623,6 +624,125 @@ func BenchmarkAvailabilityModel(b *testing.B) {
 			b.Fatal("analysis missing")
 		}
 	}
+}
+
+// TestHotGetSingleWrite pins the hot tier's wire-plane property end to
+// end: one tier hit for a large object (chunks at or above VectoredMin)
+// reaches the client in exactly ONE proxy-side socket write — the
+// precomputed wire image ships headers and all d pinned chunk payloads
+// as a single vectored writev. Before prebuilt images the same hit cost
+// one Forward per chunk (d vectored writes).
+func TestHotGetSingleWrite(t *testing.T) {
+	c, _, px := benchStack(t, nil, 64<<20)
+	ctx := context.Background()
+	obj := make([]byte, 1<<20) // RS(10+2): ~105 KiB chunks, all pinned
+	rand.New(rand.NewSource(2)).Read(obj)
+	// Two PUTs write-through-admit the object; the priming GET proves
+	// the entry is resident before the measured hit.
+	for i := 0; i < 2; i++ {
+		if err := c.PutCtx(ctx, "single-write-obj", obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.GetCtx(ctx, "single-write-obj"); err != nil {
+		t.Fatal(err)
+	}
+	startHits := px.Stats().HotHits.Load()
+	startWire := px.WireSnapshot()
+	if _, err := c.GetCtx(ctx, "single-write-obj"); err != nil {
+		t.Fatal(err)
+	}
+	if got := px.Stats().HotHits.Load() - startHits; got != 1 {
+		t.Fatalf("measured GET made %d tier hits, want 1", got)
+	}
+	wire := px.WireSnapshot()
+	if got := wire.Flushes - startWire.Flushes; got != 1 {
+		t.Fatalf("hot 1MiB GET cost %d proxy socket writes, want exactly 1", got)
+	}
+	if got := wire.Vectored - startWire.Vectored; got != 1 {
+		t.Fatalf("hot 1MiB GET cost %d vectored writes, want exactly 1", got)
+	}
+}
+
+// TestRequestPlaneAllocPins pins allocations per operation on the live
+// loopback stack with testing.AllocsPerRun, so an alloc regression on
+// the request plane fails CI instead of silently eroding throughput.
+// The pins carry slack over the measured steady state (hot GET/1KiB
+// measures 8 allocs/op, cold GET/1KiB 100, PUT/1KiB 165); each limit is
+// the acceptance bound, not the measurement.
+func TestRequestPlaneAllocPins(t *testing.T) {
+	ctx := context.Background()
+	obj := make([]byte, 1<<10)
+	rand.New(rand.NewSource(3)).Read(obj)
+
+	// Min over a few attempts: a GC pass mid-window empties the
+	// sync.Pools and re-charges their refills to whichever run is
+	// unlucky; the minimum is the steady state the pin governs.
+	measure := func(t *testing.T, runs int, fn func()) float64 {
+		t.Helper()
+		best := math.MaxFloat64
+		for attempt := 0; attempt < 3; attempt++ {
+			if a := testing.AllocsPerRun(runs, fn); a < best {
+				best = a
+			}
+		}
+		return best
+	}
+
+	t.Run("GEThot/1KiB", func(t *testing.T) {
+		c, _, px := benchStack(t, nil, 64<<20)
+		for i := 0; i < 2; i++ {
+			if err := c.PutCtx(ctx, "alloc-obj", obj); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := c.GetCtx(ctx, "alloc-obj"); err != nil {
+			t.Fatal(err)
+		}
+		startHits := px.Stats().HotHits.Load()
+		got := measure(t, 100, func() {
+			if _, err := c.GetCtx(ctx, "alloc-obj"); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if px.Stats().HotHits.Load() == startHits {
+			t.Fatal("measured GETs were not tier hits")
+		}
+		if got > 10 {
+			t.Fatalf("hot GET/1KiB = %.1f allocs/op, want <= 10", got)
+		}
+	})
+	t.Run("GETcold/1KiB", func(t *testing.T) {
+		c, _ := benchRequestPlane(t)
+		if err := c.PutCtx(ctx, "alloc-obj", obj); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.GetCtx(ctx, "alloc-obj"); err != nil {
+			t.Fatal(err)
+		}
+		got := measure(t, 50, func() {
+			if _, err := c.GetCtx(ctx, "alloc-obj"); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got > 128 {
+			t.Fatalf("cold GET/1KiB = %.1f allocs/op, want <= 128", got)
+		}
+	})
+	t.Run("PUT/1KiB", func(t *testing.T) {
+		c, _ := benchRequestPlane(t)
+		if err := c.PutCtx(ctx, "alloc-obj", obj); err != nil {
+			t.Fatal(err)
+		}
+		got := measure(t, 50, func() {
+			if err := c.PutCtx(ctx, "alloc-obj", obj); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got > 200 {
+			t.Fatalf("PUT/1KiB = %.1f allocs/op, want <= 200", got)
+		}
+	})
 }
 
 // TestPutBurstFlushCount pins the wire plane's headline property: a

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"infinicache/internal/exps"
+	"infinicache/internal/gf256"
 )
 
 func main() {
@@ -21,6 +22,10 @@ func main() {
 	quick := flag.Bool("quick", false, "use the reduced grid")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
+
+	// The selected GF(256) kernel dominates EC encode/decode throughput,
+	// so every run records it next to its numbers.
+	fmt.Printf("gf256 kernel: %s\n", gf256.Kernel())
 
 	want := func(name string) bool {
 		return *fig == "all" || strings.EqualFold(*fig, name)

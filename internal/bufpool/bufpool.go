@@ -27,7 +27,16 @@ const (
 	maxBits = 26
 )
 
-var classes [maxBits + 1]sync.Pool
+// classes pool *[]byte boxes rather than bare slices: a pointer stores
+// directly in sync.Pool's interface word, so neither Put nor Get boxes
+// (the old []byte scheme allocated a slice-header box on every Put —
+// one GC'd allocation per recycled buffer, ~d per request on the chunk
+// path). Empty boxes shuttle through boxPool so the steady state
+// allocates nothing at all.
+var (
+	classes [maxBits + 1]sync.Pool
+	boxPool = sync.Pool{New: func() any { return new([]byte) }}
+)
 
 // Get returns a buffer of length n backed by a capacity of at least n.
 // The contents are unspecified.
@@ -42,7 +51,10 @@ func Get(n int) []byte {
 	if c > maxBits {
 		return make([]byte, n)
 	}
-	if b, ok := classes[c].Get().([]byte); ok {
+	if p, ok := classes[c].Get().(*[]byte); ok {
+		b := *p
+		*p = nil
+		boxPool.Put(p)
 		return b[:n]
 	}
 	return make([]byte, n, 1<<c)
@@ -57,7 +69,9 @@ func Put(b []byte) {
 	if c < minBits || c > maxBits {
 		return
 	}
-	classes[c].Put(b[:cap(b)]) //nolint:staticcheck // slices are pointer-shaped; the boxing alloc is accepted
+	p := boxPool.Get().(*[]byte)
+	*p = b[:cap(b)]
+	classes[c].Put(p)
 }
 
 // PutAll recycles every non-nil buffer in bufs and nils the entries,

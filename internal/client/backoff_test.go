@@ -1,0 +1,164 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"infinicache/internal/protocol"
+	"infinicache/internal/vclock"
+)
+
+// The tests in this file pin GetObject's adaptive overwrite-retry
+// policy: a busy-write transient (proxy epoch guard, TErr Args
+// {TransientFlag, TransientBusyWrite}) must wait out the write window
+// with a doubling virtual-time backoff (2 ms, then 4 ms), while a
+// node-failure transient (Args {TransientFlag, TransientNodeFailure})
+// must retry immediately with no clock wait at all.
+
+// backoffClient is testClient with a manual clock, so the test owns
+// every Clock.After the retry loop arms.
+func backoffClient(t *testing.T, addr string, mc *vclock.Manual) *Client {
+	t.Helper()
+	c, err := New(Config{
+		Proxies:        []ProxyInfo{{Addr: addr, PoolSize: 8}},
+		DataShards:     4,
+		ParityShards:   2,
+		Clock:          mc,
+		RequestTimeout: 10 * time.Second,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// waitClockWaiters blocks (in real time) until at least n goroutines
+// are parked on the manual clock.
+func waitClockWaiters(t *testing.T, mc *vclock.Manual, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for mc.Waiters() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("clock waiters = %d, want >= %d", mc.Waiters(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitAttempt blocks until the fake proxy has seen the n-th GET.
+func waitAttempt(t *testing.T, ch <-chan struct{}, n int) {
+	t.Helper()
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("proxy never saw GET attempt %d", n)
+	}
+}
+
+func TestBusyWriteBackoffDoubles(t *testing.T) {
+	var attempts atomic.Int32
+	attemptCh := make(chan struct{}, 8)
+	fp := newFakeProxy(t, func(c *protocol.Conn, m *protocol.Message) {
+		if m.Type == protocol.TGet {
+			n := attempts.Add(1)
+			if n <= 2 {
+				c.Send(&protocol.Message{
+					Type: protocol.TErr, Seq: m.Seq, Key: m.Key,
+					Args: []int64{protocol.TransientFlag, protocol.TransientBusyWrite},
+				})
+			} else {
+				c.Send(&protocol.Message{Type: protocol.TMiss, Seq: m.Seq, Key: m.Key})
+			}
+			attemptCh <- struct{}{}
+		}
+		m.Recycle()
+	})
+	mc := vclock.NewManual(time.Unix(0, 0))
+	c := backoffClient(t, fp.addr, mc)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.GetObject(context.Background(), "mid-overwrite")
+		done <- err
+	}()
+
+	// Attempt 1 is rejected busy; the retry loop must now be parked on
+	// After(2ms). Waiters: attempt 1's request timeout + the backoff.
+	waitAttempt(t, attemptCh, 1)
+	waitClockWaiters(t, mc, 2)
+	mc.Advance(time.Millisecond) // 1 of 2 ms — must NOT retry yet
+	time.Sleep(30 * time.Millisecond)
+	if n := attempts.Load(); n != 1 {
+		t.Fatalf("retry fired after 1ms of a 2ms backoff (attempts = %d)", n)
+	}
+	mc.Advance(time.Millisecond) // 2 of 2 ms — backoff elapses
+
+	// Attempt 2 is rejected busy again; the backoff must have doubled
+	// to 4ms. Waiters: two stale request timeouts + the new backoff.
+	waitAttempt(t, attemptCh, 2)
+	waitClockWaiters(t, mc, 3)
+	mc.Advance(3 * time.Millisecond) // 3 of 4 ms — must NOT retry yet
+	time.Sleep(30 * time.Millisecond)
+	if n := attempts.Load(); n != 2 {
+		t.Fatalf("retry fired after 3ms of a 4ms backoff (attempts = %d)", n)
+	}
+	mc.Advance(time.Millisecond) // 4 of 4 ms — second backoff elapses
+
+	// Attempt 3 gets a cold miss, which ends the retry loop.
+	waitAttempt(t, attemptCh, 3)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrMiss) {
+			t.Fatalf("GetObject = %v, want ErrMiss after backoff retries", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("GetObject still blocked after final attempt answered")
+	}
+	if n := attempts.Load(); n != 3 {
+		t.Fatalf("attempts = %d, want 3", n)
+	}
+}
+
+func TestNodeFailureRetriesImmediately(t *testing.T) {
+	var attempts atomic.Int32
+	fp := newFakeProxy(t, func(c *protocol.Conn, m *protocol.Message) {
+		if m.Type == protocol.TGet {
+			if attempts.Add(1) <= 2 {
+				c.Send(&protocol.Message{
+					Type: protocol.TErr, Seq: m.Seq, Key: m.Key,
+					Args: []int64{protocol.TransientFlag, protocol.TransientNodeFailure},
+				})
+			} else {
+				c.Send(&protocol.Message{Type: protocol.TMiss, Seq: m.Seq, Key: m.Key})
+			}
+		}
+		m.Recycle()
+	})
+	// The manual clock is never advanced: if the node-failure path armed
+	// any backoff, GetObject would park forever and the timeout below
+	// would fire.
+	mc := vclock.NewManual(time.Unix(0, 0))
+	c := backoffClient(t, fp.addr, mc)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.GetObject(context.Background(), "flaky-node")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrMiss) {
+			t.Fatalf("GetObject = %v, want ErrMiss after immediate retries", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("node-failure transient blocked on the clock; want immediate retry")
+	}
+	if n := attempts.Load(); n != 3 {
+		t.Fatalf("attempts = %d, want 3 (two transients + miss)", n)
+	}
+}

@@ -164,7 +164,7 @@ func (c *Client) mgetBurst(ctx context.Context, addr string, keys []string, idxs
 			}
 			st := states[msg.Seq]
 			if st == nil || st.done {
-				msg.Recycle() // straggler past first-d, or a stale frame
+				msg.Free() // straggler past first-d, or a stale frame
 				continue
 			}
 			// The per-frame state machine is the single-key one; only

@@ -403,13 +403,13 @@ func collectAcks[T any](c *Client, ctx context.Context, pc *proxyConn, ch chan *
 			}
 			tag, mine := seqIdx[resp.Seq]
 			if !mine {
-				resp.Recycle() // stale frame from an abandoned request
+				resp.Free() // stale frame from an abandoned request
 				continue
 			}
 			delete(seqIdx, resp.Seq)
 			pc.deregister(resp.Seq)
 			record(tag, resp)
-			resp.Recycle()
+			resp.Free()
 		case <-ctx.Done():
 			abandon()
 			return ctx.Err()
@@ -421,15 +421,27 @@ func collectAcks[T any](c *Client, ctx context.Context, pc *proxyConn, ch chan *
 	return nil
 }
 
-// errTransient marks proxy-reported conditions worth retrying (chunk
-// timeouts during backup connection swaps).
+// errTransient marks proxy-reported conditions worth retrying at once
+// (chunk timeouts during backup connection swaps).
 var errTransient = errors.New("client: transient proxy failure")
+
+// errBusyWrite marks the epoch-guard transient: the object is
+// mid-overwrite and stays unreadable until the in-flight PUT
+// generation commits. Retrying immediately just burns the retry budget
+// inside the same write window, so GetObject backs off first.
+var errBusyWrite = errors.New("client: object write in progress")
 
 // errConnClosed reports a proxy connection that died mid-operation.
 var errConnClosed = errors.New("client: connection closed")
 
 // getRetries is how many times a GET retries a transient failure.
 const getRetries = 3
+
+// busyWriteBackoff is the base delay before retrying a busy-write
+// transient; it doubles per consecutive busy-write attempt (2, 4 ms),
+// sized so a typical in-flight PUT window (an RTT plus d+p chunk acks)
+// has closed by the retry.
+const busyWriteBackoff = 2 * time.Millisecond
 
 // GetObject fetches an object as a zero-copy *Object handle: the
 // pooled first-d shard buffers are handed to the caller without the
@@ -444,9 +456,25 @@ func (c *Client) GetObject(ctx context.Context, key string) (*Object, error) {
 	c.stats.Gets.Add(1)
 	var err error
 	var obj *Object
+	backoff := busyWriteBackoff
 	for attempt := 0; attempt < getRetries; attempt++ {
 		obj, err = c.getOnce(ctx, key)
-		if !errors.Is(err, errTransient) {
+		switch {
+		case errors.Is(err, errBusyWrite):
+			// Adaptive overwrite-retry: the proxy said a PUT generation
+			// is mid-commit. Wait the window out (doubling per repeat)
+			// instead of re-asking inside it — an immediate retry would
+			// spend the whole budget on the same unreadable window.
+			select {
+			case <-c.cfg.Clock.After(backoff):
+				backoff *= 2
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		case errors.Is(err, errTransient):
+			// Node-side transient (timeout, backup swap): the fan-out
+			// path usually heals immediately; retry at once.
+		default:
 			return obj, err
 		}
 	}
@@ -494,18 +522,20 @@ func (c *Client) applyGetFrame(g *gather, msg *protocol.Message, d, total int) (
 		// loudly here — decoding with the wrong code returns garbage
 		// bytes with no error.
 		if fd, ft := int(msg.Arg(2)), int(msg.Arg(3)); fd != d || ft != total {
-			msg.Recycle()
+			msg.Free()
 			return true, fmt.Errorf("%w: object is RS(%d+%d) but this client speaks RS(%d+%d)",
 				ErrRejected, fd, ft-fd, d, total-d)
 		}
 		idx := int(msg.Arg(0))
 		if idx < 0 || idx >= total || g.obj.shards[idx] != nil {
-			msg.Recycle() // duplicate or out-of-range frame
+			msg.Free() // duplicate or out-of-range frame
 			return false, nil
 		}
 		g.obj.shards[idx] = msg.Payload // ownership moves to the handle
+		msg.Payload = nil
 		g.size = msg.Arg(1)
 		g.received++
+		msg.Free()
 		if g.received < d {
 			return false, nil
 		}
@@ -527,7 +557,7 @@ func (c *Client) applyGetFrame(g *gather, msg *protocol.Message, d, total int) (
 		return true, nil
 	case protocol.TMiss:
 		loss := msg.Arg(0) == 1
-		msg.Recycle()
+		msg.Free()
 		if loss {
 			c.stats.Losses.Add(1)
 			return true, ErrLost
@@ -535,15 +565,19 @@ func (c *Client) applyGetFrame(g *gather, msg *protocol.Message, d, total int) (
 		c.stats.ColdMisses.Add(1)
 		return true, ErrMiss
 	case protocol.TErr:
-		if msg.Arg(0) == 1 {
-			msg.Recycle()
+		if msg.Arg(0) == protocol.TransientFlag {
+			busy := msg.Arg(1) == protocol.TransientBusyWrite
+			msg.Free()
+			if busy {
+				return true, errBusyWrite
+			}
 			return true, errTransient
 		}
 		err = fmt.Errorf("%w: %s", ErrRejected, msg.Payload)
-		msg.Recycle()
+		msg.Free()
 		return true, err
 	default:
-		msg.Recycle()
+		msg.Free()
 		return false, nil
 	}
 }
@@ -661,7 +695,7 @@ func (c *Client) DelCtx(ctx context.Context, key string) error {
 			return errConnClosed
 		}
 		ok = resp.Type == protocol.TAck
-		resp.Recycle()
+		resp.Free()
 		if !ok {
 			return ErrRejected
 		}

@@ -83,7 +83,7 @@ func (pc *proxyConn) readLoop() {
 		}
 		pc.mu.Unlock()
 		if m != nil {
-			m.Recycle()
+			m.Free()
 		}
 	}
 }
@@ -140,7 +140,7 @@ func drainRecycle(ch chan *protocol.Message) {
 			if !ok {
 				return
 			}
-			m.Recycle()
+			m.Free()
 		default:
 			return
 		}

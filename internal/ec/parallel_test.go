@@ -4,7 +4,25 @@ import (
 	"bytes"
 	"math/rand"
 	"testing"
+
+	"infinicache/internal/gf256"
 )
+
+// perKernel runs fn once per gf256 backend available on this machine
+// (just "generic" under -tags noasm), restoring the detected backend
+// afterwards. It keeps the oracle comparisons honest for the asm
+// kernels too: the scalar-serial oracle never touches the SIMD path,
+// so running the fast codec under each backend pins them all to the
+// same bytes.
+func perKernel(t *testing.T, fn func(t *testing.T)) {
+	prev := gf256.Kernel()
+	defer gf256.SetKernel(prev)
+	for _, name := range gf256.Kernels() {
+		gf256.SetKernel(name)
+		t.Run("kernel="+name, fn)
+	}
+	gf256.SetKernel(prev)
+}
 
 // The tests in this file pin the vectorized, parallel data plane to the
 // serial byte-at-a-time configuration (WithScalarKernels +
@@ -26,6 +44,10 @@ func testObject(rng *rand.Rand, n int) []byte {
 }
 
 func TestEncodeMatchesScalarSerialOracle(t *testing.T) {
+	perKernel(t, testEncodeMatchesScalarSerialOracle)
+}
+
+func testEncodeMatchesScalarSerialOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for _, cfg := range equivConfigs {
 		codec, err := New(cfg.d, cfg.p)
@@ -89,6 +111,10 @@ func TestEncodeDirtyParityBuffers(t *testing.T) {
 // shards and checks that both the parallel and the oracle codec recover
 // the original shards exactly.
 func TestReconstructAllErasureCombos(t *testing.T) {
+	perKernel(t, testReconstructAllErasureCombos)
+}
+
+func testReconstructAllErasureCombos(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	for _, cfg := range []struct{ d, p int }{{4, 2}, {5, 1}, {10, 4}} {
 		codec, err := New(cfg.d, cfg.p)

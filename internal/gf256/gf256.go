@@ -120,7 +120,7 @@ func MulSlice(c byte, src, dst []byte) {
 	case 1:
 		copy(dst, src)
 	default:
-		mulSliceRow(c, src, dst)
+		mulSliceBest(c, src, dst)
 	}
 }
 
@@ -137,6 +137,6 @@ func MulAddSlice(c byte, src, dst []byte) {
 	case 1:
 		XorSlice(src, dst)
 	default:
-		mulAddSliceRow(c, src, dst)
+		mulAddSliceBest(c, src, dst)
 	}
 }

@@ -17,8 +17,12 @@ package gf256
 // portable fallbacks) is also implemented and tested below. Without a
 // SIMD shuffle to evaluate 16 lanes per instruction it measures *slower*
 // than the full row here (two dependent L1 loads per byte instead of
-// one), so the dispatch prefers the row kernel; the split kernels remain
-// as the drop-in bodies should assembly backends ever be added.
+// one), so the pure-Go dispatch prefers the row kernel. On amd64 the
+// split tables feed the real thing: kernels_amd64.s evaluates them 16
+// (SSSE3) or 32 (AVX2) lanes per PSHUFB, and the *Best indirections
+// below resolve there (see kernels_amd64.go; kernels_noasm.go routes
+// them back to the portable kernels under -tags noasm and on other
+// architectures).
 //
 // The one-byte-at-a-time loops these replace remain available as
 // MulSliceGeneric/MulAddSliceGeneric: they are the reference oracle for
@@ -34,6 +38,13 @@ var (
 	mulTableLow  [256][16]byte
 	mulTableHigh [256][16]byte
 )
+
+// sourcesBlock is the per-source pass length of the SIMD MulSources
+// decomposition (kernels_amd64.go): small enough that the accumulator
+// block stays in L1 across the per-source passes, large enough to
+// amortise each pass's setup. Declared here so the cross-backend parity
+// tests can probe the blocking boundary under every build tag.
+const sourcesBlock = 32 << 10
 
 // MulSources sets dst[lo:hi] = sum_k coefs[k] * srcs[k][lo:hi] — the
 // fused inner product of Reed-Solomon encode/reconstruct. Fusing all
@@ -51,6 +62,12 @@ func MulSources(coefs []byte, srcs [][]byte, dst []byte, lo, hi int) {
 	if len(coefs) != len(srcs) {
 		panic("gf256: MulSources coefficient/source count mismatch")
 	}
+	mulSourcesBest(coefs, srcs, dst, lo, hi)
+}
+
+// mulSourcesGo is the fused pure-Go body of MulSources: one pass over
+// the range with a 64-byte accumulator block held in registers.
+func mulSourcesGo(coefs []byte, srcs [][]byte, dst []byte, lo, hi int) {
 	nb := lo + ((hi - lo) &^ 63)
 	for ; lo < nb; lo += 64 {
 		var a0, a1, a2, a3, a4, a5, a6, a7 uint64
@@ -129,6 +146,11 @@ func XorSlice(src, dst []byte) {
 	if len(dst) != len(src) {
 		panic("gf256: XorSlice length mismatch")
 	}
+	xorSliceBest(src, dst)
+}
+
+// xorSliceGo is the word-at-a-time pure-Go body of XorSlice.
+func xorSliceGo(src, dst []byte) {
 	n := len(src) &^ 7
 	for i := 0; i < n; i += 8 {
 		v := binary.LittleEndian.Uint64(src[i:]) ^ binary.LittleEndian.Uint64(dst[i:])

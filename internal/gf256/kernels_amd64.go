@@ -1,0 +1,265 @@
+//go:build amd64 && !noasm
+
+package gf256
+
+import "sync/atomic"
+
+// This file is the amd64 dispatch layer over the shuffle-based SIMD
+// kernels in kernels_amd64.s. Three levels exist:
+//
+//	generic — the pure-Go kernels in kernels.go (also the -tags noasm
+//	          build, and every non-amd64 architecture)
+//	ssse3   — 16-lane PSHUFB split-table multiply, SSE2 XOR
+//	avx2    — 32-lane VPSHUFB multiply (64 bytes per iteration), wide XOR
+//
+// The level is detected once at init via CPUID/XGETBV (AVX2 requires
+// the OS to have enabled YMM state saving, checked through XCR0) and
+// held in an atomic so tests and tools can pin a specific backend with
+// SetKernel; SetKernel never exceeds what the hardware supports.
+//
+// The assembly kernels only process whole vector-width blocks; the
+// wrappers here run the scalar row kernels over the remaining tail, so
+// any length and alignment is accepted and the asm itself never faces a
+// partial block.
+
+// Kernel levels, in strictly increasing preference order.
+const (
+	kernelGeneric int32 = iota
+	kernelSSSE3
+	kernelAVX2
+)
+
+var (
+	kernelLevel atomic.Int32 // active level, <= kernelMax
+	kernelMax   int32        // hardware ceiling detected at init
+)
+
+//go:noescape
+func gfMulAddSSSE3(low, high *[16]byte, src, dst *byte, n int)
+
+//go:noescape
+func gfMulSSSE3(low, high *[16]byte, src, dst *byte, n int)
+
+//go:noescape
+func gfMulAddAVX2(low, high *[16]byte, src, dst *byte, n int)
+
+//go:noescape
+func gfMulAVX2(low, high *[16]byte, src, dst *byte, n int)
+
+//go:noescape
+func gfXorSSE2(src, dst *byte, n int)
+
+//go:noescape
+func gfXorAVX2(src, dst *byte, n int)
+
+func cpuidAsm(op, sub uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv0Asm() (eax, edx uint32)
+
+func init() {
+	kernelMax = detectKernel()
+	kernelLevel.Store(kernelMax)
+}
+
+// detectKernel probes CPUID for the best usable level. AVX2 needs three
+// things: the CPU flag (leaf 7 EBX bit 5), OSXSAVE+AVX (leaf 1 ECX bits
+// 27/28), and the OS actually saving XMM+YMM state (XCR0 bits 1 and 2).
+func detectKernel() int32 {
+	maxID, _, _, _ := cpuidAsm(0, 0)
+	if maxID < 1 {
+		return kernelGeneric
+	}
+	_, _, ecx1, _ := cpuidAsm(1, 0)
+	const (
+		ssse3Bit   = 1 << 9
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	level := kernelGeneric
+	if ecx1&ssse3Bit != 0 {
+		level = kernelSSSE3
+	}
+	if maxID >= 7 && ecx1&osxsaveBit != 0 && ecx1&avxBit != 0 {
+		xlo, _ := xgetbv0Asm()
+		if xlo&0x6 == 0x6 { // XMM and YMM state enabled by the OS
+			_, ebx7, _, _ := cpuidAsm(7, 0)
+			if ebx7&(1<<5) != 0 { // AVX2
+				level = kernelAVX2
+			}
+		}
+	}
+	return level
+}
+
+func kernelName(level int32) string {
+	switch level {
+	case kernelAVX2:
+		return "avx2"
+	case kernelSSSE3:
+		return "ssse3"
+	default:
+		return "generic"
+	}
+}
+
+// Kernel reports the active kernel backend: "avx2", "ssse3" or
+// "generic".
+func Kernel() string { return kernelName(kernelLevel.Load()) }
+
+// Kernels lists every backend this machine can run, weakest first.
+// Tests iterate it to pin kernel parity on the hardware at hand.
+func Kernels() []string {
+	out := []string{"generic"}
+	if kernelMax >= kernelSSSE3 {
+		out = append(out, "ssse3")
+	}
+	if kernelMax >= kernelAVX2 {
+		out = append(out, "avx2")
+	}
+	return out
+}
+
+// SetKernel selects a backend by name, returning false (and changing
+// nothing) for an unknown name or one the hardware cannot run. Intended
+// for tests and benchmarking tools; the data plane is safe against a
+// concurrent switch (every kernel computes identical bytes).
+func SetKernel(name string) bool {
+	var level int32
+	switch name {
+	case "generic":
+		level = kernelGeneric
+	case "ssse3":
+		level = kernelSSSE3
+	case "avx2":
+		level = kernelAVX2
+	default:
+		return false
+	}
+	if level > kernelMax {
+		return false
+	}
+	kernelLevel.Store(level)
+	return true
+}
+
+// mulAddSliceBest sets dst[i] ^= c*src[i] with the active backend
+// (c >= 2; the c==0/1 cases are peeled off by MulAddSlice).
+func mulAddSliceBest(c byte, src, dst []byte) {
+	n := len(src)
+	switch kernelLevel.Load() {
+	case kernelAVX2:
+		if n >= 32 {
+			nb := n &^ 31
+			gfMulAddAVX2(&mulTableLow[c], &mulTableHigh[c], &src[0], &dst[0], nb)
+			if nb == n {
+				return
+			}
+			src, dst = src[nb:], dst[nb:]
+		}
+	case kernelSSSE3:
+		if n >= 16 {
+			nb := n &^ 15
+			gfMulAddSSSE3(&mulTableLow[c], &mulTableHigh[c], &src[0], &dst[0], nb)
+			if nb == n {
+				return
+			}
+			src, dst = src[nb:], dst[nb:]
+		}
+	}
+	mulAddSliceRow(c, src, dst)
+}
+
+// mulSliceBest sets dst[i] = c*src[i] with the active backend (c >= 2).
+func mulSliceBest(c byte, src, dst []byte) {
+	n := len(src)
+	switch kernelLevel.Load() {
+	case kernelAVX2:
+		if n >= 32 {
+			nb := n &^ 31
+			gfMulAVX2(&mulTableLow[c], &mulTableHigh[c], &src[0], &dst[0], nb)
+			if nb == n {
+				return
+			}
+			src, dst = src[nb:], dst[nb:]
+		}
+	case kernelSSSE3:
+		if n >= 16 {
+			nb := n &^ 15
+			gfMulSSSE3(&mulTableLow[c], &mulTableHigh[c], &src[0], &dst[0], nb)
+			if nb == n {
+				return
+			}
+			src, dst = src[nb:], dst[nb:]
+		}
+	}
+	mulSliceRow(c, src, dst)
+}
+
+// xorSliceBest sets dst[i] ^= src[i] with the active backend.
+func xorSliceBest(src, dst []byte) {
+	n := len(src)
+	switch kernelLevel.Load() {
+	case kernelAVX2:
+		if n >= 32 {
+			nb := n &^ 31
+			gfXorAVX2(&src[0], &dst[0], nb)
+			if nb == n {
+				return
+			}
+			src, dst = src[nb:], dst[nb:]
+		}
+	case kernelSSSE3:
+		if n >= 16 {
+			nb := n &^ 15
+			gfXorSSE2(&src[0], &dst[0], nb)
+			if nb == n {
+				return
+			}
+			src, dst = src[nb:], dst[nb:]
+		}
+	}
+	xorSliceGo(src, dst)
+}
+
+// mulSourcesBest computes the fused inner product with the active
+// backend. The SIMD levels decompose it into one pass per non-zero
+// coefficient (mul for the first, xor/muladd for the rest), blocked so
+// the destination stays cache-resident; the generic level keeps the
+// fused single-pass Go kernel, which wins when there is no SIMD
+// shuffle to amortise the extra passes.
+func mulSourcesBest(coefs []byte, srcs [][]byte, dst []byte, lo, hi int) {
+	if kernelLevel.Load() == kernelGeneric || hi-lo < 64 {
+		mulSourcesGo(coefs, srcs, dst, lo, hi)
+		return
+	}
+	for b := lo; b < hi; b += sourcesBlock {
+		be := b + sourcesBlock
+		if be > hi {
+			be = hi
+		}
+		d := dst[b:be]
+		first := true
+		for k, c := range coefs {
+			if c == 0 {
+				continue
+			}
+			s := srcs[k][b:be]
+			switch {
+			case first:
+				first = false
+				if c == 1 {
+					copy(d, s)
+				} else {
+					mulSliceBest(c, s, d)
+				}
+			case c == 1:
+				xorSliceBest(s, d)
+			default:
+				mulAddSliceBest(c, s, d)
+			}
+		}
+		if first {
+			clear(d)
+		}
+	}
+}

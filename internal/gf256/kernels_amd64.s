@@ -1,0 +1,267 @@
+//go:build amd64 && !noasm
+
+// SSSE3/AVX2 shuffle kernels for the 4-bit split-table GF(2^8)
+// multiply: each product c*b is mulTableLow[c][b&15] ^
+// mulTableHigh[c][b>>4], and PSHUFB/VPSHUFB evaluates 16 (or 32) such
+// table lookups per instruction — the same construction production
+// Reed-Solomon codecs use. The Go wrappers in kernels_amd64.go pass
+// only whole 16-byte (SSSE3) or 32-byte (AVX2) blocks here and handle
+// the scalar tails themselves, so every loop below may assume its n is
+// a positive multiple of the vector width.
+
+#include "textflag.h"
+
+DATA nibbleMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibbleMask<>(SB), RODATA|NOPTR, $16
+
+// func gfMulAddSSSE3(low, high *[16]byte, src, dst *byte, n int)
+// dst[i] ^= c*src[i] for i in [0, n); n is a positive multiple of 16.
+TEXT ·gfMulAddSSSE3(SB), NOSPLIT, $0-40
+	MOVQ low+0(FP), AX
+	MOVQ high+8(FP), BX
+	MOVQ src+16(FP), SI
+	MOVQ dst+24(FP), DI
+	MOVQ n+32(FP), CX
+	MOVOU (AX), X0             // low-nibble product table
+	MOVOU (BX), X1             // high-nibble product table
+	MOVOU nibbleMask<>(SB), X2 // 0x0f lane mask
+
+madd16:
+	MOVOU (SI), X3
+	MOVOU X3, X4
+	PSRLQ $4, X4 // per-byte high nibbles (cross-byte bits masked next)
+	PAND  X2, X3
+	PAND  X2, X4
+	MOVOU X0, X5
+	MOVOU X1, X6
+	PSHUFB X3, X5 // low-nibble products
+	PSHUFB X4, X6 // high-nibble products
+	PXOR  X6, X5
+	MOVOU (DI), X7
+	PXOR  X7, X5
+	MOVOU X5, (DI)
+	ADDQ  $16, SI
+	ADDQ  $16, DI
+	SUBQ  $16, CX
+	JNE   madd16
+	RET
+
+// func gfMulSSSE3(low, high *[16]byte, src, dst *byte, n int)
+// dst[i] = c*src[i] for i in [0, n); n is a positive multiple of 16.
+TEXT ·gfMulSSSE3(SB), NOSPLIT, $0-40
+	MOVQ low+0(FP), AX
+	MOVQ high+8(FP), BX
+	MOVQ src+16(FP), SI
+	MOVQ dst+24(FP), DI
+	MOVQ n+32(FP), CX
+	MOVOU (AX), X0
+	MOVOU (BX), X1
+	MOVOU nibbleMask<>(SB), X2
+
+mul16:
+	MOVOU (SI), X3
+	MOVOU X3, X4
+	PSRLQ $4, X4
+	PAND  X2, X3
+	PAND  X2, X4
+	MOVOU X0, X5
+	MOVOU X1, X6
+	PSHUFB X3, X5
+	PSHUFB X4, X6
+	PXOR  X6, X5
+	MOVOU X5, (DI)
+	ADDQ  $16, SI
+	ADDQ  $16, DI
+	SUBQ  $16, CX
+	JNE   mul16
+	RET
+
+// func gfMulAddAVX2(low, high *[16]byte, src, dst *byte, n int)
+// dst[i] ^= c*src[i] for i in [0, n); n is a positive multiple of 32.
+TEXT ·gfMulAddAVX2(SB), NOSPLIT, $0-40
+	MOVQ low+0(FP), AX
+	MOVQ high+8(FP), BX
+	MOVQ src+16(FP), SI
+	MOVQ dst+24(FP), DI
+	MOVQ n+32(FP), CX
+	VBROADCASTI128 (AX), Y0             // low table in both lanes
+	VBROADCASTI128 (BX), Y1             // high table in both lanes
+	VBROADCASTI128 nibbleMask<>(SB), Y2
+	CMPQ CX, $64
+	JL   madd32
+
+madd64:
+	VMOVDQU (SI), Y3
+	VMOVDQU 32(SI), Y7
+	VPSRLQ  $4, Y3, Y4
+	VPSRLQ  $4, Y7, Y8
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPAND   Y2, Y7, Y7
+	VPAND   Y2, Y8, Y8
+	VPSHUFB Y3, Y0, Y5
+	VPSHUFB Y4, Y1, Y6
+	VPSHUFB Y7, Y0, Y9
+	VPSHUFB Y8, Y1, Y10
+	VPXOR   Y6, Y5, Y5
+	VPXOR   Y10, Y9, Y9
+	VPXOR   (DI), Y5, Y5
+	VPXOR   32(DI), Y9, Y9
+	VMOVDQU Y5, (DI)
+	VMOVDQU Y9, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	SUBQ    $64, CX
+	CMPQ    CX, $64
+	JGE     madd64
+
+madd32:
+	CMPQ CX, $32
+	JL   madddone
+	VMOVDQU (SI), Y3
+	VPSRLQ  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y5
+	VPSHUFB Y4, Y1, Y6
+	VPXOR   Y6, Y5, Y5
+	VPXOR   (DI), Y5, Y5
+	VMOVDQU Y5, (DI)
+
+madddone:
+	VZEROUPPER
+	RET
+
+// func gfMulAVX2(low, high *[16]byte, src, dst *byte, n int)
+// dst[i] = c*src[i] for i in [0, n); n is a positive multiple of 32.
+TEXT ·gfMulAVX2(SB), NOSPLIT, $0-40
+	MOVQ low+0(FP), AX
+	MOVQ high+8(FP), BX
+	MOVQ src+16(FP), SI
+	MOVQ dst+24(FP), DI
+	MOVQ n+32(FP), CX
+	VBROADCASTI128 (AX), Y0
+	VBROADCASTI128 (BX), Y1
+	VBROADCASTI128 nibbleMask<>(SB), Y2
+	CMPQ CX, $64
+	JL   mula32
+
+mula64:
+	VMOVDQU (SI), Y3
+	VMOVDQU 32(SI), Y7
+	VPSRLQ  $4, Y3, Y4
+	VPSRLQ  $4, Y7, Y8
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPAND   Y2, Y7, Y7
+	VPAND   Y2, Y8, Y8
+	VPSHUFB Y3, Y0, Y5
+	VPSHUFB Y4, Y1, Y6
+	VPSHUFB Y7, Y0, Y9
+	VPSHUFB Y8, Y1, Y10
+	VPXOR   Y6, Y5, Y5
+	VPXOR   Y10, Y9, Y9
+	VMOVDQU Y5, (DI)
+	VMOVDQU Y9, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	SUBQ    $64, CX
+	CMPQ    CX, $64
+	JGE     mula64
+
+mula32:
+	CMPQ CX, $32
+	JL   muladone
+	VMOVDQU (SI), Y3
+	VPSRLQ  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y5
+	VPSHUFB Y4, Y1, Y6
+	VPXOR   Y6, Y5, Y5
+	VMOVDQU Y5, (DI)
+
+muladone:
+	VZEROUPPER
+	RET
+
+// func gfXorSSE2(src, dst *byte, n int)
+// dst[i] ^= src[i] for i in [0, n); n is a positive multiple of 16.
+TEXT ·gfXorSSE2(SB), NOSPLIT, $0-24
+	MOVQ src+0(FP), SI
+	MOVQ dst+8(FP), DI
+	MOVQ n+16(FP), CX
+
+xor16:
+	MOVOU (SI), X0
+	MOVOU (DI), X1
+	PXOR  X1, X0
+	MOVOU X0, (DI)
+	ADDQ  $16, SI
+	ADDQ  $16, DI
+	SUBQ  $16, CX
+	JNE   xor16
+	RET
+
+// func gfXorAVX2(src, dst *byte, n int)
+// dst[i] ^= src[i] for i in [0, n); n is a positive multiple of 32.
+TEXT ·gfXorAVX2(SB), NOSPLIT, $0-24
+	MOVQ src+0(FP), SI
+	MOVQ dst+8(FP), DI
+	MOVQ n+16(FP), CX
+	CMPQ CX, $128
+	JL   xor32
+
+xor128:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VMOVDQU 64(SI), Y2
+	VMOVDQU 96(SI), Y3
+	VPXOR   (DI), Y0, Y0
+	VPXOR   32(DI), Y1, Y1
+	VPXOR   64(DI), Y2, Y2
+	VPXOR   96(DI), Y3, Y3
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	VMOVDQU Y2, 64(DI)
+	VMOVDQU Y3, 96(DI)
+	ADDQ    $128, SI
+	ADDQ    $128, DI
+	SUBQ    $128, CX
+	CMPQ    CX, $128
+	JGE     xor128
+
+xor32:
+	CMPQ CX, $32
+	JL   xordone
+	VMOVDQU (SI), Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JMP     xor32
+
+xordone:
+	VZEROUPPER
+	RET
+
+// func cpuidAsm(op, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL op+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0Asm() (eax, edx uint32)
+TEXT ·xgetbv0Asm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	BYTE $0x0f; BYTE $0x01; BYTE $0xd0 // XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,27 @@
+//go:build !amd64 || noasm
+
+package gf256
+
+// Pure-Go dispatch: every *Best entry point resolves to the portable
+// kernels in kernels.go. This is the only backend on non-amd64
+// architectures and under -tags noasm (the CI leg that keeps the
+// fallback arm green).
+
+// Kernel reports the active kernel backend; always "generic" here.
+func Kernel() string { return "generic" }
+
+// Kernels lists the backends this build can run.
+func Kernels() []string { return []string{"generic"} }
+
+// SetKernel selects a backend by name; only "generic" exists here.
+func SetKernel(name string) bool { return name == "generic" }
+
+func mulAddSliceBest(c byte, src, dst []byte) { mulAddSliceRow(c, src, dst) }
+
+func mulSliceBest(c byte, src, dst []byte) { mulSliceRow(c, src, dst) }
+
+func xorSliceBest(src, dst []byte) { xorSliceGo(src, dst) }
+
+func mulSourcesBest(coefs []byte, srcs [][]byte, dst []byte, lo, hi int) {
+	mulSourcesGo(coefs, srcs, dst, lo, hi)
+}

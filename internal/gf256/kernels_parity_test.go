@@ -1,0 +1,174 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// withKernel runs fn once per backend this machine can run (generic
+// always; ssse3/avx2 where the hardware allows), restoring the original
+// selection afterwards. Under -tags noasm only "generic" exists and fn
+// runs once.
+func withKernel(t testing.TB, fn func(name string)) {
+	prev := Kernel()
+	defer SetKernel(prev)
+	for _, name := range Kernels() {
+		if !SetKernel(name) {
+			t.Fatalf("SetKernel(%q) refused a backend Kernels() listed", name)
+		}
+		fn(name)
+	}
+}
+
+func TestSetKernelRejectsUnknown(t *testing.T) {
+	prev := Kernel()
+	defer SetKernel(prev)
+	if SetKernel("altivec") {
+		t.Fatal("SetKernel accepted an unknown backend")
+	}
+	if got := Kernel(); got != prev {
+		t.Fatalf("failed SetKernel changed the backend to %q", got)
+	}
+}
+
+// TestKernelParityAllBackends drives every backend through the full
+// coefficient range over lengths that cover sub-vector tails, odd
+// alignments, and multi-block bodies, pinning each byte-identical to
+// the *Generic oracle.
+func TestKernelParityAllBackends(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	lens := []int{1, 5, 15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 128, 129, 1000, 4099}
+	withKernel(t, func(name string) {
+		for _, n := range lens {
+			// Offset slices into a larger buffer so the vector loads run
+			// at unaligned addresses too.
+			for _, off := range []int{0, 1, 7} {
+				buf := randBytes(rng, n+off)
+				acc := randBytes(rng, n+off)
+				src, base := buf[off:], acc[off:]
+				for c := 0; c < 256; c += 5 { // every residue class incl. 0 and 1
+					wantAdd := append([]byte(nil), base...)
+					MulAddSliceGeneric(byte(c), src, wantAdd)
+					gotAdd := append([]byte(nil), base...)
+					MulAddSlice(byte(c), src, gotAdd)
+					if !bytes.Equal(gotAdd, wantAdd) {
+						t.Fatalf("%s: MulAddSlice(c=%d, len=%d, off=%d) diverges", name, c, n, off)
+					}
+					wantMul := make([]byte, n)
+					MulSliceGeneric(byte(c), src, wantMul)
+					gotMul := randBytes(rng, n)
+					MulSlice(byte(c), src, gotMul)
+					if !bytes.Equal(gotMul, wantMul) {
+						t.Fatalf("%s: MulSlice(c=%d, len=%d, off=%d) diverges", name, c, n, off)
+					}
+				}
+				wantXor := append([]byte(nil), base...)
+				for i := range wantXor {
+					wantXor[i] ^= src[i]
+				}
+				gotXor := append([]byte(nil), base...)
+				XorSlice(src, gotXor)
+				if !bytes.Equal(gotXor, wantXor) {
+					t.Fatalf("%s: XorSlice(len=%d, off=%d) diverges", name, n, off)
+				}
+			}
+		}
+	})
+}
+
+// TestMulSourcesParityAllBackends pins the fused inner product across
+// backends, including ranges that straddle the SIMD per-source blocking
+// boundary.
+func TestMulSourcesParityAllBackends(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	coefSets := [][]byte{
+		{1},
+		{0, 0},
+		{0x8e},
+		{1, 1, 1, 1, 1, 1, 1, 1, 1, 1},
+		{2, 3, 0, 1, 0x1d, 0xff, 1, 0, 7, 0x80},
+	}
+	lens := []int{1, 16, 63, 64, 65, 4099, sourcesBlock - 1, sourcesBlock, sourcesBlock + 33}
+	withKernel(t, func(name string) {
+		for _, n := range lens {
+			for _, coefs := range coefSets {
+				srcs := make([][]byte, len(coefs))
+				for k := range srcs {
+					srcs[k] = randBytes(rng, n)
+				}
+				ranges := [][2]int{{0, n}}
+				if n > 70 {
+					ranges = append(ranges, [2]int{1, n - 1}, [2]int{63, n - 5})
+				}
+				for _, r := range ranges {
+					lo, hi := r[0], r[1]
+					want := randBytes(rng, n)
+					MulSourcesGeneric(coefs, srcs, want, lo, hi)
+					got := randBytes(rng, n)
+					copy(got[:lo], want[:lo])
+					copy(got[hi:], want[hi:])
+					MulSources(coefs, srcs, got, lo, hi)
+					if !bytes.Equal(got, want) {
+						t.Fatalf("%s: MulSources(coefs=%v, len=%d, lo=%d, hi=%d) diverges", name, coefs, n, lo, hi)
+					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzKernelParity fuzzes every backend against the *Generic oracle:
+// arbitrary coefficient, slice bytes (including sub-vector tails and
+// unaligned sub-slices via the off byte), and a source count for the
+// fused kernel carved out of the same corpus bytes.
+func FuzzKernelParity(f *testing.F) {
+	f.Add(byte(2), byte(1), byte(3), []byte("hello, world — kernel parity"))
+	f.Add(byte(1), byte(0), byte(1), []byte{0xff, 0x00, 0x1d})
+	f.Add(byte(0x8e), byte(7), byte(10), bytes.Repeat([]byte{0xa5}, 100))
+	f.Fuzz(func(t *testing.T, c, off, nsrc byte, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		o := int(off) % len(data)
+		data = data[o:]
+		n := len(data) / 2
+		src, base := data[:n], data[n:2*n]
+
+		prev := Kernel()
+		defer SetKernel(prev)
+		for _, name := range Kernels() {
+			SetKernel(name)
+			wantAdd := append([]byte(nil), base...)
+			MulAddSliceGeneric(c, src, wantAdd)
+			gotAdd := append([]byte(nil), base...)
+			MulAddSlice(c, src, gotAdd)
+			if !bytes.Equal(gotAdd, wantAdd) {
+				t.Fatalf("%s: MulAddSlice(c=%d, len=%d) diverges from generic", name, c, n)
+			}
+			wantMul := make([]byte, n)
+			MulSliceGeneric(c, src, wantMul)
+			gotMul := make([]byte, n)
+			MulSlice(c, src, gotMul)
+			if !bytes.Equal(gotMul, wantMul) {
+				t.Fatalf("%s: MulSlice(c=%d, len=%d) diverges from generic", name, c, n)
+			}
+			// Fused kernel: nsrc sources sharing the same bytes with a
+			// coefficient walk seeded by c (hits 0, 1 and general lanes).
+			k := 1 + int(nsrc)%12
+			coefs := make([]byte, k)
+			srcs := make([][]byte, k)
+			for i := range coefs {
+				coefs[i] = c + byte(i*3)
+				srcs[i] = src
+			}
+			want := make([]byte, n)
+			MulSourcesGeneric(coefs, srcs, want, 0, n)
+			got := make([]byte, n)
+			MulSources(coefs, srcs, got, 0, n)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: MulSources(k=%d, c0=%d, len=%d) diverges from generic", name, k, c, n)
+			}
+		}
+	})
+}

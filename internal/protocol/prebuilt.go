@@ -1,0 +1,167 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"net"
+)
+
+// Prebuilt is a frame sequence encoded once and replayed many times
+// with only the per-request seq patched at send time. The proxy's hot
+// tier builds one per admitted object: every hot GET then ships the
+// object's full DATA burst with zero header encoding — SendPrebuilt
+// copies the precomputed header bytes, stamps the seq, and hands the
+// pinned payloads to the kernel as iovecs.
+//
+// Header bytes (and payloads below VectoredMin, which are baked in
+// next to their headers) live in one contiguous buffer. Payloads of
+// VectoredMin bytes or more are pinned by reference: Append retains
+// the slice, so the caller must keep those bytes immutable for the
+// Prebuilt's lifetime (the hot tier's chunks already are — they are
+// GC-owned and never written after admission).
+//
+// A Prebuilt is immutable after building and safe for concurrent
+// SendPrebuilt calls on any number of connections: the seq hole is
+// patched in the connection's staging buffer, never in the shared
+// prebuilt bytes.
+type Prebuilt struct {
+	buf    []byte // headers + baked small payloads, contiguous
+	segs   []prebuiltSeg
+	nlarge int // segments with a pinned (vectored) payload
+	wire   int // total wire bytes per replay: len(buf) + pinned payloads
+}
+
+// prebuiltSeg is one frame: its run of buf bytes (header, plus the
+// payload when small) and, for large frames, the pinned payload that
+// follows the run on the wire. The frame's seq field sits at
+// buf[start+1] (appendHeader emits type, then seq).
+type prebuiltSeg struct {
+	start, end int
+	payload    []byte
+}
+
+// Append encodes one frame into the prebuilt image with a zero seq
+// hole. Payloads under VectoredMin are copied into the image; larger
+// ones are retained by reference and must stay immutable.
+func (p *Prebuilt) Append(t Type, key, addr string, args []int64, payload []byte) error {
+	if err := checkLimits(key, addr, len(args), len(payload)); err != nil {
+		return err
+	}
+	start := len(p.buf)
+	p.buf = appendHeader(p.buf, t, 0, key, addr, args, len(payload))
+	var pinned []byte
+	if len(payload) >= VectoredMin {
+		pinned = payload
+		p.nlarge++
+	} else {
+		p.buf = append(p.buf, payload...)
+	}
+	p.segs = append(p.segs, prebuiltSeg{start: start, end: len(p.buf), payload: pinned})
+	p.wire += len(p.buf) - start + len(pinned)
+	return nil
+}
+
+// Frames reports the number of frames in the image.
+func (p *Prebuilt) Frames() int { return len(p.segs) }
+
+// WireSize reports the total bytes one replay puts on the wire.
+func (p *Prebuilt) WireSize() int { return p.wire }
+
+// SendPrebuilt replays a prebuilt frame sequence under seq. It follows
+// Forward's flush policy exactly: the frames stage in the write buffer
+// and reach the wire at the next flush boundary (the last concurrent
+// writer out, or the enclosing Pin window's Flush) — unless the image
+// carries pinned payloads, in which case everything staged plus the
+// whole image ships immediately as one vectored write. Safe for
+// concurrent use.
+func (c *Conn) SendPrebuilt(p *Prebuilt, seq uint64) error {
+	c.wpend.Add(1)
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.framesOut.Add(uint64(len(p.segs)))
+	err := c.stagePrebuilt(p, seq)
+	last := c.wpend.Add(-1) <= 0
+	if err != nil {
+		c.dead.Store(true)
+		return err
+	}
+	if !last {
+		return nil
+	}
+	return c.flushLocked()
+}
+
+// stagePrebuilt copies the image's header bytes into the staging
+// buffer, patches the seq holes, and — when pinned payloads are
+// present — issues the single vectored write. Called with wmu held.
+func (c *Conn) stagePrebuilt(p *Prebuilt, seq uint64) error {
+	if len(c.wbuf)+len(p.buf) > cap(c.wbuf) {
+		if err := c.flushLocked(); err != nil {
+			return err
+		}
+		if len(p.buf) > cap(c.wbuf) {
+			// Image headers alone exceed the staging buffer (hundreds of
+			// frames, or big baked payloads): fall back to frame-at-a-time
+			// staging. Each seg run is at most maxHeaderSize+VectoredMin,
+			// well under the buffer, so every frame stages cleanly.
+			return c.stagePrebuiltSlow(p, seq)
+		}
+	}
+	off := len(c.wbuf)
+	c.wbuf = append(c.wbuf, p.buf...)
+	for i := range p.segs {
+		binary.BigEndian.PutUint64(c.wbuf[off+p.segs[i].start+1:], seq)
+	}
+	if p.nlarge == 0 {
+		return nil // all-small image rides the normal flush boundary
+	}
+	// One vectored write: runs of staged bytes (everything previously
+	// buffered plus the image's headers) interleaved with the pinned
+	// payloads, in wire order.
+	vec := c.pvecArr[:0]
+	runStart := 0
+	for i := range p.segs {
+		if p.segs[i].payload == nil {
+			continue
+		}
+		vec = append(vec, c.wbuf[runStart:off+p.segs[i].end], p.segs[i].payload)
+		runStart = off + p.segs[i].end
+	}
+	if runStart < len(c.wbuf) {
+		vec = append(vec, c.wbuf[runStart:])
+	}
+	c.flushes.Add(1)
+	c.vectored.Add(1)
+	c.wvec = net.Buffers(vec)
+	_, err := c.wvec.WriteTo(c.raw)
+	for i := range vec {
+		vec[i] = nil // payloads are pinned by p, not by the conn
+	}
+	c.pvecArr = vec[:0]
+	c.wbuf = c.wbuf[:0]
+	if err != nil {
+		c.dead.Store(true)
+	}
+	return err
+}
+
+// stagePrebuiltSlow stages the image one frame at a time, flushing for
+// space as stageFrame would. Called with wmu held, wbuf empty.
+func (c *Conn) stagePrebuiltSlow(p *Prebuilt, seq uint64) error {
+	for i := range p.segs {
+		run := p.buf[p.segs[i].start:p.segs[i].end]
+		if len(c.wbuf)+len(run) > cap(c.wbuf) {
+			if err := c.flushLocked(); err != nil {
+				return err
+			}
+		}
+		off := len(c.wbuf)
+		c.wbuf = append(c.wbuf, run...)
+		binary.BigEndian.PutUint64(c.wbuf[off+1:], seq)
+		if p.segs[i].payload != nil {
+			if err := c.writeVectored(p.segs[i].payload); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

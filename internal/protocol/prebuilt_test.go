@@ -1,0 +1,283 @@
+package protocol
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+)
+
+// pbFrame describes one frame of a test image.
+type pbFrame struct {
+	t       Type
+	key     string
+	addr    string
+	args    []int64
+	payload []byte
+}
+
+func buildPrebuilt(t *testing.T, frames []pbFrame) *Prebuilt {
+	t.Helper()
+	p := &Prebuilt{}
+	for _, f := range frames {
+		if err := p.Append(f.t, f.key, f.addr, f.args, f.payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+// recvN collects n frames from c on a goroutine.
+func recvN(t *testing.T, c *Conn, n int) <-chan []*Message {
+	t.Helper()
+	out := make(chan []*Message, 1)
+	go func() {
+		msgs := make([]*Message, 0, n)
+		for i := 0; i < n; i++ {
+			m, err := c.Recv()
+			if err != nil {
+				t.Error(err)
+				break
+			}
+			msgs = append(msgs, m)
+		}
+		out <- msgs
+	}()
+	return out
+}
+
+// TestSendPrebuiltMatchesForward pins the replay byte-for-byte to the
+// per-frame Forward path: same frames, same decoded messages, for
+// images mixing small (staged) and large (vectored) payloads.
+func TestSendPrebuiltMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	small := make([]byte, 700)
+	rng.Read(small)
+	large := make([]byte, VectoredMin+1234)
+	rng.Read(large)
+	frames := []pbFrame{
+		{TData, "obj#0", "", []int64{0, 4, 10, 12}, small},
+		{TData, "obj#1", "", []int64{1, 4, 10, 12}, large},
+		{TData, "obj#2", "10.0.0.9:1", []int64{2, 4, 10, 12}, nil},
+		{TData, "obj#3", "", nil, large},
+	}
+	const seq = 424242
+
+	send := func(via func(c *Conn)) []*Message {
+		a, b := net.Pipe()
+		ca, cb := NewConn(a), NewConn(b)
+		defer ca.Close()
+		defer cb.Close()
+		done := recvN(t, cb, len(frames))
+		via(ca)
+		return <-done
+	}
+	want := send(func(c *Conn) {
+		for _, f := range frames {
+			if err := c.Forward(f.t, seq, f.key, f.addr, f.args, f.payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	p := buildPrebuilt(t, frames)
+	got := send(func(c *Conn) {
+		if err := c.SendPrebuilt(p, seq); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	if len(got) != len(want) {
+		t.Fatalf("got %d frames, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Type != w.Type || g.Seq != w.Seq || g.Key != w.Key || g.Addr != w.Addr {
+			t.Fatalf("frame %d header: got %+v want %+v", i, g, w)
+		}
+		if len(g.Args) != len(w.Args) {
+			t.Fatalf("frame %d args: got %v want %v", i, g.Args, w.Args)
+		}
+		for j := range w.Args {
+			if g.Args[j] != w.Args[j] {
+				t.Fatalf("frame %d args: got %v want %v", i, g.Args, w.Args)
+			}
+		}
+		if !bytes.Equal(g.Payload, w.Payload) {
+			t.Fatalf("frame %d payload mismatch", i)
+		}
+	}
+	if wantWire := p.WireSize(); p.Frames() != len(frames) || wantWire <= 0 {
+		t.Fatalf("image accounting: frames=%d wire=%d", p.Frames(), wantWire)
+	}
+}
+
+// TestSendPrebuiltSeqPatch replays one image under many seqs,
+// concurrently, and checks every frame of every replay carries its own
+// seq — the patch happens in each send's staged bytes, never in the
+// shared image.
+func TestSendPrebuiltSeqPatch(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	payload := bytes.Repeat([]byte{0x5a}, VectoredMin)
+	p := buildPrebuilt(t, []pbFrame{
+		{TData, "k", "", []int64{0}, []byte("small")},
+		{TData, "k", "", []int64{1}, payload},
+	})
+	const replays = 20
+	counts := make(chan map[uint64]int, 1)
+	go func() {
+		seen := make(map[uint64]int)
+		for i := 0; i < replays*p.Frames(); i++ {
+			m, err := cb.Recv()
+			if err != nil {
+				t.Error(err)
+				break
+			}
+			seen[m.Seq]++
+		}
+		counts <- seen
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < replays; i++ {
+		wg.Add(1)
+		go func(seq uint64) {
+			defer wg.Done()
+			if err := ca.SendPrebuilt(p, seq); err != nil {
+				t.Error(err)
+			}
+		}(uint64(1000 + i))
+	}
+	wg.Wait()
+	seen := <-counts
+	if len(seen) != replays {
+		t.Fatalf("saw %d distinct seqs, want %d: %v", len(seen), replays, seen)
+	}
+	for seq, n := range seen {
+		if n != p.Frames() {
+			t.Fatalf("seq %d delivered %d frames, want %d", seq, n, p.Frames())
+		}
+	}
+}
+
+// TestSendPrebuiltSingleWrite pins the tentpole property: a replay with
+// pinned payloads is exactly one socket write (one vectored writev),
+// and any frames already staged on the connection ride it.
+func TestSendPrebuiltSingleWrite(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	chunk := bytes.Repeat([]byte{0x7e}, VectoredMin+100)
+	var frames []pbFrame
+	for i := 0; i < 4; i++ {
+		frames = append(frames, pbFrame{TData, "obj#0", "", []int64{int64(i)}, chunk})
+	}
+	p := buildPrebuilt(t, frames)
+
+	done := recvN(t, cb, 1+len(frames))
+	// A staged frame before the replay must coalesce into the same write.
+	ca.Pin()
+	if err := ca.Forward(TAck, 7, "prior", "", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := ca.Stats()
+	if err := ca.SendPrebuilt(p, 8); err != nil {
+		t.Fatal(err)
+	}
+	after := ca.Stats()
+	if err := ca.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	msgs := <-done
+
+	if writes := after.Flushes - before.Flushes; writes != 1 {
+		t.Fatalf("hot replay took %d socket writes, want exactly 1", writes)
+	}
+	if vec := after.Vectored - before.Vectored; vec != 1 {
+		t.Fatalf("hot replay took %d vectored writes, want exactly 1", vec)
+	}
+	if final := ca.Stats().Flushes - after.Flushes; final != 0 {
+		t.Fatalf("closing Flush issued %d extra writes; staged bytes left behind", final)
+	}
+	if len(msgs) != 1+len(frames) || msgs[0].Type != TAck || msgs[0].Seq != 7 {
+		t.Fatalf("delivery wrong: %d msgs, first %+v", len(msgs), msgs[0])
+	}
+	for i, m := range msgs[1:] {
+		if m.Seq != 8 || m.Arg(0) != int64(i) || !bytes.Equal(m.Payload, chunk) {
+			t.Fatalf("replay frame %d wrong: seq=%d arg=%d", i, m.Seq, m.Arg(0))
+		}
+	}
+}
+
+// TestSendPrebuiltAllSmallStays pins the other half of the flush
+// policy: an all-small image stages without writing, so a Pin window
+// ships it with the rest of the burst in one flush.
+func TestSendPrebuiltAllSmallStays(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	p := buildPrebuilt(t, []pbFrame{
+		{TData, "k", "", []int64{0}, []byte("tiny-0")},
+		{TData, "k", "", []int64{1}, []byte("tiny-1")},
+	})
+	done := recvN(t, cb, 2)
+	ca.Pin()
+	if err := ca.SendPrebuilt(p, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := ca.Stats().Flushes; got != 0 {
+		t.Fatalf("all-small image wrote %d times inside a Pin window, want 0", got)
+	}
+	if err := ca.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ca.Stats().Flushes; got != 1 {
+		t.Fatalf("burst took %d writes, want 1", got)
+	}
+	msgs := <-done
+	if len(msgs) != 2 || msgs[0].Seq != 5 || msgs[1].Seq != 5 {
+		t.Fatalf("delivery wrong: %+v", msgs)
+	}
+}
+
+// TestSendPrebuiltOversizedImage drives the frame-at-a-time fallback:
+// an image whose contiguous bytes exceed the 64 KiB staging buffer
+// still replays losslessly.
+func TestSendPrebuiltOversizedImage(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	baked := make([]byte, 8<<10) // small enough to bake, big enough to overflow
+	rng.Read(baked)
+	var frames []pbFrame
+	for i := 0; i < 12; i++ { // 12 * ~8KiB of baked payload > 64KiB buffer
+		frames = append(frames, pbFrame{TData, "big", "", []int64{int64(i)}, baked})
+	}
+	p := buildPrebuilt(t, frames)
+	if len(p.buf) <= bufSize {
+		t.Fatalf("test image too small to exercise the fallback: %d bytes", len(p.buf))
+	}
+
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+	done := recvN(t, cb, len(frames))
+	if err := ca.SendPrebuilt(p, 99); err != nil {
+		t.Fatal(err)
+	}
+	msgs := <-done
+	if len(msgs) != len(frames) {
+		t.Fatalf("got %d frames, want %d", len(msgs), len(frames))
+	}
+	for i, m := range msgs {
+		if m.Seq != 99 || m.Arg(0) != int64(i) || !bytes.Equal(m.Payload, baked) {
+			t.Fatalf("frame %d corrupted by fallback staging", i)
+		}
+	}
+}

@@ -109,6 +109,23 @@ const (
 	TCancel
 )
 
+// Transient-error wire contract. A TErr whose Args[0] is
+// TransientFlag tells the client the request failed for a reason worth
+// retrying; Args[1] (when present) classifies it so the client can
+// pace the retry instead of burning its budget blind.
+const (
+	// TransientFlag in Args[0] marks a retryable TErr.
+	TransientFlag = 1
+	// TransientBusyWrite (Args[1]): the object is mid-overwrite — a new
+	// PUT generation has not fully committed. Resolves when the write
+	// window closes; the client should back off before retrying.
+	TransientBusyWrite = 1
+	// TransientNodeFailure (Args[1]): chunk fan-out failed on node
+	// timeouts or a backup swap. Usually resolves immediately (the
+	// dispatcher redials); the client retries at once.
+	TransientNodeFailure = 2
+)
+
 var typeNames = map[Type]string{
 	TInvalid: "INVALID", TJoinLambda: "JOIN_LAMBDA", TJoinClient: "JOIN_CLIENT",
 	TPing: "PING", TPong: "PONG", TBye: "BYE", TGet: "GET", TSet: "SET",
@@ -193,6 +210,30 @@ func (m *Message) Recycle() {
 	}
 }
 
+// msgPool recycles Message structs through Recv/Free so a steady-state
+// request allocates no frame struct per message. Recv draws from it;
+// Free returns to it.
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// newMessage draws a reset Message from the frame pool.
+func newMessage() *Message {
+	m := msgPool.Get().(*Message)
+	*m = Message{}
+	return m
+}
+
+// Free recycles the payload (if any) and then the Message struct
+// itself, making both available to future Recvs. Call it instead of
+// Recycle at sites that fully consume a frame and drop the Message —
+// the message must not be referenced at all afterwards. A frame whose
+// payload was handed off must have Payload nilled by the new owner (or
+// set m.Payload = nil) before Free, exactly as with Recycle.
+func (m *Message) Free() {
+	m.Recycle()
+	*m = Message{}
+	msgPool.Put(m)
+}
+
 // Errors.
 var (
 	ErrPayloadTooLarge = errors.New("protocol: payload exceeds MaxPayload")
@@ -273,7 +314,8 @@ func readMessageSlow(r io.Reader) (*Message, error) {
 	if _, err := io.ReadFull(r, b[:1]); err != nil {
 		return nil, err
 	}
-	m := &Message{Type: Type(b[0])}
+	m := newMessage()
+	m.Type = Type(b[0])
 	if _, err := io.ReadFull(r, b[:8]); err != nil {
 		return nil, err
 	}
@@ -377,7 +419,8 @@ func readMessageFast(r *bufio.Reader, it *internTable) (*Message, error) {
 	if err != nil {
 		return nil, peekErr(hdr, err, 1, 8, 2)
 	}
-	m := &Message{Type: Type(hdr[0])}
+	m := newMessage()
+	m.Type = Type(hdr[0])
 	m.Seq = binary.BigEndian.Uint64(hdr[1:9])
 	klen := int(binary.BigEndian.Uint16(hdr[9:11]))
 	if klen > MaxKeyLen {
@@ -543,6 +586,7 @@ type Conn struct {
 	wbuf    []byte      // staged, unflushed frame bytes (headers + small payloads)
 	wvec    net.Buffers // scratch for vectored writes
 	wvecArr [2][]byte
+	pvecArr [][]byte // reusable iovec backing for SendPrebuilt
 
 	framesOut atomic.Uint64
 	framesIn  atomic.Uint64

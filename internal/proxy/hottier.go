@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"infinicache/internal/clockcache"
+	"infinicache/internal/protocol"
 )
 
 // hotTier is the proxy-resident hot-object cache: a size-capped,
@@ -66,6 +67,33 @@ type hotEntry struct {
 	total  int      // total shards
 	chunks [][]byte // len total, exactly d non-nil; GC-owned
 	bytes  int64    // sum of chunk lengths (accounting size)
+
+	// wire is the entry's precomputed reply image: the d DATA frames a
+	// hit replays, headers fully encoded at admission with only the seq
+	// left as a hole. A hit is then a single SendPrebuilt — no header
+	// encoding, no per-chunk Forward calls. The image pins the chunk
+	// slices, which are immutable, so it shares the entry's lifetime
+	// rules (GC reclaims both together after eviction).
+	wire *protocol.Prebuilt
+}
+
+// buildWire precomputes the DATA-burst image for one admitted object.
+// Frame layout matches what serveHot's per-chunk Forward loop produced:
+// type DATA, the object key, args {index, object size, d, total}, the
+// chunk payload.
+func buildWire(key string, size int64, d, total int, chunks [][]byte) *protocol.Prebuilt {
+	w := &protocol.Prebuilt{}
+	var args [4]int64
+	for i, chunk := range chunks {
+		if chunk == nil {
+			continue
+		}
+		args = [4]int64{int64(i), size, int64(d), int64(total)}
+		if err := w.Append(protocol.TData, key, "", args[:], chunk); err != nil {
+			return nil // over wire limits; caller falls back to Forward
+		}
+	}
+	return w
 }
 
 // lastInvalCap bounds the per-key invalidation map; past it the map is
@@ -171,6 +199,10 @@ func (h *hotTier) insert(key string, size int64, d, total int, chunks [][]byte, 
 	if bytes > h.cap {
 		return
 	}
+	// Encode the reply image outside the lock: header encoding is pure
+	// CPU work on immutable inputs, and a stale capture (checked below)
+	// just lets the image die with the entry.
+	wire := buildWire(key, size, d, total, chunks)
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if token < h.floor || token < h.lastInval[key] {
@@ -179,7 +211,7 @@ func (h *hotTier) insert(key string, size int64, d, total int, chunks [][]byte, 
 	if old := h.entries[key]; old != nil {
 		h.stats.HotBytes.Add(-old.bytes)
 	}
-	h.entries[key] = &hotEntry{size: size, d: d, total: total, chunks: chunks, bytes: bytes}
+	h.entries[key] = &hotEntry{size: size, d: d, total: total, chunks: chunks, bytes: bytes, wire: wire}
 	h.clock.Add(key, bytes)
 	h.ghost.Remove(key)
 	h.stats.HotBytes.Add(bytes)

@@ -246,7 +246,7 @@ func (s *session) handle(m *protocol.Message) {
 	case protocol.TCancel:
 		s.handleCancel(m)
 	default:
-		m.Recycle()
+		m.Free()
 	}
 }
 
@@ -256,7 +256,7 @@ func (s *session) handle(m *protocol.Message) {
 // slots free up immediately instead of when the node answers. No reply
 // is sent — the client has already deregistered the seq.
 func (s *session) handleCancel(m *protocol.Message) {
-	defer m.Recycle()
+	defer m.Free()
 	pc, ok := s.byClient[m.Seq]
 	if !ok {
 		return // already completed, or never existed
@@ -303,23 +303,32 @@ func (s *session) queueDels(dels []evictedChunk) {
 	}
 }
 
-// serveHot answers a GET entirely from the hot tier: the d resident
-// chunk payloads replay as the same DATA frames a node fan-in would
-// have produced (index, size and RS geometry included, so the client
-// decode path is untouched), all staged under the wake's pin and put on
-// the wire by one flush. The entry's chunk slices are immutable and
-// GC-owned, so forwarding them needs no tier lock and cannot race an
-// invalidation. The mapping-table CLOCK bit is still touched: a
-// tier-served object must not look cold to pool-level eviction.
+// serveHot answers a GET entirely from the hot tier by replaying the
+// entry's precomputed wire image: the d DATA frames (index, size and
+// RS geometry included, so the client decode path is untouched) were
+// fully encoded at admission, and the hit is one SendPrebuilt — seq
+// stamped into the staged header bytes, payloads pinned as iovecs,
+// typically one writev and zero per-hit frame encoding. Small images
+// stage under the wake's pin and ride its flush instead. The image and
+// its chunk slices are immutable and GC-owned, so the replay needs no
+// tier lock and cannot race an invalidation. The mapping-table CLOCK
+// bit is still touched: a tier-served object must not look cold to
+// pool-level eviction.
 func (s *session) serveHot(seq uint64, key string, e *hotEntry) {
 	s.p.table.Touch(key)
-	var args [4]int64
-	for i, chunk := range e.chunks {
-		if chunk == nil {
-			continue
+	if e.wire != nil {
+		s.conn.SendPrebuilt(e.wire, seq)
+	} else {
+		// Image construction failed at admission (wire-limit edge);
+		// fall back to per-chunk forwarding.
+		var args [4]int64
+		for i, chunk := range e.chunks {
+			if chunk == nil {
+				continue
+			}
+			args = [4]int64{int64(i), e.size, int64(e.d), int64(e.total)}
+			s.conn.Forward(protocol.TData, seq, key, "", args[:], chunk)
 		}
-		args = [4]int64{int64(i), e.size, int64(e.d), int64(e.total)}
-		s.conn.Forward(protocol.TData, seq, key, "", args[:], chunk)
 	}
 	s.needFlush = true
 	s.p.stats.GetHits.Add(1)
@@ -341,7 +350,7 @@ func (s *session) handleSet(m *protocol.Message) {
 
 	if lambdaIdx < 0 || lambdaIdx >= len(s.p.nodes) || idx < 0 || idx >= total || total <= 0 || dShards <= 0 {
 		s.sendErr(m.Seq, m.Key, "proxy: bad SET arguments")
-		m.Recycle()
+		m.Free()
 		return
 	}
 	size := int64(len(m.Payload))
@@ -351,7 +360,7 @@ func (s *session) handleSet(m *protocol.Message) {
 		// object vanished meanwhile there is nothing to repair.
 		if _, ok := s.p.table.Lookup(m.Key); !ok {
 			s.sendErr(m.Seq, m.Key, "proxy: recovery for unknown object")
-			m.Recycle()
+			m.Free()
 			return
 		}
 	} else {
@@ -389,14 +398,14 @@ func (s *session) handleSet(m *protocol.Message) {
 	if err != nil {
 		s.failGen(m.Key, putGen)
 		s.sendErr(m.Seq, m.Key, err.Error())
-		m.Recycle()
+		m.Free()
 		return
 	}
 
 	if !s.reserveWindow(1) {
 		// Shutdown: undo the reservation and consume the frame.
 		s.p.table.ReleaseChunk(lambdaIdx, size)
-		m.Recycle()
+		m.Free()
 		return
 	}
 	seq := s.p.nextSeq()
@@ -412,7 +421,7 @@ func (s *session) handleSet(m *protocol.Message) {
 		delete(s.chunks, seq)
 		delete(s.byClient, m.Seq)
 		s.p.table.ReleaseChunk(lambdaIdx, size)
-		m.Recycle()
+		m.Free()
 		return
 	}
 	gk := genKey{m.Key, putGen}
@@ -426,6 +435,10 @@ func (s *session) handleSet(m *protocol.Message) {
 		s.genPending[gk] = gs
 	}
 	gs.pending++
+	// The payload now belongs to the setOp (recycled on completion); the
+	// frame struct itself is done.
+	m.Payload = nil
+	m.Free()
 }
 
 // handleGet implements the first-d parallel fan-out (§3.2): every
@@ -434,7 +447,7 @@ func (s *session) handleSet(m *protocol.Message) {
 // to the client; stragglers are recycled as they trickle in.
 func (s *session) handleGet(m *protocol.Message) {
 	s.p.stats.Gets.Add(1)
-	defer m.Recycle()
+	defer m.Free()
 	var hotToken uint64
 	var hotCapture bool
 	if s.p.hot != nil {
@@ -465,7 +478,7 @@ func (s *session) handleGet(m *protocol.Message) {
 			// mid-write (a fresh generation's chunks have not all
 			// committed). Not a loss — tell the client to retry; the
 			// next attempt reads the committed generation.
-			s.sendTransient(m.Seq, m.Key)
+			s.sendTransient(m.Seq, m.Key, protocol.TransientBusyWrite)
 			return
 		}
 		// More than p chunks already lost: the object is gone.
@@ -559,7 +572,7 @@ func (s *session) complete(r nodeReply) {
 	pc, ok := s.chunks[r.Seq]
 	if !ok {
 		if r.Msg != nil {
-			r.Msg.Recycle()
+			r.Msg.Free()
 		}
 		return
 	}
@@ -612,7 +625,7 @@ func (s *session) completeSet(op *setOp, resp *protocol.Message) {
 			s.p.nodes[op.node].queueDel(ChunkKey(op.key, op.idx))
 		}
 		if resp != nil {
-			resp.Recycle()
+			resp.Free()
 		}
 		bufpool.Put(op.payload)
 		op.payload = nil
@@ -649,7 +662,7 @@ func (s *session) completeSet(op *setOp, resp *protocol.Message) {
 		s.sendErr(op.clientSeq, op.key, "proxy: chunk store failed")
 	}
 	if resp != nil {
-		resp.Recycle()
+		resp.Free()
 	}
 	// This hop consumed the client's SET frame; its payload is free.
 	bufpool.Put(op.payload)
@@ -694,7 +707,7 @@ func (s *session) completeGet(op *getOp, idx int, resp *protocol.Message) {
 		}
 		// First-d already served → this is a straggler; either way the
 		// payload's journey ends at this hop.
-		resp.Recycle()
+		resp.Free()
 	case resp != nil && resp.Type == protocol.TMiss:
 		if !op.done {
 			// The node definitively lost this chunk (reclaimed
@@ -706,7 +719,7 @@ func (s *session) completeGet(op *getOp, idx int, resp *protocol.Message) {
 			s.p.table.MarkChunkLost(op.key, idx, op.epoch)
 			op.missed++
 		}
-		resp.Recycle()
+		resp.Free()
 	default:
 		// Transient failure (timeout, mid-backup swap): the chunk
 		// may still exist; do not mark it lost.
@@ -714,7 +727,7 @@ func (s *session) completeGet(op *getOp, idx int, resp *protocol.Message) {
 			op.failed++
 		}
 		if resp != nil {
-			resp.Recycle()
+			resp.Free()
 		}
 	}
 	if op.done || op.remaining > 0 {
@@ -729,17 +742,20 @@ func (s *session) completeGet(op *getOp, idx int, resp *protocol.Message) {
 	}
 	// Not enough chunks arrived but the object may survive: tell the
 	// client to retry rather than declaring a loss.
-	s.sendTransient(op.clientSeq, op.key)
+	s.sendTransient(op.clientSeq, op.key, protocol.TransientNodeFailure)
 }
 
 // sendTransient tells the client to retry: the object is not (known)
-// lost, this attempt just cannot produce d chunks — node timeouts
-// during a backup swap, or a fan-out that raced an overwrite.
-func (s *session) sendTransient(seq uint64, key string) {
+// lost, this attempt just cannot produce d chunks. reason classifies
+// the transient (protocol.TransientBusyWrite for an epoch-guard
+// "overwrite in progress" window the client should wait out,
+// protocol.TransientNodeFailure for node timeouts it should retry at
+// once) so the client's backoff can match the cause.
+func (s *session) sendTransient(seq uint64, key string, reason int64) {
 	s.needFlush = true
 	s.conn.Send(&protocol.Message{
 		Type: protocol.TErr, Seq: seq, Key: key,
-		Args:    []int64{1}, // 1 = transient
+		Args:    []int64{protocol.TransientFlag, reason},
 		Payload: []byte("proxy: transient chunk failures; retry"),
 	})
 }
@@ -754,7 +770,9 @@ func (s *session) sendTransient(seq uint64, key string) {
 func (s *session) objectLost(seq uint64, key string, epoch uint64) {
 	dels, ok := s.p.table.DropIfEpoch(key, epoch)
 	if !ok {
-		s.sendTransient(seq, key)
+		// The entry was replaced mid-GET: an overwrite is in flight and
+		// the next attempt reads the new generation once it commits.
+		s.sendTransient(seq, key, protocol.TransientBusyWrite)
 		return
 	}
 	s.p.stats.ObjectLosses.Add(1)
@@ -773,5 +791,5 @@ func (s *session) handleDel(m *protocol.Message) {
 	s.queueDels(s.p.table.Drop(m.Key))
 	s.needFlush = true
 	s.conn.Forward(protocol.TAck, m.Seq, m.Key, "", nil, nil)
-	m.Recycle()
+	m.Free()
 }
