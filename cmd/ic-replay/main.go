@@ -9,8 +9,9 @@
 //	          [-backend infinicache|redis|dummy]
 //	          [-speedup 60] [-sessions 8] [-batch 8] [-size-cap 1048576]
 //	          [-preload] [-no-insert]
-//	          [-nodes 20] [-mem 1536] [-d 10] [-p 2] [-warm 1m]
-//	          [-backup 5m] [-hot bytes] [-hot-max bytes]
+//	          [-proxies 1] [-nodes 20] [-mem 1536] [-d 10] [-p 2]
+//	          [-warm 1m] [-backup 5m] [-hot bytes] [-hot-max bytes]
+//	          [-clients 1] [-churn "30ms:+1,2s:-1"] [-mig-rate bytes]
 //	          [-timescale 0.01] [-shards 1] [-redis-mem bytes]
 //	          [-instance cache.r5.large] [-seed 1]
 //
@@ -22,6 +23,14 @@
 // speeds up the replay AND every deployment timer (warm-ups, billing,
 // reclamation) coherently — use -speedup to change only the offered
 // load.
+//
+// -clients n replays through n independent InfiniCache clients spread
+// round-robin across the session workers, so each client keeps its own
+// connections and ring view. -churn drives membership churn during the
+// replay: a comma-separated schedule of virtual-time offsets from the
+// replay start, each adding (+N) or removing (-N) proxies; after the
+// replay the run waits for migration to quiesce and reports how many
+// keys moved.
 package main
 
 import (
@@ -31,10 +40,14 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"infinicache"
+	"infinicache/internal/core"
 	"infinicache/internal/exps"
 	"infinicache/internal/replay"
 	"infinicache/internal/vclock"
@@ -55,6 +68,7 @@ func main() {
 	noInsert := flag.Bool("no-insert", false, "disable GET-upon-miss insertion")
 	seed := flag.Int64("seed", 1, "random seed")
 
+	proxies := flag.Int("proxies", 1, "infinicache: proxies at start")
 	nodes := flag.Int("nodes", 20, "infinicache: Lambda pool size")
 	mem := flag.Int("mem", 1536, "infinicache: Lambda memory MB")
 	d := flag.Int("d", 10, "infinicache: data shards")
@@ -63,12 +77,23 @@ func main() {
 	backup := flag.Duration("backup", 5*time.Minute, "infinicache: T_bak (0 disables)")
 	hot := flag.Int64("hot", 0, "infinicache: proxy hot-tier bytes (0 disables)")
 	hotMax := flag.Int64("hot-max", 0, "infinicache: hot-tier admission cap (0 = 1 MiB)")
+	clients := flag.Int("clients", 1, "infinicache: independent clients spread across sessions")
+	churnSpec := flag.String("churn", "", "infinicache: churn schedule, e.g. '30ms:+1,2s:-1' (virtual offsets from replay start)")
+	migRate := flag.Int64("mig-rate", 0, "infinicache: migration pacing bytes/sec (0 = 32 MiB/s default, negative = unpaced)")
 	timescale := flag.Float64("timescale", 0, "virtual clock scale for infinicache/redis (0.01 = 100x faster; 0 = real time)")
 
 	shards := flag.Int("shards", 1, "redis: number of cache servers")
 	redisMem := flag.Int64("redis-mem", 4<<30, "redis: memory bytes per shard")
 	instance := flag.String("instance", "cache.r5.large", "redis: instance type for pricing")
 	flag.Parse()
+
+	churn, err := parseChurn(*churnSpec)
+	if err != nil {
+		log.Fatalf("-churn: %v", err)
+	}
+	if (len(churn) > 0 || *clients > 1) && *backend != "infinicache" {
+		log.Fatalf("-churn and -clients need -backend infinicache (got %q)", *backend)
+	}
 
 	var trace *workload.Trace
 	if *traceFile != "" {
@@ -98,6 +123,8 @@ func main() {
 	}
 
 	var b replay.Backend
+	var cache *infinicache.Cache
+	var sessionBackends []replay.Backend
 	switch *backend {
 	case "dummy":
 		b = replay.NewDummy()
@@ -114,11 +141,13 @@ func main() {
 		b = rb
 	case "infinicache":
 		opts := []infinicache.Option{
+			infinicache.WithProxies(*proxies),
 			infinicache.WithNodesPerProxy(*nodes),
 			infinicache.WithNodeMemoryMB(*mem),
 			infinicache.WithShards(*d, *p),
 			infinicache.WithWarmupInterval(*warm),
 			infinicache.WithBackupInterval(*backup),
+			infinicache.WithMigrationRate(*migRate, 0),
 			infinicache.WithSeed(*seed),
 		}
 		if *hot > 0 {
@@ -130,7 +159,7 @@ func main() {
 		if *timescale > 0 {
 			opts = append(opts, infinicache.WithTimeScale(*timescale))
 		}
-		cache, err := infinicache.New(opts...)
+		cache, err = infinicache.New(opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -141,6 +170,17 @@ func main() {
 			log.Fatal(err)
 		}
 		b = ib
+		if *clients > 1 {
+			sessionBackends = []replay.Backend{ib}
+			for i := 1; i < *clients; i++ {
+				extra, err := replay.NewInfiniCache(cache)
+				if err != nil {
+					log.Fatal(err)
+				}
+				defer extra.Close()
+				sessionBackends = append(sessionBackends, extra)
+			}
+		}
 	default:
 		log.Fatalf("unknown backend %q (want infinicache, redis, or dummy)", *backend)
 	}
@@ -158,17 +198,28 @@ func main() {
 	}
 
 	cfg := replay.Config{
-		Clock:          clk,
-		Speedup:        *speedup,
-		Sessions:       *sessions,
-		Batch:          *batch,
-		SizeCap:        *sizeCap,
-		NoInsertOnMiss: *noInsert,
+		Clock:           clk,
+		Speedup:         *speedup,
+		Sessions:        *sessions,
+		Batch:           *batch,
+		SizeCap:         *sizeCap,
+		NoInsertOnMiss:  *noInsert,
+		SessionBackends: sessionBackends,
 	}
 	if *speedup == 0 {
 		cfg.Speedup = -1 // CLI convention: 0 means unpaced
 	}
-	fmt.Printf("replaying against %s (%d sessions, speedup %v)...\n\n", *backend, *sessions, *speedup)
+	fmt.Printf("replaying against %s (%d sessions, %d clients, speedup %v)...\n\n",
+		*backend, *sessions, max(*clients, 1), *speedup)
+
+	var churnWG sync.WaitGroup
+	if len(churn) > 0 {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			runChurn(cache.Deployment(), clk, churn)
+		}()
+	}
 
 	res, err := replay.Run(ctx, cfg, trace, b)
 	if res != nil {
@@ -176,5 +227,88 @@ func main() {
 	}
 	if err != nil {
 		log.Fatalf("replay interrupted: %v", err)
+	}
+
+	if len(churn) > 0 {
+		churnWG.Wait()
+		dep := cache.Deployment()
+		if qerr := dep.QuiesceMigration(2 * time.Minute); qerr != nil {
+			log.Fatalf("churn: migration did not quiesce: %v", qerr)
+		}
+		var keys, bytes, drops int64
+		for _, p := range dep.Proxies {
+			st := p.Stats()
+			keys += st.MigratedKeys.Load()
+			bytes += st.MigratedBytes.Load()
+			drops += st.MigrationDrops.Load()
+		}
+		fmt.Printf("churn: epoch v%d, %d proxies; migrated %d keys (%.1f MB chunk payload), %d drops\n",
+			dep.Epoch().Version(), len(dep.ProxyInfos()), keys, float64(bytes)/(1<<20), drops)
+	}
+}
+
+// churnEvent is one membership change scheduled at a virtual-time
+// offset from the replay start. Positive delta adds proxies; negative
+// removes the newest ones.
+type churnEvent struct {
+	at    time.Duration
+	delta int
+}
+
+// parseChurn parses "30ms:+1,2s:-1" into a schedule sorted by offset.
+func parseChurn(spec string) ([]churnEvent, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var events []churnEvent
+	for _, part := range strings.Split(spec, ",") {
+		at, delta, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("entry %q: want OFFSET:±N", part)
+		}
+		d, err := time.ParseDuration(at)
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("entry %q: bad offset %q", part, at)
+		}
+		n, err := strconv.Atoi(delta)
+		if err != nil || n == 0 {
+			return nil, fmt.Errorf("entry %q: bad delta %q (want non-zero ±N)", part, delta)
+		}
+		events = append(events, churnEvent{at: d, delta: n})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].at < events[j].at })
+	return events, nil
+}
+
+// runChurn fires the schedule on the deployment clock: each event adds
+// or removes |delta| proxies (removal picks the newest member, never
+// the last one standing).
+func runChurn(dep *core.Deployment, clk vclock.Clock, events []churnEvent) {
+	start := clk.Now()
+	for _, ev := range events {
+		if d := ev.at - clk.Since(start); d > 0 {
+			<-clk.After(d)
+		}
+		for i := 0; i < ev.delta; i++ {
+			px, err := dep.AddProxy()
+			if err != nil {
+				log.Printf("churn: add proxy: %v", err)
+				continue
+			}
+			fmt.Printf("churn: +proxy %s (epoch v%d)\n", px.Addr(), dep.Epoch().Version())
+		}
+		for i := 0; i > ev.delta; i-- {
+			infos := dep.ProxyInfos()
+			if len(infos) < 2 {
+				log.Print("churn: refusing to remove the last proxy")
+				break
+			}
+			addr := infos[len(infos)-1].Addr
+			if err := dep.RemoveProxy(addr); err != nil {
+				log.Printf("churn: remove proxy %s: %v", addr, err)
+				continue
+			}
+			fmt.Printf("churn: -proxy %s (epoch v%d)\n", addr, dep.Epoch().Version())
+		}
 	}
 }

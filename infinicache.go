@@ -86,6 +86,14 @@ type Config struct {
 	// HotMaxObjectBytes caps the size of objects the hot tier admits
 	// (default 1 MiB when the tier is enabled).
 	HotMaxObjectBytes int64
+	// MigrationRateBytes paces the key-migration plane that streams
+	// objects to their new owners after a proxy joins or leaves: a
+	// token-bucket refill rate in bytes/second of chunk payload.
+	// 0 takes the 32 MiB/s default; negative disables pacing.
+	MigrationRateBytes int64
+	// MigrationBurstBytes is the migration token bucket's depth
+	// (default max(rate/8, 256 KiB)).
+	MigrationBurstBytes int64
 	// RequestTimeout bounds each client operation (default 60s).
 	RequestTimeout time.Duration
 	// EnableRecovery re-inserts EC-reconstructed chunks after degraded
@@ -179,6 +187,17 @@ func WithRecovery(on bool) Option { return func(c *Config) { c.EnableRecovery = 
 // WithSeed makes placement and policies deterministic.
 func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
 
+// WithMigrationRate paces post-churn key migration at rate bytes/second
+// with the given token-bucket depth (burst 0 picks max(rate/8,
+// 256 KiB)). Rate 0 takes the 32 MiB/s default; a negative rate
+// disables pacing entirely.
+func WithMigrationRate(rate, burst int64) Option {
+	return func(c *Config) {
+		c.MigrationRateBytes = rate
+		c.MigrationBurstBytes = burst
+	}
+}
+
 // Cache is a running InfiniCache deployment.
 type Cache struct {
 	d *core.Deployment
@@ -263,21 +282,23 @@ func NewFromConfig(cfg Config) (*Cache, error) {
 		cfg.BackupInterval = 0
 	}
 	d, err := core.New(core.Config{
-		Proxies:           cfg.Proxies,
-		NodesPerProxy:     cfg.NodesPerProxy,
-		NodeMemoryMB:      cfg.NodeMemoryMB,
-		DataShards:        cfg.DataShards,
-		ParityShards:      cfg.ParityShards,
-		HotTierBytes:      cfg.HotTierBytes,
-		HotMaxObjectBytes: cfg.HotMaxObjectBytes,
-		WarmupInterval:    cfg.WarmupInterval,
-		BackupInterval:    cfg.BackupInterval,
-		ReclaimPolicy:     cfg.ReclaimPolicy,
-		TimeScale:         cfg.TimeScale,
-		Clock:             cfg.Clock,
-		RequestTimeout:    cfg.RequestTimeout,
-		EnableRecovery:    cfg.EnableRecovery,
-		Seed:              cfg.Seed,
+		Proxies:             cfg.Proxies,
+		NodesPerProxy:       cfg.NodesPerProxy,
+		NodeMemoryMB:        cfg.NodeMemoryMB,
+		DataShards:          cfg.DataShards,
+		ParityShards:        cfg.ParityShards,
+		HotTierBytes:        cfg.HotTierBytes,
+		HotMaxObjectBytes:   cfg.HotMaxObjectBytes,
+		WarmupInterval:      cfg.WarmupInterval,
+		BackupInterval:      cfg.BackupInterval,
+		ReclaimPolicy:       cfg.ReclaimPolicy,
+		MigrationRateBytes:  cfg.MigrationRateBytes,
+		MigrationBurstBytes: cfg.MigrationBurstBytes,
+		TimeScale:           cfg.TimeScale,
+		Clock:               cfg.Clock,
+		RequestTimeout:      cfg.RequestTimeout,
+		EnableRecovery:      cfg.EnableRecovery,
+		Seed:                cfg.Seed,
 	})
 	if err != nil {
 		return nil, err

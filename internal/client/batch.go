@@ -65,19 +65,42 @@ func (c *Client) MGet(ctx context.Context, keys ...string) []GetResult {
 	// Per-key transient failures (a backup swap mid-burst) retry on the
 	// single-key path. The burst was attempt 1, so a key gets the same
 	// getRetries total attempts it would on the GetObject path.
+	// WRONG_OWNER results (an epoch bump mid-burst) refresh the ring
+	// view once and re-run the full single-key machinery, which follows
+	// any further redirect or fallback hop itself.
+	refreshed := false
 	for i := range res {
-		if !errors.Is(res[i].Err, errTransient) {
-			continue
+		var wo *wrongOwnerError
+		switch {
+		case errors.As(res[i].Err, &wo):
+			c.stats.Redirects.Add(1)
+			if !refreshed {
+				c.refreshRing(ctx, wo.owner)
+				refreshed = true
+			}
+			res[i].Object, res[i].Err = c.getWithRetries(ctx, keys[i])
+		case errors.Is(res[i].Err, errConnClosed):
+			// The burst's proxy died or left the cluster mid-flight:
+			// refresh once and re-route each key through the ring.
+			if !refreshed {
+				c.refreshRing(ctx, "")
+				refreshed = true
+			}
+			res[i].Object, res[i].Err = c.getWithRetries(ctx, keys[i])
+		case errors.Is(res[i].Err, errTransient):
+			var obj *Object
+			err := res[i].Err
+			for attempt := 1; attempt < getRetries && errors.Is(err, errTransient); attempt++ {
+				obj, err = c.getOnce(ctx, keys[i])
+			}
+			if errors.Is(err, errTransient) {
+				err = fmt.Errorf("%w (after %d attempts): %v", ErrRejected, getRetries, err)
+			}
+			if errors.Is(err, ErrMiss) {
+				c.stats.ColdMisses.Add(1)
+			}
+			res[i].Object, res[i].Err = obj, err
 		}
-		var obj *Object
-		err := res[i].Err
-		for attempt := 1; attempt < getRetries && errors.Is(err, errTransient); attempt++ {
-			obj, err = c.getOnce(ctx, keys[i])
-		}
-		if errors.Is(err, errTransient) {
-			err = fmt.Errorf("%w (after %d attempts): %v", ErrRejected, getRetries, err)
-		}
-		res[i].Object, res[i].Err = obj, err
 	}
 	return res
 }
@@ -178,6 +201,10 @@ func (c *Client) mgetBurst(ctx context.Context, addr string, keys []string, idxs
 			st.done = true
 			active--
 			if err != nil {
+				if errors.Is(err, ErrMiss) {
+					// Final for the burst: misses are not retried below.
+					c.stats.ColdMisses.Add(1)
+				}
 				st.g.obj.Release()
 				res[st.idx].Err = err
 			} else {
@@ -237,6 +264,29 @@ func (c *Client) MPut(ctx context.Context, pairs ...KV) []PutResult {
 		}(addr, idxs)
 	}
 	wg.Wait()
+	// Pairs refused with WRONG_OWNER (an epoch bump mid-burst) refresh
+	// the ring view once and retry on the single-key path, which follows
+	// any further redirect itself. The proxy failed the whole refused
+	// generation, so the retry writes from a clean slate.
+	refreshed := false
+	for i := range res {
+		var wo *wrongOwnerError
+		hint := ""
+		switch {
+		case errors.As(res[i].Err, &wo):
+			c.stats.Redirects.Add(1)
+			hint = wo.owner
+		case errors.Is(res[i].Err, errConnClosed):
+			// The burst's proxy died or left the cluster mid-flight.
+		default:
+			continue
+		}
+		if !refreshed {
+			c.refreshRing(ctx, hint)
+			refreshed = true
+		}
+		res[i].Err = c.putObject(ctx, pairs[i].Key, pairs[i].Value)
+	}
 	return res
 }
 
@@ -248,7 +298,7 @@ type mputChunk struct {
 
 // mputBurst runs one proxy's share of an MPut.
 func (c *Client) mputBurst(ctx context.Context, addr string, pairs []KV, idxs []int, res []PutResult) {
-	info := c.byAddr[addr]
+	info := c.proxyInfo(addr)
 	pc, err := c.conn(addr)
 	if err != nil {
 		for _, i := range idxs {
@@ -325,7 +375,14 @@ func (c *Client) mputBurst(ctx context.Context, addr string, pairs []KV, idxs []
 	// chunks in seqIdx, already CANCELled at the proxy on abandon, so
 	// the per-pair failures fall out of the survivor set.
 	if err := collectAcks(c, ctx, pc, ch, seqIdx, deadline, func(mc mputChunk, resp *protocol.Message) {
-		if resp.Type != protocol.TAck && res[mc.resIdx].Err == nil {
+		switch {
+		case resp.Type == protocol.TWrongOwner:
+			// The redirect outranks any per-chunk error already
+			// recorded: the pair retries wholesale after the burst.
+			if _, isWo := res[mc.resIdx].Err.(*wrongOwnerError); !isWo {
+				res[mc.resIdx].Err = &wrongOwnerError{version: uint64(resp.Arg(0)), owner: resp.Addr}
+			}
+		case resp.Type != protocol.TAck && res[mc.resIdx].Err == nil:
 			res[mc.resIdx].Err = fmt.Errorf("chunk %d: %w: %s", mc.chunk, ErrRejected, resp.Payload)
 		}
 	}); err != nil {

@@ -31,8 +31,8 @@ import (
 	"time"
 
 	"infinicache/internal/bufpool"
+	"infinicache/internal/cluster"
 	"infinicache/internal/ec"
-	"infinicache/internal/hashring"
 	"infinicache/internal/protocol"
 	"infinicache/internal/vclock"
 )
@@ -98,14 +98,16 @@ func WithSeed(seed int64) Option {
 
 // Stats counts client-side cache outcomes.
 type Stats struct {
-	Gets       atomic.Int64
-	Hits       atomic.Int64
-	ColdMisses atomic.Int64 // key never inserted (or evicted)
-	Losses     atomic.Int64 // object lost to reclamation (> p chunks)
-	Resets     atomic.Int64 // loss-triggered re-inserts via GetOrLoad
-	Puts       atomic.Int64
-	Decodes    atomic.Int64 // GETs that needed EC reconstruction
-	Recoveries atomic.Int64 // chunks re-inserted by EC recovery
+	Gets          atomic.Int64
+	Hits          atomic.Int64
+	ColdMisses    atomic.Int64 // key never inserted (or evicted)
+	Losses        atomic.Int64 // object lost to reclamation (> p chunks)
+	Resets        atomic.Int64 // loss-triggered re-inserts via GetOrLoad
+	Puts          atomic.Int64
+	Decodes       atomic.Int64 // GETs that needed EC reconstruction
+	Recoveries    atomic.Int64 // chunks re-inserted by EC recovery
+	Redirects     atomic.Int64 // WRONG_OWNER redirects followed
+	RingRefreshes atomic.Int64 // newer epochs installed via RING fetch
 }
 
 // Common errors.
@@ -119,10 +121,23 @@ var (
 // Client is the InfiniCache client library handle. Safe for concurrent
 // use by multiple goroutines.
 type Client struct {
-	cfg    Config
-	codec  *ec.Codec
-	ring   *hashring.Ring
-	byAddr map[string]ProxyInfo // immutable after New
+	cfg   Config
+	codec *ec.Codec
+
+	// epoch is the client's current view of the proxy membership ring.
+	// It starts as a version-0 snapshot of Config.Proxies and advances
+	// lazily: a WRONG_OWNER redirect names a newer version, refreshRing
+	// fetches it (RING frame) and installs it monotonically. Lock-free
+	// on the request path.
+	epoch atomic.Pointer[cluster.Epoch]
+	// refreshMu serialises ring fetches so a redirect storm coalesces
+	// into one RING round trip.
+	refreshMu sync.Mutex
+
+	// recovery single-flights degraded-GET repair per (key, ring
+	// version): concurrent readers of the same degraded object coalesce
+	// onto one reconstruction instead of racing duplicate chunk SETs.
+	recovery *cluster.Plane
 
 	mu    sync.Mutex
 	conns map[string]*proxyConn
@@ -149,24 +164,25 @@ func New(cfg Config, opts ...Option) (*Client, error) {
 		return nil, err
 	}
 	total := cfg.DataShards + cfg.ParityShards
-	ring := hashring.New(0)
-	byAddr := make(map[string]ProxyInfo, len(cfg.Proxies))
+	members := make([]cluster.Member, 0, len(cfg.Proxies))
 	for _, p := range cfg.Proxies {
 		if p.PoolSize < total {
 			return nil, fmt.Errorf("client: proxy %s pool %d smaller than d+p=%d", p.Addr, p.PoolSize, total)
 		}
-		ring.Add(p.Addr)
-		byAddr[p.Addr] = p
+		members = append(members, cluster.Member{Addr: p.Addr, PoolSize: p.PoolSize})
 	}
-	return &Client{
-		cfg:    cfg,
-		codec:  codec,
-		ring:   ring,
-		byAddr: byAddr,
-		conns:  make(map[string]*proxyConn),
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		perms:  make(map[int][]int),
-	}, nil
+	c := &Client{
+		cfg:      cfg,
+		codec:    codec,
+		recovery: cluster.NewPlane(0),
+		conns:    make(map[string]*proxyConn),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		perms:    make(map[int][]int),
+	}
+	// Version 0: any published epoch (versions start at 1) supersedes
+	// the static bootstrap list.
+	c.epoch.Store(cluster.NewEpoch(0, members))
+	return c, nil
 }
 
 // Stats returns the client's counters.
@@ -201,14 +217,116 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// proxyFor locates the proxy owning key on the CH ring (one map lookup;
-// the addr→info index is built at New).
+// proxyFor locates the proxy owning key under the client's current
+// epoch view (lock-free ring walk plus one map lookup).
 func (c *Client) proxyFor(key string) (ProxyInfo, error) {
-	addr := c.ring.Locate(key)
-	if p, ok := c.byAddr[addr]; ok {
-		return p, nil
+	e := c.epoch.Load()
+	addr := e.Owner(key)
+	if m, ok := e.Member(addr); ok {
+		return ProxyInfo{Addr: m.Addr, PoolSize: m.PoolSize}, nil
 	}
 	return ProxyInfo{}, fmt.Errorf("client: no proxy for key %q", key)
+}
+
+// proxyInfo resolves addr against the current epoch view; an address
+// outside the view (a fallback target already retired from the ring)
+// comes back with PoolSize 0 — readable, but no placement possible.
+func (c *Client) proxyInfo(addr string) ProxyInfo {
+	if m, ok := c.epoch.Load().Member(addr); ok {
+		return ProxyInfo{Addr: m.Addr, PoolSize: m.PoolSize}
+	}
+	return ProxyInfo{Addr: addr}
+}
+
+// wrongOwnerError carries a WRONG_OWNER redirect: the proxy the client
+// asked does not own the key under epoch version; owner does. fallback
+// flags the migration-window variant — the new owner had a local miss
+// and points the client back at the previous owner, which must be asked
+// authoritatively (no ownership re-check there).
+type wrongOwnerError struct {
+	version  uint64
+	owner    string
+	fallback bool
+}
+
+func (e *wrongOwnerError) Error() string {
+	kind := "redirect"
+	if e.fallback {
+		kind = "fallback"
+	}
+	return fmt.Sprintf("client: wrong owner (%s to %s, epoch v%d)", kind, e.owner, e.version)
+}
+
+// redirectBudget bounds how many WRONG_OWNER hops one logical operation
+// follows before giving up. Steady state needs zero (client and proxy
+// rings agree); an epoch bump costs one refresh plus one retry.
+const redirectBudget = 8
+
+// refreshRing fetches the current membership epoch with a RING frame
+// and installs it if newer than the client's view. hint (the redirecting
+// proxy or the named owner — it provably has the new epoch) is tried
+// first, then every member of the current view. Serialised so a
+// redirect storm coalesces; callers race ahead on the freshly installed
+// view either way.
+func (c *Client) refreshRing(ctx context.Context, hint string) error {
+	c.refreshMu.Lock()
+	defer c.refreshMu.Unlock()
+	cur := c.epoch.Load()
+	cands := make([]string, 0, len(cur.Members())+1)
+	if hint != "" {
+		cands = append(cands, hint)
+	}
+	for _, m := range cur.Members() {
+		if m.Addr != hint {
+			cands = append(cands, m.Addr)
+		}
+	}
+	err := errors.New("client: no ring source reachable")
+	for _, addr := range cands {
+		var e *cluster.Epoch
+		e, err = c.fetchRing(ctx, addr)
+		if err != nil {
+			continue
+		}
+		if e != nil && e.Version() > cur.Version() {
+			c.epoch.Store(e)
+			c.stats.RingRefreshes.Add(1)
+		}
+		return nil
+	}
+	return err
+}
+
+// fetchRing asks one proxy for its epoch. A nil epoch with nil error
+// means the proxy runs without membership (legacy static ring).
+func (c *Client) fetchRing(ctx context.Context, addr string) (*cluster.Epoch, error) {
+	pc, err := c.conn(addr)
+	if err != nil {
+		return nil, err
+	}
+	seq := c.seq.Add(1)
+	ch := pc.register(seq, 2)
+	defer pc.release(seq, ch)
+	if err := pc.conn.Forward(protocol.TRing, seq, "", "", nil, nil); err != nil {
+		return nil, err
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, errConnClosed
+		}
+		defer resp.Free()
+		if resp.Type != protocol.TRing || len(resp.Payload) == 0 {
+			return nil, nil
+		}
+		return cluster.DecodeEpoch(resp.Payload)
+	case <-ctx.Done():
+		pc.cancel(seq)
+		return nil, ctx.Err()
+	case <-c.cfg.Clock.After(c.cfg.RequestTimeout):
+		pc.cancel(seq)
+		return nil, ErrTimeout
+	}
 }
 
 // placement draws a vector of n non-repeating Lambda indexes (IDλ,
@@ -249,10 +367,42 @@ func (c *Client) PutCtx(ctx context.Context, key string, value []byte) error {
 		return errors.New("client: empty value")
 	}
 	c.stats.Puts.Add(1)
-	info, err := c.proxyFor(key)
-	if err != nil {
-		return err
+	return c.putObject(ctx, key, value)
+}
+
+// putObject routes one PUT through the ring, following WRONG_OWNER
+// redirects: a stale-ring write is refused by the proxy (the whole
+// generation fails, nothing partial lingers), the client refreshes its
+// epoch view and retries at the owner with a fresh placement and
+// generation.
+func (c *Client) putObject(ctx context.Context, key string, value []byte) error {
+	var lastErr error
+	for hop := 0; hop <= redirectBudget; hop++ {
+		info, err := c.proxyFor(key)
+		if err != nil {
+			return err
+		}
+		err = c.putOnce(ctx, info, key, value)
+		var wo *wrongOwnerError
+		switch {
+		case errors.As(err, &wo):
+			c.stats.Redirects.Add(1)
+			lastErr = err
+			c.refreshRing(ctx, wo.owner)
+		case errors.Is(err, errConnClosed):
+			// The owner is unreachable — it likely left the cluster.
+			// Learn the epoch that retired it and re-route.
+			lastErr = err
+			c.refreshRing(ctx, "")
+		default:
+			return err
+		}
 	}
+	return fmt.Errorf("%w: redirect loop: %v", ErrRejected, lastErr)
+}
+
+// putOnce encodes value and pipelines its chunks to one proxy.
+func (c *Client) putOnce(ctx context.Context, info ProxyInfo, key string, value []byte) error {
 	pc, err := c.conn(info.Addr)
 	if err != nil {
 		return err
@@ -323,6 +473,7 @@ func (c *Client) putChunks(ctx context.Context, pc *proxyConn, key string, objSi
 	// The Flush must land before collectAcks blocks — an unflushed SET
 	// would wait forever for its own ACK.
 	var firstErr error
+	var woErr *wrongOwnerError
 	var args [7]int64
 	pc.conn.Pin()
 	for i, shard := range shards {
@@ -353,7 +504,12 @@ func (c *Client) putChunks(ctx context.Context, pc *proxyConn, key string, objSi
 	// names exactly the chunks still in flight — the ones collectAcks
 	// CANCELs at the proxy before giving up.
 	err := collectAcks(c, ctx, pc, ch, seqIdx, deadline, func(idx int, resp *protocol.Message) {
-		if resp.Type != protocol.TAck && firstErr == nil {
+		switch {
+		case resp.Type == protocol.TWrongOwner:
+			if woErr == nil {
+				woErr = &wrongOwnerError{version: uint64(resp.Arg(0)), owner: resp.Addr}
+			}
+		case resp.Type != protocol.TAck && firstErr == nil:
 			firstErr = fmt.Errorf("chunk %d: %w: %s", idx, ErrRejected, resp.Payload)
 		}
 	})
@@ -365,6 +521,12 @@ func (c *Client) putChunks(ctx context.Context, pc *proxyConn, key string, objSi
 		}
 	default:
 		return err // context cancellation wins over per-chunk errors
+	}
+	// A redirect outranks per-chunk noise: the proxy failed the whole
+	// generation, so the caller's right move is refresh-and-retry, not
+	// surfacing a chunk error.
+	if woErr != nil {
+		return woErr
 	}
 	return firstErr
 }
@@ -454,12 +616,52 @@ const busyWriteBackoff = 2 * time.Millisecond
 // in-flight request at the proxy.
 func (c *Client) GetObject(ctx context.Context, key string) (*Object, error) {
 	c.stats.Gets.Add(1)
+	return c.getWithRetries(ctx, key)
+}
+
+// getWithRetries is the full single-key GET state machine: transient
+// retries, busy-write backoff, and the membership redirect protocol.
+// A WRONG_OWNER reply refreshes the ring view and retries through it; a
+// fallback redirect (migration window: the new owner misses locally)
+// asks the previous owner authoritatively, whose answer — data or miss
+// — is final. Redirect hops are budgeted separately from transient
+// retries so an epoch bump does not eat the failure budget.
+func (c *Client) getWithRetries(ctx context.Context, key string) (*Object, error) {
 	var err error
 	var obj *Object
 	backoff := busyWriteBackoff
-	for attempt := 0; attempt < getRetries; attempt++ {
-		obj, err = c.getOnce(ctx, key)
+	redirects := 0
+	direct := "" // when set, ask this proxy instead of routing by ring
+	authoritative := false
+	fallbackMissRetried := false
+	for attempt := 0; attempt < getRetries; {
+		obj, err = c.getFrom(ctx, key, direct, authoritative)
+		var wo *wrongOwnerError
 		switch {
+		case authoritative && errors.Is(err, ErrMiss) && !fallbackMissRetried:
+			// A fallback miss can race the handoff completing: the
+			// source streamed the key and dropped its copy between
+			// issuing the redirect and this GET landing. One pass back
+			// through the ring settles it — the new owner either holds
+			// the key now or the miss is genuine (a second fallback hop
+			// would find it at the source).
+			fallbackMissRetried = true
+			direct, authoritative = "", false
+		case errors.As(err, &wo):
+			redirects++
+			if redirects > redirectBudget {
+				return nil, fmt.Errorf("%w: redirect loop (%d hops): %v", ErrRejected, redirects, err)
+			}
+			c.stats.Redirects.Add(1)
+			if wo.fallback {
+				// The owner is still waiting on the migration stream;
+				// chase the key to its previous owner directly.
+				direct, authoritative = wo.owner, true
+				continue
+			}
+			// Plain redirect: learn the new ring, then route through it.
+			c.refreshRing(ctx, wo.owner)
+			direct, authoritative = "", false
 		case errors.Is(err, errBusyWrite):
 			// Adaptive overwrite-retry: the proxy said a PUT generation
 			// is mid-commit. Wait the window out (doubling per repeat)
@@ -471,10 +673,21 @@ func (c *Client) GetObject(ctx context.Context, key string) (*Object, error) {
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
+			attempt++
 		case errors.Is(err, errTransient):
 			// Node-side transient (timeout, backup swap): the fan-out
 			// path usually heals immediately; retry at once.
+			attempt++
+		case errors.Is(err, errConnClosed):
+			// The proxy likely left the cluster; pick up the epoch that
+			// retired it and retry through the fresh ring.
+			c.refreshRing(ctx, "")
+			direct, authoritative = "", false
+			attempt++
 		default:
+			if errors.Is(err, ErrMiss) {
+				c.stats.ColdMisses.Add(1)
+			}
 			return obj, err
 		}
 	}
@@ -562,8 +775,18 @@ func (c *Client) applyGetFrame(g *gather, msg *protocol.Message, d, total int) (
 			c.stats.Losses.Add(1)
 			return true, ErrLost
 		}
-		c.stats.ColdMisses.Add(1)
+		// Not counted here: a miss at the frame level may be provisional
+		// (the fallback-race retry in getWithRetries can still turn it
+		// into a hit). ColdMisses is counted where ErrMiss becomes final.
 		return true, ErrMiss
+	case protocol.TWrongOwner:
+		wo := &wrongOwnerError{
+			version:  uint64(msg.Arg(0)),
+			owner:    msg.Addr,
+			fallback: msg.Arg(1) == 1,
+		}
+		msg.Free()
+		return true, wo
 	case protocol.TErr:
 		if msg.Arg(0) == protocol.TransientFlag {
 			busy := msg.Arg(1) == protocol.TransientBusyWrite
@@ -582,10 +805,27 @@ func (c *Client) applyGetFrame(g *gather, msg *protocol.Message, d, total int) (
 	}
 }
 
+// getOnce is one ring-routed, non-authoritative GET attempt (the MGet
+// retry path rides it).
 func (c *Client) getOnce(ctx context.Context, key string) (*Object, error) {
-	info, err := c.proxyFor(key)
-	if err != nil {
-		return nil, err
+	return c.getFrom(ctx, key, "", false)
+}
+
+// getFrom runs one GET attempt. With direct == "" the key's ring owner
+// is asked; otherwise direct names the proxy (a fallback target). The
+// authoritative flag (Args[0] = 1) makes the proxy serve regardless of
+// ring ownership and answer a plain MISS instead of a second fallback
+// redirect.
+func (c *Client) getFrom(ctx context.Context, key, direct string, authoritative bool) (*Object, error) {
+	var info ProxyInfo
+	if direct == "" {
+		var err error
+		info, err = c.proxyFor(key)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		info = c.proxyInfo(direct)
 	}
 	pc, err := c.conn(info.Addr)
 	if err != nil {
@@ -598,7 +838,11 @@ func (c *Client) getOnce(ctx context.Context, key string) (*Object, error) {
 	// first d, recycling their pooled payloads.
 	defer pc.release(seq, ch)
 
-	if err := pc.conn.Forward(protocol.TGet, seq, key, "", nil, nil); err != nil {
+	var getArgs []int64
+	if authoritative {
+		getArgs = []int64{1}
+	}
+	if err := pc.conn.Forward(protocol.TGet, seq, key, "", getArgs, nil); err != nil {
 		return nil, err
 	}
 
@@ -628,7 +872,10 @@ func (c *Client) getOnce(ctx context.Context, key string) (*Object, error) {
 			if ferr != nil {
 				return nil, ferr
 			}
-			if c.cfg.EnableRecovery {
+			// No recovery against a proxy outside the epoch view
+			// (PoolSize unknown) — a retired fallback target is about to
+			// drain anyway.
+			if c.cfg.EnableRecovery && info.PoolSize > 0 {
 				c.maybeRecover(ctx, pc, key, info, int64(g.obj.size), g.obj.shards)
 			}
 			handoff = true
@@ -647,6 +894,13 @@ func (c *Client) getOnce(ctx context.Context, key string) (*Object, error) {
 // (either lost to reclamation or straggling); this is the EC recovery
 // activity plotted in Figure 14. Reconstructed shards are appended to
 // the object's shard set, so the handle's Release recycles them too.
+//
+// Repair is single-flighted per (key, ring version) on the recovery
+// plane: N concurrent degraded GETs of the same object produce exactly
+// one set of recovery SETs — the others decode locally and skip the
+// re-insert. A completed repair is remembered (bounded done-memory), so
+// straggler-degraded reads of an already-repaired object do not write
+// again; an epoch bump naturally re-keys the space.
 func (c *Client) maybeRecover(ctx context.Context, pc *proxyConn, key string, info ProxyInfo, objSize int64, shards [][]byte) {
 	var missing []int
 	for i, s := range shards {
@@ -657,6 +911,12 @@ func (c *Client) maybeRecover(ctx context.Context, pc *proxyConn, key string, in
 	if len(missing) == 0 {
 		return
 	}
+	rkey := fmt.Sprintf("%s@%d", key, c.epoch.Load().Version())
+	if !c.recovery.TryStart(rkey) {
+		return // repair already running or done for this key+epoch
+	}
+	completed := false
+	defer func() { c.recovery.Finish(rkey, completed) }()
 	// Rebuild every shard, then re-insert only the missing ones.
 	if err := c.codec.Reconstruct(shards); err != nil {
 		return
@@ -668,18 +928,42 @@ func (c *Client) maybeRecover(ctx context.Context, pc *proxyConn, key string, in
 	nodes := c.placement(info.PoolSize, len(shards))
 	gen := c.putGen.Add(1)
 	if err := c.putChunks(ctx, pc, key, objSize, sparse, nodes, gen, true); err == nil {
+		completed = true
 		c.stats.Recoveries.Add(int64(len(missing)))
 	}
 }
 
 // DelCtx invalidates an object (the client library's
-// overwrite/invalidation duty, §3.1).
+// overwrite/invalidation duty, §3.1), following WRONG_OWNER redirects —
+// the DELETE must land at the ring owner so its tombstone fences any
+// in-flight migration of the key.
 func (c *Client) DelCtx(ctx context.Context, key string) error {
-	info, err := c.proxyFor(key)
-	if err != nil {
-		return err
+	var lastErr error
+	for hop := 0; hop <= redirectBudget; hop++ {
+		info, err := c.proxyFor(key)
+		if err != nil {
+			return err
+		}
+		err = c.delOnce(ctx, key, info.Addr)
+		var wo *wrongOwnerError
+		switch {
+		case errors.As(err, &wo):
+			c.stats.Redirects.Add(1)
+			lastErr = err
+			c.refreshRing(ctx, wo.owner)
+		case errors.Is(err, errConnClosed):
+			lastErr = err
+			c.refreshRing(ctx, "")
+		default:
+			return err
+		}
 	}
-	pc, err := c.conn(info.Addr)
+	return fmt.Errorf("%w: redirect loop: %v", ErrRejected, lastErr)
+}
+
+// delOnce sends one DELETE to one proxy and waits for its verdict.
+func (c *Client) delOnce(ctx context.Context, key, addr string) error {
+	pc, err := c.conn(addr)
 	if err != nil {
 		return err
 	}
@@ -693,6 +977,11 @@ func (c *Client) DelCtx(ctx context.Context, key string) error {
 	case resp, ok := <-ch:
 		if !ok {
 			return errConnClosed
+		}
+		if resp.Type == protocol.TWrongOwner {
+			wo := &wrongOwnerError{version: uint64(resp.Arg(0)), owner: resp.Addr}
+			resp.Free()
+			return wo
 		}
 		ok = resp.Type == protocol.TAck
 		resp.Free()

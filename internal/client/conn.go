@@ -1,6 +1,7 @@
 package client
 
 import (
+	"fmt"
 	"net"
 	"sync"
 
@@ -19,12 +20,18 @@ type proxyConn struct {
 	closed  bool
 }
 
-// conn returns (dialing if needed) the connection to addr.
+// conn returns (dialing if needed) the connection to addr. A cached
+// connection that died (proxy left the cluster, network blip) is
+// evicted and redialed rather than handed back — retry loops above get
+// a live socket, not a guaranteed errConnClosed.
 func (c *Client) conn(addr string) (*proxyConn, error) {
 	c.mu.Lock()
 	if pc, ok := c.conns[addr]; ok {
-		c.mu.Unlock()
-		return pc, nil
+		if !pc.isClosed() {
+			c.mu.Unlock()
+			return pc, nil
+		}
+		delete(c.conns, addr)
 	}
 	c.mu.Unlock()
 
@@ -34,7 +41,10 @@ func (c *Client) conn(addr string) (*proxyConn, error) {
 	}
 	raw, err := dial(addr)
 	if err != nil {
-		return nil, err
+		// An unreachable proxy reads the same as a connection that died:
+		// most likely it left the cluster, so wrap in errConnClosed and
+		// let the retry loops above refresh the ring and re-route.
+		return nil, fmt.Errorf("%w: dial %s: %v", errConnClosed, addr, err)
 	}
 	pconn := protocol.NewConn(raw)
 	if err := pconn.Send(&protocol.Message{Type: protocol.TJoinClient}); err != nil {
@@ -49,7 +59,7 @@ func (c *Client) conn(addr string) (*proxyConn, error) {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if existing, ok := c.conns[addr]; ok {
+	if existing, ok := c.conns[addr]; ok && !existing.isClosed() {
 		// Raced with another goroutine; keep theirs.
 		go pc.close()
 		return existing, nil
@@ -122,6 +132,13 @@ func (pc *proxyConn) registerWith(seq uint64, ch chan *protocol.Message) bool {
 // drains locally — CANCEL only releases the proxy-side window slots.
 func (pc *proxyConn) cancel(seq uint64) {
 	pc.conn.Forward(protocol.TCancel, seq, "", "", nil, nil)
+}
+
+// isClosed reports whether the connection's read loop has died.
+func (pc *proxyConn) isClosed() bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.closed
 }
 
 func (pc *proxyConn) deregister(seq uint64) {

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"infinicache/internal/vclock"
+)
+
+// Pacer is a token-bucket rate limiter on the virtual clock. Migration
+// streams call Wait before each key burst so a rebalance storm cannot
+// crowd foreground traffic off the wire; degraded-GET repair shares the
+// same plane. A rate <= 0 disables pacing entirely.
+type Pacer struct {
+	clk   vclock.Clock
+	rate  float64 // tokens (bytes) per second
+	burst float64
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// NewPacer builds a pacer refilling at bytesPerSec with the given
+// burst. A non-positive rate means unlimited; a non-positive burst
+// defaults to one second of rate.
+func NewPacer(clk vclock.Clock, bytesPerSec, burst int64) *Pacer {
+	if clk == nil {
+		clk = vclock.Real{}
+	}
+	p := &Pacer{clk: clk, rate: float64(bytesPerSec), burst: float64(burst)}
+	if p.burst <= 0 {
+		p.burst = p.rate
+	}
+	p.tokens = p.burst
+	if p.rate > 0 {
+		p.last = clk.Now()
+	}
+	return p
+}
+
+// Wait blocks until n bytes of budget are available (or returns
+// immediately when pacing is off). It returns false if done closes
+// before the budget arrives. The debt model lets a single oversized
+// burst through and repays it from future refill, so one large object
+// can never deadlock the stream.
+func (p *Pacer) Wait(done <-chan struct{}, n int64) bool {
+	if p == nil || p.rate <= 0 || n <= 0 {
+		return true
+	}
+	p.mu.Lock()
+	now := p.clk.Now()
+	p.tokens += now.Sub(p.last).Seconds() * p.rate
+	if p.tokens > p.burst {
+		p.tokens = p.burst
+	}
+	p.last = now
+	p.tokens -= float64(n)
+	debt := -p.tokens
+	p.mu.Unlock()
+	if debt <= 0 {
+		return true
+	}
+	wait := time.Duration(debt / p.rate * float64(time.Second))
+	select {
+	case <-p.clk.After(wait):
+		return true
+	case <-done:
+		return false
+	}
+}
+
+// Plane is a keyed single-flight table with done-memory: TryStart
+// claims a key for exactly one worker; concurrent claimants are told to
+// stand down. Finish with completed=true remembers the key so later
+// claims also stand down (one degraded-GET repair per (key, epoch));
+// completed=false releases the key for a future attempt. The done set
+// is bounded: when it outgrows cap it is reset wholesale — the cost of
+// forgetting is only a redundant repair, never a correctness issue.
+type Plane struct {
+	mu       sync.Mutex
+	inflight map[string]struct{}
+	done     map[string]struct{}
+	cap      int
+}
+
+// NewPlane builds a plane whose done-memory holds up to doneCap keys
+// (<= 0 picks a default of 4096).
+func NewPlane(doneCap int) *Plane {
+	if doneCap <= 0 {
+		doneCap = 4096
+	}
+	return &Plane{
+		inflight: make(map[string]struct{}),
+		done:     make(map[string]struct{}),
+		cap:      doneCap,
+	}
+}
+
+// TryStart claims key. It returns false when the key is already in
+// flight or already completed.
+func (p *Plane) TryStart(key string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.done[key]; ok {
+		return false
+	}
+	if _, ok := p.inflight[key]; ok {
+		return false
+	}
+	p.inflight[key] = struct{}{}
+	return true
+}
+
+// Finish releases a claim made by TryStart. completed=true records the
+// key in done-memory so future claims stand down too.
+func (p *Plane) Finish(key string, completed bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.inflight, key)
+	if completed {
+		if len(p.done) >= p.cap {
+			p.done = make(map[string]struct{})
+		}
+		p.done[key] = struct{}{}
+	}
+}
+
+// InFlight returns the number of keys currently claimed.
+func (p *Plane) InFlight() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.inflight)
+}

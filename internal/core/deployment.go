@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"infinicache/internal/client"
+	"infinicache/internal/cluster"
 	"infinicache/internal/lambdaemu"
 	"infinicache/internal/lambdanode"
 	"infinicache/internal/proxy"
@@ -59,6 +60,11 @@ type Config struct {
 	// default).
 	RequestTimeout time.Duration
 	Seed           int64
+	// MigrationRateBytes/MigrationBurstBytes tune the paced key
+	// migration an AddProxy/RemoveProxy triggers (0 takes the proxy
+	// defaults; negative rate disables pacing).
+	MigrationRateBytes  int64
+	MigrationBurstBytes int64
 }
 
 func (c *Config) fillDefaults() error {
@@ -95,7 +101,17 @@ func (c *Config) fillDefaults() error {
 type Deployment struct {
 	cfg      Config
 	Platform *lambdaemu.Platform
-	Proxies  []*proxy.Proxy
+	// Proxies is the live proxy set. It is mutated by AddProxy and
+	// RemoveProxy under pmu; concurrent readers (the warmer, stats
+	// sweeps during churn) must go through proxySnapshot.
+	Proxies []*proxy.Proxy
+
+	// membership owns the epoch sequence; every join/leave publishes the
+	// next version and installs it on all proxies (destinations first).
+	membership *cluster.Membership
+	handler    lambdaemu.Handler
+	nextProxy  int // next proxy index for NodeName numbering
+	pmu        sync.Mutex
 
 	stopWarm chan struct{}
 	warmWG   sync.WaitGroup
@@ -127,32 +143,27 @@ func New(cfg Config) (*Deployment, error) {
 	})
 
 	d := &Deployment{
-		cfg:      cfg,
-		Platform: platform,
-		stopWarm: make(chan struct{}),
+		cfg:        cfg,
+		Platform:   platform,
+		membership: cluster.NewMembership(),
+		handler:    handler,
+		stopWarm:   make(chan struct{}),
 	}
 	for pi := 0; pi < cfg.Proxies; pi++ {
-		names := make([]string, cfg.NodesPerProxy)
-		for ni := range names {
-			names[ni] = NodeName(pi, ni)
-			if _, err := platform.Register(names[ni], lambdaemu.FunctionConfig{MemoryMB: cfg.NodeMemoryMB}, handler); err != nil {
-				d.Close()
-				return nil, err
-			}
-		}
-		px, err := proxy.New(proxy.Config{
-			Clock:             cfg.Clock,
-			Invoker:           platform,
-			Nodes:             names,
-			NodeMemoryMB:      cfg.NodeMemoryMB,
-			HotTierBytes:      cfg.HotTierBytes,
-			HotMaxObjectBytes: cfg.HotMaxObjectBytes,
-		})
+		px, err := d.buildProxy(pi)
 		if err != nil {
 			d.Close()
 			return nil, err
 		}
 		d.Proxies = append(d.Proxies, px)
+	}
+	d.nextProxy = cfg.Proxies
+	// Epoch v1 covers the initial proxy set. With no previous epoch the
+	// install triggers no migration; it arms ownership enforcement so
+	// later joins/leaves redirect stale clients instead of missing.
+	e1 := d.membership.Publish(d.memberList(d.Proxies))
+	for _, p := range d.Proxies {
+		p.SetEpoch(nil, e1)
 	}
 	if cfg.WarmupInterval > 0 {
 		d.warmWG.Add(1)
@@ -160,6 +171,138 @@ func New(cfg Config) (*Deployment, error) {
 	}
 	return d, nil
 }
+
+// buildProxy registers proxy index pi's node functions and starts its
+// proxy.
+func (d *Deployment) buildProxy(pi int) (*proxy.Proxy, error) {
+	names := make([]string, d.cfg.NodesPerProxy)
+	for ni := range names {
+		names[ni] = NodeName(pi, ni)
+		if _, err := d.Platform.Register(names[ni], lambdaemu.FunctionConfig{MemoryMB: d.cfg.NodeMemoryMB}, d.handler); err != nil {
+			return nil, err
+		}
+	}
+	return proxy.New(proxy.Config{
+		Clock:               d.cfg.Clock,
+		Invoker:             d.Platform,
+		Nodes:               names,
+		NodeMemoryMB:        d.cfg.NodeMemoryMB,
+		HotTierBytes:        d.cfg.HotTierBytes,
+		HotMaxObjectBytes:   d.cfg.HotMaxObjectBytes,
+		MigrationRateBytes:  d.cfg.MigrationRateBytes,
+		MigrationBurstBytes: d.cfg.MigrationBurstBytes,
+	})
+}
+
+// memberList derives the membership view of a proxy set.
+func (d *Deployment) memberList(proxies []*proxy.Proxy) []cluster.Member {
+	members := make([]cluster.Member, len(proxies))
+	for i, p := range proxies {
+		members[i] = cluster.Member{Addr: p.Addr(), PoolSize: p.PoolSize()}
+	}
+	return members
+}
+
+// proxySnapshot returns the live proxy set at this instant (safe
+// against concurrent AddProxy/RemoveProxy).
+func (d *Deployment) proxySnapshot() []*proxy.Proxy {
+	d.pmu.Lock()
+	defer d.pmu.Unlock()
+	return append([]*proxy.Proxy(nil), d.Proxies...)
+}
+
+// AddProxy grows the cluster by one proxy (with its own fresh Lambda
+// pool) and publishes the next membership epoch. The epoch lands on the
+// joiner before the existing proxies: the joiner must be enforcing the
+// new ring before any survivor redirects a client (or a migration
+// stream) to it. Existing proxies then background-migrate the keys
+// whose ownership moved; reads stay served throughout via fallback
+// redirects. Returns the new proxy (already in Proxies).
+func (d *Deployment) AddProxy() (*proxy.Proxy, error) {
+	d.pmu.Lock()
+	defer d.pmu.Unlock()
+	pi := d.nextProxy
+	px, err := d.buildProxy(pi)
+	if err != nil {
+		return nil, err
+	}
+	d.nextProxy++
+	prev := d.membership.Current()
+	next := d.membership.Publish(append(d.memberList(d.Proxies), cluster.Member{Addr: px.Addr(), PoolSize: px.PoolSize()}))
+	px.SetEpoch(prev, next)
+	for _, p := range d.Proxies {
+		p.SetEpoch(prev, next)
+	}
+	d.Proxies = append(d.Proxies, px)
+	return px, nil
+}
+
+// removeQuiesceTimeout bounds how long RemoveProxy waits (virtual time)
+// for the victim to finish streaming its keys out.
+const removeQuiesceTimeout = 60 * time.Second
+
+// RemoveProxy drains the named proxy out of the cluster: survivors
+// install the shrunken epoch first (they are the migration
+// destinations), then the victim, whose outbound worker streams every
+// key it owned to its new owner. The call is synchronous — it returns
+// after migration quiesced and the victim shut down, or with the
+// timeout error (the victim is closed either way; reads of unmigrated
+// keys then surface as losses, not stale data).
+func (d *Deployment) RemoveProxy(addr string) error {
+	d.pmu.Lock()
+	idx := -1
+	for i, p := range d.Proxies {
+		if p.Addr() == addr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		d.pmu.Unlock()
+		return fmt.Errorf("core: no proxy at %s", addr)
+	}
+	if len(d.Proxies) == 1 {
+		d.pmu.Unlock()
+		return fmt.Errorf("core: cannot remove the last proxy")
+	}
+	victim := d.Proxies[idx]
+	survivors := append(append([]*proxy.Proxy(nil), d.Proxies[:idx]...), d.Proxies[idx+1:]...)
+	d.Proxies = survivors
+	prev := d.membership.Current()
+	next := d.membership.Publish(d.memberList(survivors))
+	d.pmu.Unlock()
+
+	for _, p := range survivors {
+		p.SetEpoch(prev, next)
+	}
+	victim.SetEpoch(prev, next)
+	err := d.QuiesceMigration(removeQuiesceTimeout, victim)
+	victim.Close()
+	return err
+}
+
+// QuiesceMigration polls until no proxy (the live set plus any extras,
+// e.g. a leaving victim) has migration work pending, or the virtual
+// timeout elapses.
+func (d *Deployment) QuiesceMigration(timeout time.Duration, extra ...*proxy.Proxy) error {
+	deadline := d.cfg.Clock.Now().Add(timeout)
+	for {
+		var pending int64
+		for _, p := range append(d.proxySnapshot(), extra...) {
+			pending += p.MigrationsPending()
+		}
+		if pending == 0 {
+			return nil
+		}
+		if d.cfg.Clock.Now().After(deadline) {
+			return fmt.Errorf("core: migration not quiesced after %v (%d streams pending)", timeout, pending)
+		}
+		<-d.cfg.Clock.After(5 * time.Millisecond)
+	}
+}
+
+// Epoch returns the current membership epoch.
+func (d *Deployment) Epoch() *cluster.Epoch { return d.membership.Current() }
 
 // warmer re-invokes every node each T_warm to keep instances cached by
 // the provider (§4.2 technique 2).
@@ -171,7 +314,7 @@ func (d *Deployment) warmer() {
 			return
 		case <-d.cfg.Clock.After(d.cfg.WarmupInterval):
 		}
-		for _, p := range d.Proxies {
+		for _, p := range d.proxySnapshot() {
 			p.Warmup()
 		}
 	}
@@ -182,8 +325,9 @@ func (d *Deployment) Clock() vclock.Clock { return d.cfg.Clock }
 
 // ProxyInfos lists the proxies for client construction.
 func (d *Deployment) ProxyInfos() []client.ProxyInfo {
-	infos := make([]client.ProxyInfo, len(d.Proxies))
-	for i, p := range d.Proxies {
+	proxies := d.proxySnapshot()
+	infos := make([]client.ProxyInfo, len(proxies))
+	for i, p := range proxies {
 		infos[i] = client.ProxyInfo{Addr: p.Addr(), PoolSize: p.PoolSize()}
 	}
 	return infos
@@ -205,7 +349,9 @@ func (d *Deployment) NewClient(opts ...client.Option) (*client.Client, error) {
 
 // TotalNodes returns the number of cache-node functions deployed.
 func (d *Deployment) TotalNodes() int {
-	return d.cfg.Proxies * d.cfg.NodesPerProxy
+	d.pmu.Lock()
+	defer d.pmu.Unlock()
+	return len(d.Proxies) * d.cfg.NodesPerProxy
 }
 
 // Close stops the warmer, proxies and platform.
@@ -213,7 +359,7 @@ func (d *Deployment) Close() {
 	d.closeOne.Do(func() {
 		close(d.stopWarm)
 		d.warmWG.Wait()
-		for _, p := range d.Proxies {
+		for _, p := range d.proxySnapshot() {
 			p.Close()
 		}
 		if d.Platform != nil {

@@ -76,7 +76,7 @@ func runBackupSource(ctx *lambdaemu.Context, cfg Config, st *nodeState, relayAdd
 				relay.Send(&protocol.Message{
 					Type:    protocol.TMeta,
 					Key:     ctx.InstanceID(),
-					Payload: encodeMeta(st.store.metaMRUFirst()),
+					Payload: EncodeMeta(st.store.metaMRUFirst()),
 				})
 			case protocol.TGet:
 				if b, ok := st.store.get(msg.Key); ok {
@@ -125,7 +125,7 @@ func runBackupDest(ctx *lambdaemu.Context, cfg Config, st *nodeState, pl *Payloa
 	if err := relay.Send(&protocol.Message{Type: protocol.THello, Key: ctx.InstanceID(), Args: []int64{relayRoleDest}}); err != nil {
 		return
 	}
-	var pending []chunkMeta
+	var pending []ChunkMeta
 	metaDone := false
 	for !metaDone {
 		select {
@@ -136,7 +136,7 @@ func runBackupDest(ctx *lambdaemu.Context, cfg Config, st *nodeState, pl *Payloa
 				return
 			}
 			if msg.Type == protocol.TMeta {
-				keys, err := decodeMeta(msg.Payload)
+				keys, err := DecodeMeta(msg.Payload)
 				if err != nil {
 					return
 				}

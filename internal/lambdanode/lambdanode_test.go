@@ -39,15 +39,15 @@ func TestDecodePayloadMalformed(t *testing.T) {
 }
 
 func TestMetaRoundTrip(t *testing.T) {
-	in := []chunkMeta{{Key: "a#0", Size: 100}, {Key: "b#3", Size: 42}}
-	out, err := decodeMeta(encodeMeta(in))
+	in := []ChunkMeta{{Key: "a#0", Size: 100}, {Key: "b#3", Size: 42}}
+	out, err := DecodeMeta(EncodeMeta(in))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
 		t.Fatalf("meta round trip: %+v", out)
 	}
-	if _, err := decodeMeta([]byte("nope")); err == nil {
+	if _, err := DecodeMeta([]byte("nope")); err == nil {
 		t.Fatal("bad meta accepted")
 	}
 }

@@ -56,13 +56,16 @@ func DecodePayload(raw []byte) (*Payload, error) {
 	return &p, nil
 }
 
-// chunkMeta describes one cached chunk in backup metadata.
-type chunkMeta struct {
+// ChunkMeta describes one cached chunk in backup metadata. Exported so
+// the proxy's relay can reorder a META stream in flight (hot-tier-aware
+// backup prioritisation).
+type ChunkMeta struct {
 	Key  string `json:"k"`
 	Size int64  `json:"s"`
 }
 
-func encodeMeta(keys []chunkMeta) []byte {
+// EncodeMeta serialises a backup META chunk list.
+func EncodeMeta(keys []ChunkMeta) []byte {
 	b, err := json.Marshal(keys)
 	if err != nil {
 		panic(fmt.Sprintf("lambdanode: meta marshal: %v", err))
@@ -70,8 +73,9 @@ func encodeMeta(keys []chunkMeta) []byte {
 	return b
 }
 
-func decodeMeta(raw []byte) ([]chunkMeta, error) {
-	var keys []chunkMeta
+// DecodeMeta parses a backup META chunk list.
+func DecodeMeta(raw []byte) ([]ChunkMeta, error) {
+	var keys []ChunkMeta
 	if err := json.Unmarshal(raw, &keys); err != nil {
 		return nil, fmt.Errorf("lambdanode: bad meta: %w", err)
 	}

@@ -73,12 +73,12 @@ func (s *store) len() int { return len(s.chunks) }
 
 // metaMRUFirst lists chunk metadata hottest-first, the order λs streams
 // keys to λd so the most valuable chunks migrate first.
-func (s *store) metaMRUFirst() []chunkMeta {
+func (s *store) metaMRUFirst() []ChunkMeta {
 	keys := s.order.KeysByPriority()
-	out := make([]chunkMeta, 0, len(keys))
+	out := make([]ChunkMeta, 0, len(keys))
 	for _, k := range keys {
 		if b, ok := s.chunks[k]; ok {
-			out = append(out, chunkMeta{Key: k, Size: int64(len(b))})
+			out = append(out, ChunkMeta{Key: k, Size: int64(len(b))})
 		}
 	}
 	return out

@@ -107,6 +107,28 @@ const (
 	// the request's window slots and suppresses its responses. Appended
 	// after the backup types so existing wire values stay stable.
 	TCancel
+
+	// Membership protocol (versioned ring). Appended after TCancel so
+	// existing wire values stay stable.
+
+	// TRing fetches the cluster ring: client -> proxy requests it, the
+	// proxy replies with another TRing whose Args[0] is the epoch
+	// version and whose payload is the encoded member list (empty when
+	// the proxy runs without membership).
+	TRing
+	// TJoin opens and closes a proxy -> proxy migration stream. As the
+	// first frame on a connection it is a hello (Addr = source proxy,
+	// Args[0] = epoch version); mid-stream with Args = [version, 1] it
+	// marks the stream complete ("everything I owed you for this epoch
+	// has been sent") and is acked with TAck on the same Seq.
+	TJoin
+	// TWrongOwner redirects a request routed by a stale ring: Addr is
+	// the owning proxy under the responder's epoch, Args[0] the epoch
+	// version. Args[1] == 1 flags a fallback redirect — the responder
+	// owns the key but has not yet received it from the previous owner
+	// (migration in flight); the client should retry at Addr with the
+	// authoritative flag instead of refreshing its ring.
+	TWrongOwner
 )
 
 // Transient-error wire contract. A TErr whose Args[0] is
@@ -132,6 +154,7 @@ var typeNames = map[Type]string{
 	TDel: "DEL", TData: "DATA", TMiss: "MISS", TAck: "ACK", TErr: "ERR",
 	TInitBackup: "INIT_BACKUP", TBackupCmd: "BACKUP_CMD", THello: "HELLO",
 	TMeta: "META", TBackupDone: "BACKUP_DONE", TCancel: "CANCEL",
+	TRing: "RING", TJoin: "JOIN", TWrongOwner: "WRONG_OWNER",
 }
 
 func (t Type) String() string {

@@ -158,6 +158,13 @@ func TestCancelWireValueStable(t *testing.T) {
 	if TBackupDone != 17 || TCancel != 18 {
 		t.Fatalf("wire values moved: TBackupDone=%d TCancel=%d", TBackupDone, TCancel)
 	}
+	// Same deal for the membership vocabulary appended after TCancel.
+	if TRing != 19 || TJoin != 20 || TWrongOwner != 21 {
+		t.Fatalf("wire values moved: TRing=%d TJoin=%d TWrongOwner=%d", TRing, TJoin, TWrongOwner)
+	}
+	if TRing.String() != "RING" || TJoin.String() != "JOIN" || TWrongOwner.String() != "WRONG_OWNER" {
+		t.Fatalf("membership type names wrong: %s %s %s", TRing, TJoin, TWrongOwner)
+	}
 }
 
 func TestConnSendRecvOverPipe(t *testing.T) {

@@ -32,6 +32,15 @@ type objMeta struct {
 	// reclaim). present < d with Lost == 0 means the object is simply
 	// mid-write: its chunks have not all committed yet.
 	Lost int
+	// Migrating marks an entry created by migration ingest
+	// (BeginObjectIfAbsent). While such an entry is still incomplete,
+	// a GET is answered with a fallback redirect toward the key's
+	// previous owner — which by the drop-after-ack rule still holds a
+	// servable copy — instead of a busy-write retry that could outlast
+	// the client's retry budget (the ingest window spans node cold
+	// starts). A foreground overwrite replaces the entry via
+	// BeginObject, clearing the flag.
+	Migrating bool
 }
 
 // presentChunks counts chunks still believed present.
@@ -161,6 +170,45 @@ func (t *mappingTable) BeginObject(key string, size int64, d, total int) (dels [
 		admit, token = t.hot.beginPut(key, size)
 	}
 	return dels, t.epochSeq, admit, token
+}
+
+// BeginObjectIfAbsent creates a fresh mapping entry for key only when
+// none exists, returning its epoch. This is the migration-ingest
+// variant of BeginObject: an existing entry means the destination
+// already holds a copy at least as new as the migrated one (a client
+// PUT routed by the new ring always beats the background stream), so
+// the stream's copy must be refused, never spliced over it. No hot-tier
+// admission either — a migrated key earns tier residency through the
+// ghost filter like any other read.
+func (t *mappingTable) BeginObjectIfAbsent(key string, size int64, d, total int) (epoch uint64, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, exists := t.objects[key]; exists {
+		return 0, false
+	}
+	t.epochSeq++
+	t.objects[key] = &objMeta{
+		Key:         key,
+		Size:        size,
+		DataShards:  d,
+		TotalShards: total,
+		Chunks:      make([]chunkLoc, total),
+		Epoch:       t.epochSeq,
+		Migrating:   true,
+	}
+	t.lru.Add(key, size)
+	return t.epochSeq, true
+}
+
+// Keys returns a snapshot of every mapped object key (migration scan).
+func (t *mappingTable) Keys() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	keys := make([]string, 0, len(t.objects))
+	for k := range t.objects {
+		keys = append(keys, k)
+	}
+	return keys
 }
 
 // dropLocked removes an object, releasing its memory accounting, and

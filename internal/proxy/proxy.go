@@ -48,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"infinicache/internal/cluster"
 	"infinicache/internal/lambdaemu"
 	"infinicache/internal/lambdanode"
 	"infinicache/internal/protocol"
@@ -82,6 +83,13 @@ type Config struct {
 	// objects larger than this are never tier-resident. Defaults to
 	// 1 MiB when the tier is enabled.
 	HotMaxObjectBytes int64
+	// MigrationRateBytes paces outbound key migration (bytes/second of
+	// virtual time) so a rebalance storm cannot crowd out foreground
+	// traffic. 0 picks the 32 MiB/s default; negative disables pacing.
+	MigrationRateBytes int64
+	// MigrationBurstBytes is the pacer's bucket depth; 0 picks
+	// max(rate/8, 256 KiB).
+	MigrationBurstBytes int64
 }
 
 func (c *Config) fillDefaults() {
@@ -108,6 +116,15 @@ func (c *Config) fillDefaults() {
 	}
 	if c.HotTierBytes > 0 && c.HotMaxObjectBytes <= 0 {
 		c.HotMaxObjectBytes = 1 << 20
+	}
+	if c.MigrationRateBytes == 0 {
+		c.MigrationRateBytes = 32 << 20
+	}
+	if c.MigrationBurstBytes <= 0 {
+		c.MigrationBurstBytes = c.MigrationRateBytes / 8
+		if c.MigrationBurstBytes < 256<<10 {
+			c.MigrationBurstBytes = 256 << 10
+		}
 	}
 }
 
@@ -138,6 +155,15 @@ type Stats struct {
 	HotBytes     atomic.Int64 // resident payload bytes (gauge)
 	HotEvictions atomic.Int64 // objects evicted by the tier's CLOCK hand
 
+	// Membership / migration counters (all zero while the proxy runs
+	// without an epoch — the legacy fixed-ring mode).
+	Redirects         atomic.Int64 // WRONG_OWNER frames sent (stale client rings)
+	FallbackServes    atomic.Int64 // fallback redirects issued for not-yet-migrated keys
+	MigratedKeys      atomic.Int64 // keys streamed out and acked by their new owner
+	MigratedBytes     atomic.Int64 // chunk bytes those keys carried
+	MigrationDrops    atomic.Int64 // keys skipped mid-migration (unfetchable or refused)
+	BackupMetaDemoted atomic.Int64 // META entries demoted for being hot-tier resident
+
 	// Wire-plane counters for client-facing connections, accumulated as
 	// sessions close; WireSnapshot folds still-open sessions in. The
 	// flushes/frames ratio is the write-coalescing factor ic-bench
@@ -160,6 +186,24 @@ type Proxy struct {
 	seq atomic.Uint64
 
 	stats Stats
+
+	// Membership state (nil epoch = legacy fixed-ring mode: no ownership
+	// checks, no redirects, no migration). epoch is the installed ring;
+	// prevEpoch is non-nil only while inbound migration for the current
+	// epoch is still pending from at least one previous-epoch member —
+	// the window during which a local table miss may instead be a
+	// not-yet-migrated key (fallback redirect) and DELs must leave
+	// tombstones so a late migration SET cannot resurrect them.
+	epoch     atomic.Pointer[cluster.Epoch]
+	prevEpoch atomic.Pointer[cluster.Epoch]
+	migMu     sync.Mutex
+	migVer    uint64          // epoch version the inbound tracking is for
+	migFrom   map[string]bool // prev-epoch member addr -> done received
+	tombs     map[string]struct{}
+	migGen    atomic.Int64 // put generations for outbound migration SETs
+	migOut    atomic.Int64 // outbound migration workers still running
+	migPacer  *cluster.Pacer
+	migPlane  *cluster.Plane
 
 	mu       sync.Mutex
 	closed   bool
@@ -200,6 +244,8 @@ func New(cfg Config) (*Proxy, error) {
 		// two structures' orderings identical; see mappingTable.hot.
 		p.table.hot = p.hot
 	}
+	p.migPacer = cluster.NewPacer(cfg.Clock, cfg.MigrationRateBytes, cfg.MigrationBurstBytes)
+	p.migPlane = cluster.NewPlane(0)
 	p.nodes = make([]*nodeManager, len(cfg.Nodes))
 	for i, name := range cfg.Nodes {
 		p.nodes[i] = newNodeManager(p, i, name)
@@ -303,7 +349,10 @@ func (p *Proxy) handleConn(raw net.Conn) {
 		case <-p.done:
 			conn.Close()
 		}
-	case protocol.TJoinClient:
+	case protocol.TJoinClient, protocol.TJoin:
+		// TJoin is a peer proxy's migration stream: it reuses the whole
+		// client-session machinery (its SET frames carry the migration
+		// flag; its mid-stream TJoin frames are done markers).
 		s := &session{p: p, conn: conn}
 		p.mu.Lock()
 		if p.closed {

@@ -15,6 +15,12 @@ import (
 //	Args[5] put generation (client-unique per PUT; distinguishes a fresh
 //	        overwrite from chunks of the same PUT)
 //	Args[6] recovery flag (1 = re-insert of a single lost chunk)
+//	Args[7] migration flag (1 = proxy->proxy key handoff; ingest via
+//	        BeginObjectIfAbsent, never over an existing entry)
+//
+// GET requests may carry Args[0] = 1, the authoritative flag: serve
+// regardless of ring ownership and answer a plain MISS instead of a
+// fallback redirect (the client is already chasing a fallback).
 //
 // GET responses (TData, one per chunk) carry:
 //
@@ -30,6 +36,7 @@ const (
 	setArgDataShards
 	setArgPutGen
 	setArgRecovery
+	setArgMigration
 )
 
 // sessionWindow bounds the chunk requests one client session may have
@@ -111,6 +118,10 @@ type genState struct {
 	pending int
 	epoch   uint64
 	failed  bool
+	// refused marks a migration generation the ingest side rejected
+	// (the key already exists locally, or was tombstoned): every chunk
+	// of the generation answers migSupersededErr and nothing commits.
+	refused bool
 }
 
 // getOp tracks one client GET through its chunk fan-out.
@@ -245,9 +256,65 @@ func (s *session) handle(m *protocol.Message) {
 		s.handleDel(m)
 	case protocol.TCancel:
 		s.handleCancel(m)
+	case protocol.TRing:
+		s.handleRing(m)
+	case protocol.TJoin:
+		s.handleJoinDone(m)
 	default:
 		m.Free()
 	}
+}
+
+// handleRing answers a client's ring fetch with the current epoch
+// (version in Args[0], encoded member list as payload). Without an
+// epoch the reply is empty — the client keeps its static ring.
+func (s *session) handleRing(m *protocol.Message) {
+	seq := m.Seq
+	m.Free()
+	s.needFlush = true
+	e := s.p.epoch.Load()
+	if e == nil {
+		s.conn.Send(&protocol.Message{Type: protocol.TRing, Seq: seq})
+		return
+	}
+	s.conn.Send(&protocol.Message{
+		Type: protocol.TRing, Seq: seq,
+		Args: []int64{int64(e.Version())}, Payload: e.Encode(),
+	})
+}
+
+// handleJoinDone processes a migration stream's done marker
+// (Args = [version, 1], Addr = source proxy) and acks it so the source
+// can retire the stream knowing the marker landed.
+func (s *session) handleJoinDone(m *protocol.Message) {
+	if m.Arg(1) == 1 && m.Addr != "" {
+		s.p.markMigrationDone(uint64(m.Arg(0)), m.Addr)
+		s.needFlush = true
+		s.conn.Forward(protocol.TAck, m.Seq, "", "", nil, nil)
+	}
+	m.Free()
+}
+
+// checkOwner enforces epoch ownership for key: when another proxy owns
+// it under the installed ring, the client is redirected (WRONG_OWNER
+// with the owner's address and the epoch version) and false returns.
+// Legacy mode (no epoch) always passes.
+func (s *session) checkOwner(seq uint64, key string) bool {
+	e := s.p.epoch.Load()
+	if e == nil {
+		return true
+	}
+	owner := e.Owner(key)
+	if owner == "" || owner == s.p.addr {
+		return true
+	}
+	s.p.stats.Redirects.Add(1)
+	s.needFlush = true
+	s.conn.Send(&protocol.Message{
+		Type: protocol.TWrongOwner, Seq: seq, Key: key, Addr: owner,
+		Args: []int64{int64(e.Version())},
+	})
+	return false
 }
 
 // handleCancel abandons one in-flight client request (m.Seq): the
@@ -347,15 +414,52 @@ func (s *session) handleSet(m *protocol.Message) {
 	dShards := int(m.Arg(setArgDataShards))
 	putGen := m.Arg(setArgPutGen)
 	recovery := m.Arg(setArgRecovery) == 1
+	migration := m.Arg(setArgMigration) == 1
 
 	if lambdaIdx < 0 || lambdaIdx >= len(s.p.nodes) || idx < 0 || idx >= total || total <= 0 || dShards <= 0 {
 		s.sendErr(m.Seq, m.Key, "proxy: bad SET arguments")
 		m.Free()
 		return
 	}
+	if !migration && !s.checkOwner(m.Seq, m.Key) {
+		// A stale-ring client wrote here. Chunks of this generation that
+		// arrived before the epoch flipped may be in flight; fail the
+		// generation so its never-completable entry is dropped — the
+		// client retries the whole PUT at the owner.
+		if !recovery && s.putGens[m.Key] == putGen {
+			s.failGen(m.Key, putGen)
+		}
+		m.Free()
+		return
+	}
 	size := int64(len(m.Payload))
 
-	if recovery {
+	switch {
+	case migration:
+		// Proxy->proxy key handoff. Ingest only when the key is unknown
+		// here: an existing entry (a client PUT routed by the new ring)
+		// or a tombstone (the key was deleted during the handoff window)
+		// is strictly newer than the streamed copy, so the whole
+		// generation is refused with migSupersededErr — the source drops
+		// its copy on seeing it.
+		gk := genKey{m.Key, putGen}
+		if s.putGens[m.Key] != putGen {
+			s.putGens[m.Key] = putGen
+			gs := &genState{}
+			if s.p.tombstoned(m.Key) {
+				gs.refused = true
+			} else {
+				epoch, fresh := s.p.table.BeginObjectIfAbsent(m.Key, objSize, dShards, total)
+				gs.epoch, gs.refused = epoch, !fresh
+			}
+			s.genPending[gk] = gs
+		}
+		if gs := s.genPending[gk]; gs != nil && gs.refused {
+			s.sendErr(m.Seq, m.Key, migSupersededErr)
+			m.Free()
+			return
+		}
+	case recovery:
 		// Recovery re-inserts one chunk of an existing object; if the
 		// object vanished meanwhile there is nothing to repair.
 		if _, ok := s.p.table.Lookup(m.Key); !ok {
@@ -363,7 +467,7 @@ func (s *session) handleSet(m *protocol.Message) {
 			m.Free()
 			return
 		}
-	} else {
+	default:
 		// The first chunk of a new PUT generation (re)initialises the
 		// object's mapping entry — cache invalidation upon overwrite —
 		// and, in the same critical section, invalidates the hot tier
@@ -441,6 +545,24 @@ func (s *session) handleSet(m *protocol.Message) {
 	m.Free()
 }
 
+// sendFallback answers a GET with a fallback redirect toward the key's
+// previous-epoch owner when the inbound-migration window still covers
+// the key; reports whether a redirect was sent.
+func (s *session) sendFallback(seq uint64, key string) bool {
+	owner, ver, fb := s.p.fallbackOwner(key)
+	if !fb {
+		return false
+	}
+	s.p.stats.Redirects.Add(1)
+	s.p.stats.FallbackServes.Add(1)
+	s.needFlush = true
+	s.conn.Send(&protocol.Message{
+		Type: protocol.TWrongOwner, Seq: seq, Key: key, Addr: owner,
+		Args: []int64{int64(ver), 1},
+	})
+	return true
+}
+
 // handleGet implements the first-d parallel fan-out (§3.2): every
 // present chunk is requested at once — the dispatchers pipeline them
 // down the node connections — and the first d arrivals stream straight
@@ -448,6 +570,13 @@ func (s *session) handleSet(m *protocol.Message) {
 func (s *session) handleGet(m *protocol.Message) {
 	s.p.stats.Gets.Add(1)
 	defer m.Free()
+	// Args[0] = 1 is the authoritative flag: the client was already
+	// redirected here by the key's new owner (fallback), so ownership is
+	// not re-checked and a miss is answered plainly.
+	authoritative := m.Arg(0) == 1
+	if !authoritative && !s.checkOwner(m.Seq, m.Key) {
+		return
+	}
 	var hotToken uint64
 	var hotCapture bool
 	if s.p.hot != nil {
@@ -460,6 +589,13 @@ func (s *session) handleGet(m *protocol.Message) {
 	}
 	meta, ok := s.p.table.Lookup(m.Key)
 	if !ok {
+		// During the inbound-migration window a local miss may just
+		// mean the previous owner has not streamed the key yet: point
+		// the client at it (fallback redirect, Args[1] = 1) instead
+		// of answering a false MISS.
+		if !authoritative && s.sendFallback(m.Seq, m.Key) {
+			return
+		}
 		s.p.stats.GetMisses.Add(1)
 		s.needFlush = true
 		s.conn.Send(&protocol.Message{Type: protocol.TMiss, Seq: m.Seq, Key: m.Key})
@@ -474,6 +610,13 @@ func (s *session) handleGet(m *protocol.Message) {
 	d := meta.DataShards
 	if len(present) < d {
 		if meta.Lost == 0 {
+			// A half-ingested migration entry: the previous owner still
+			// holds a complete copy (drop-after-ack), so redirect there
+			// rather than have the client burn its retry budget on
+			// busy-write while the ingest waits out node cold starts.
+			if meta.Migrating && !authoritative && s.sendFallback(m.Seq, m.Key) {
+				return
+			}
 			// No chunk was ever positively lost: the object is simply
 			// mid-write (a fresh generation's chunks have not all
 			// committed). Not a loss — tell the client to retry; the
@@ -785,6 +928,14 @@ func (s *session) objectLost(seq uint64, key string, epoch uint64) {
 
 func (s *session) handleDel(m *protocol.Message) {
 	s.p.stats.Dels.Add(1)
+	if !s.checkOwner(m.Seq, m.Key) {
+		m.Free()
+		return
+	}
+	// During the inbound-migration window, record the deletion so a
+	// late-arriving migration SET for this key is refused instead of
+	// resurrecting it.
+	s.p.noteTombstone(m.Key)
 	// Drop invalidates the hot tier inside the table's critical section
 	// (dropLocked), so after the ACK below no GET can be served the
 	// deleted object from either structure.

@@ -57,6 +57,14 @@ type Config struct {
 	// NoInsertOnMiss disables the §5.2 Docker-registry semantics where
 	// a GET miss (or RESET) triggers insertion of the object.
 	NoInsertOnMiss bool
+	// SessionBackends, when non-empty, spreads the session workers
+	// round-robin across several backend instances (worker i uses
+	// SessionBackends[i%len]) — e.g. one InfiniCache client per group
+	// of sessions so replay exercises many independent client views of
+	// the ring. Results aggregate across all of them; the primary
+	// backend passed to Run still provides Cost and ReportLines, and
+	// is only used to serve requests when this slice is empty.
+	SessionBackends []Backend
 }
 
 func (c *Config) fillDefaults() {
@@ -150,24 +158,33 @@ func Run(ctx context.Context, cfg Config, tr *workload.Trace, b Backend) (*Resul
 		res.TraceHours = recs[n-1].Time.Hours()
 	}
 
-	batcher, _ := b.(BatchBackend)
-	if cfg.Batch < 2 {
-		batcher = nil
+	for i, sb := range cfg.SessionBackends {
+		if sb == nil {
+			return nil, fmt.Errorf("replay: nil session backend at index %d", i)
+		}
 	}
 
 	var mu sync.Mutex
-	e := &engine{cfg: cfg, clk: clk, b: b, batcher: batcher, mu: &mu, res: res,
+	e := &engine{cfg: cfg, clk: clk, mu: &mu, res: res,
 		inserting: make(map[string]bool)}
 
 	jobs := make(chan job, len(recs))
 	e.jobs = jobs
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Sessions; i++ {
+		wb := b
+		if len(cfg.SessionBackends) > 0 {
+			wb = cfg.SessionBackends[i%len(cfg.SessionBackends)]
+		}
+		s := &session{engine: e, b: wb}
+		if batcher, ok := wb.(BatchBackend); ok && cfg.Batch >= 2 {
+			s.batcher = batcher
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				e.process(ctx, j)
+				s.process(ctx, j)
 			}
 		}()
 	}
@@ -209,19 +226,29 @@ func Run(ctx context.Context, cfg Config, tr *workload.Trace, b Backend) (*Resul
 	return res, dispatchErr
 }
 
-// engine is the per-run worker state shared by the session goroutines.
+// engine is the per-run state shared by the session goroutines.
 type engine struct {
-	cfg     Config
-	clk     vclock.Clock
-	b       Backend
-	batcher BatchBackend
-	jobs    chan job
-	mu      *sync.Mutex
-	res     *Result
+	cfg  Config
+	clk  vclock.Clock
+	jobs chan job
+	mu   *sync.Mutex
+	res  *Result
 	// inserting single-flights miss-triggered insertions per key, the
 	// way a registry frontend coalesces concurrent backfills: when two
-	// sessions miss the same object at once, only one re-inserts.
+	// sessions miss the same object at once, only one re-inserts (even
+	// when the sessions run against different SessionBackends clients —
+	// the backfill suppression is keyed on the object, not the client).
 	inserting map[string]bool
+}
+
+// session is one worker goroutine's view of the run: the shared engine
+// plus the backend (and optional batcher) this worker drives. With
+// Config.SessionBackends the backends differ per worker; otherwise
+// every session shares the primary backend.
+type session struct {
+	*engine
+	b       Backend
+	batcher BatchBackend
 }
 
 func (e *engine) size(rec workload.Record) int64 {
@@ -239,7 +266,7 @@ func (e *engine) hour(rec workload.Record) *HourStat {
 	return &e.res.Hours[h]
 }
 
-func (e *engine) process(ctx context.Context, j job) {
+func (e *session) process(ctx context.Context, j job) {
 	if j.rec.Op == workload.OpPut {
 		err := e.b.Put(ctx, j.rec.Key, e.size(j.rec))
 		lat := e.clk.Since(j.scheduled).Seconds()
@@ -269,7 +296,7 @@ func (e *engine) process(ctx context.Context, j job) {
 
 // drain opportunistically pulls further already-queued GETs to batch
 // with j; a dequeued PUT ends the batch and is processed afterwards.
-func (e *engine) drain(j job) []job {
+func (e *session) drain(j job) []job {
 	batch := []job{j}
 	for len(batch) < e.cfg.Batch {
 		select {
@@ -288,7 +315,7 @@ func (e *engine) drain(j job) []job {
 	return batch
 }
 
-func (e *engine) processBatch(ctx context.Context, batch []job) {
+func (e *session) processBatch(ctx context.Context, batch []job) {
 	gets := batch
 	var tail []job
 	if last := batch[len(batch)-1]; last.rec.Op == workload.OpPut {
@@ -321,7 +348,7 @@ func (e *engine) processBatch(ctx context.Context, batch []job) {
 // insertion. The recorded latency covers the fetch only (the sim's
 // convention: a miss is billed its backing-store latency; the insert
 // happens off the request path).
-func (e *engine) finishGet(ctx context.Context, j job, hit bool, err error, lat float64) {
+func (e *session) finishGet(ctx context.Context, j job, hit bool, err error, lat float64) {
 	insert := false
 	e.mu.Lock()
 	e.res.Gets++

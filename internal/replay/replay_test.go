@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -400,5 +401,83 @@ func TestRunCancellation(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Run did not return after cancellation")
+	}
+}
+
+// barrierBackend wraps a Dummy and, on the first Get it serves, parks
+// until every participating backend has served at least one Get. If the
+// engine routed all sessions onto one backend the barrier could never
+// clear and the test would hang (caught by the watchdog below), so a
+// clean finish proves the round-robin spread in Config.SessionBackends.
+type barrierBackend struct {
+	*Dummy
+	once    sync.Once
+	arrived *sync.WaitGroup
+	gets    int64
+}
+
+func (b *barrierBackend) Get(ctx context.Context, key string) (bool, error) {
+	b.once.Do(func() {
+		b.arrived.Done()
+		b.arrived.Wait()
+	})
+	atomic.AddInt64(&b.gets, 1)
+	return b.Dummy.Get(ctx, key)
+}
+
+func TestSessionBackendsRoundRobin(t *testing.T) {
+	const nBackends = 3
+	var arrived sync.WaitGroup
+	arrived.Add(nBackends)
+	backends := make([]Backend, nBackends)
+	bbs := make([]*barrierBackend, nBackends)
+	for i := range backends {
+		bbs[i] = &barrierBackend{Dummy: NewDummy(), arrived: &arrived}
+		backends[i] = bbs[i]
+	}
+
+	times := make([]time.Duration, 24)
+	keys := make([]string, 24)
+	for i := range times {
+		keys[i] = fmt.Sprintf("k%d", i)
+	}
+	tr := getTrace(times, keys, 1024)
+
+	done := make(chan *Result, 1)
+	go func() {
+		res, err := Run(context.Background(), Config{
+			Speedup:         -1,
+			Sessions:        nBackends,
+			NoInsertOnMiss:  true,
+			SessionBackends: backends,
+		}, tr, NewDummy())
+		if err != nil {
+			t.Errorf("Run: %v", err)
+		}
+		done <- res
+	}()
+
+	var res *Result
+	select {
+	case res = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("replay hung: sessions were not spread across SessionBackends")
+	}
+	if res == nil {
+		t.Fatal("no result")
+	}
+	if res.Gets != len(times) {
+		t.Fatalf("Gets = %d, want %d", res.Gets, len(times))
+	}
+	var total int64
+	for i, bb := range bbs {
+		n := atomic.LoadInt64(&bb.gets)
+		if n == 0 {
+			t.Errorf("backend %d served no GETs", i)
+		}
+		total += n
+	}
+	if total != int64(len(times)) {
+		t.Fatalf("backends served %d GETs total, want %d", total, len(times))
 	}
 }

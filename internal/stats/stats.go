@@ -82,6 +82,26 @@ func Percentile(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// Delta returns the field-wise change from before to after (after -
+// before): positive values mean the statistic grew. Harnesses use it to
+// report availability or latency movement across an intervention —
+// e.g. the hit-ratio delta over a proxy join, or the degraded-read
+// shift a backup round causes.
+func Delta(before, after Summary) Summary {
+	return Summary{
+		N:    after.N - before.N,
+		Min:  after.Min - before.Min,
+		P25:  after.P25 - before.P25,
+		P50:  after.P50 - before.P50,
+		P75:  after.P75 - before.P75,
+		P90:  after.P90 - before.P90,
+		P95:  after.P95 - before.P95,
+		P99:  after.P99 - before.P99,
+		Max:  after.Max - before.Max,
+		Mean: after.Mean - before.Mean,
+	}
+}
+
 // String renders the summary on one line.
 func (s Summary) String() string {
 	return fmt.Sprintf("n=%d min=%.2f p25=%.2f p50=%.2f p75=%.2f p95=%.2f p99=%.2f max=%.2f mean=%.2f",

@@ -168,3 +168,34 @@ func TestTable(t *testing.T) {
 		t.Fatal("nil table should be empty")
 	}
 }
+
+func TestDelta(t *testing.T) {
+	before := Summarize([]float64{1, 2, 3, 4})
+	after := Summarize([]float64{2, 4, 6, 8, 10})
+	d := Delta(before, after)
+	if d.N != 1 {
+		t.Errorf("N delta = %d, want 1", d.N)
+	}
+	if d.Min != 1 {
+		t.Errorf("Min delta = %v, want 1", d.Min)
+	}
+	if d.Max != 6 {
+		t.Errorf("Max delta = %v, want 6", d.Max)
+	}
+	if d.Mean != 6-2.5 {
+		t.Errorf("Mean delta = %v, want 3.5", d.Mean)
+	}
+	if d.P50 != after.P50-before.P50 {
+		t.Errorf("P50 delta = %v, want %v", d.P50, after.P50-before.P50)
+	}
+
+	// Delta against itself is all zeros, and Delta is anti-symmetric.
+	zero := Delta(after, after)
+	if zero != (Summary{}) {
+		t.Errorf("self delta = %+v, want zero", zero)
+	}
+	neg := Delta(after, before)
+	if neg.Mean != -d.Mean || neg.N != -d.N || neg.Max != -d.Max {
+		t.Errorf("Delta not anti-symmetric: %+v vs %+v", neg, d)
+	}
+}
