@@ -12,7 +12,8 @@
 //	          [-proxies 1] [-nodes 20] [-mem 1536] [-d 10] [-p 2]
 //	          [-warm 1m] [-backup 5m] [-hot bytes] [-hot-max bytes]
 //	          [-clients 1] [-churn "30ms:+1,2s:-1"] [-mig-rate bytes]
-//	          [-timescale 0.01] [-shards 1] [-redis-mem bytes]
+//	          [-chaos "0s:corrupt:*:0.02:2s,10ms:reclaim:p0-node0:all"]
+//	          [-hedged] [-timescale 0.01] [-shards 1] [-redis-mem bytes]
 //	          [-instance cache.r5.large] [-seed 1]
 //
 // Without -trace, a canonical synthetic trace of -hours hours is
@@ -31,6 +32,17 @@
 // replay start, each adding (+N) or removing (-N) proxies; after the
 // replay the run waits for migration to quiesce and reports how many
 // keys moved.
+//
+// -chaos drives the deterministic fault-injection plane during the
+// replay: a comma-separated schedule of OFFSET:KIND[:args] events
+// (reclaim storms, proxy crashes, link corruption/rot/latency/hangup,
+// dial refusals — see internal/chaos.Parse for the grammar), seeded and
+// paced on the virtual clock so a fixed seed reproduces the same fault
+// sequence. After the replay a fault/recovery report is printed:
+// injected counts per class and the defence-side counters (checksum
+// failures, hedged requests, breaker trips, EC recoveries, repairs).
+// -hedged additionally enables hedged degraded GETs with per-node
+// circuit breakers on every proxy.
 package main
 
 import (
@@ -47,9 +59,11 @@ import (
 	"time"
 
 	"infinicache"
+	"infinicache/internal/chaos"
 	"infinicache/internal/core"
 	"infinicache/internal/exps"
 	"infinicache/internal/replay"
+	"infinicache/internal/stats"
 	"infinicache/internal/vclock"
 	"infinicache/internal/workload"
 )
@@ -79,6 +93,8 @@ func main() {
 	hotMax := flag.Int64("hot-max", 0, "infinicache: hot-tier admission cap (0 = 1 MiB)")
 	clients := flag.Int("clients", 1, "infinicache: independent clients spread across sessions")
 	churnSpec := flag.String("churn", "", "infinicache: churn schedule, e.g. '30ms:+1,2s:-1' (virtual offsets from replay start)")
+	chaosSpec := flag.String("chaos", "", "infinicache: chaos schedule, e.g. '0s:corrupt:*:0.02:2s,10ms:reclaim:p0-node0:all' (see internal/chaos)")
+	hedged := flag.Bool("hedged", false, "infinicache: enable hedged degraded GETs with per-node circuit breakers")
 	migRate := flag.Int64("mig-rate", 0, "infinicache: migration pacing bytes/sec (0 = 32 MiB/s default, negative = unpaced)")
 	timescale := flag.Float64("timescale", 0, "virtual clock scale for infinicache/redis (0.01 = 100x faster; 0 = real time)")
 
@@ -93,6 +109,15 @@ func main() {
 	}
 	if (len(churn) > 0 || *clients > 1) && *backend != "infinicache" {
 		log.Fatalf("-churn and -clients need -backend infinicache (got %q)", *backend)
+	}
+	var chaosSched *chaos.Schedule
+	if *chaosSpec != "" {
+		if *backend != "infinicache" {
+			log.Fatalf("-chaos needs -backend infinicache (got %q)", *backend)
+		}
+		if chaosSched, err = chaos.Parse(*chaosSpec); err != nil {
+			log.Fatalf("-chaos: %v", err)
+		}
 	}
 
 	var trace *workload.Trace
@@ -125,6 +150,7 @@ func main() {
 	var b replay.Backend
 	var cache *infinicache.Cache
 	var sessionBackends []replay.Backend
+	var icBackends []*replay.InfiniCacheBackend
 	switch *backend {
 	case "dummy":
 		b = replay.NewDummy()
@@ -159,6 +185,15 @@ func main() {
 		if *timescale > 0 {
 			opts = append(opts, infinicache.WithTimeScale(*timescale))
 		}
+		if chaosSched != nil {
+			// The chaos integrity invariant depends on the repair plane:
+			// corrupt or reclaimed chunks become erasures the client
+			// reconstructs and re-inserts.
+			opts = append(opts, infinicache.WithFaultInjection(), infinicache.WithRecovery(true))
+		}
+		if *hedged {
+			opts = append(opts, infinicache.WithHedgedGets(0))
+		}
 		cache, err = infinicache.New(opts...)
 		if err != nil {
 			log.Fatal(err)
@@ -170,6 +205,7 @@ func main() {
 			log.Fatal(err)
 		}
 		b = ib
+		icBackends = append(icBackends, ib)
 		if *clients > 1 {
 			sessionBackends = []replay.Backend{ib}
 			for i := 1; i < *clients; i++ {
@@ -179,6 +215,15 @@ func main() {
 				}
 				defer extra.Close()
 				sessionBackends = append(sessionBackends, extra)
+				icBackends = append(icBackends, extra)
+			}
+		}
+		if chaosSched != nil {
+			// Under chaos every hit is byte-verified against the written
+			// pattern: the harness-level oracle for "zero corrupt bytes
+			// returned", independent of the protocol's own checksums.
+			for _, ib := range icBackends {
+				ib.VerifyReads(true)
 			}
 		}
 	default:
@@ -221,6 +266,18 @@ func main() {
 		}()
 	}
 
+	// The chaos scheduler starts after any preload: offsets are virtual
+	// time from the replay start, and the preloaded baseline is what the
+	// integrity report measures losses against.
+	var chaosRunner *chaos.Runner
+	if chaosSched != nil {
+		dep := cache.Deployment()
+		chaosRunner = chaos.New(chaosSched, clk, dep.Faults(), dep.Platform, dep)
+		if err := chaosRunner.Start(); err != nil {
+			log.Fatalf("-chaos: %v", err)
+		}
+	}
+
 	res, err := replay.Run(ctx, cfg, trace, b)
 	if res != nil {
 		fmt.Print(res.Summary())
@@ -245,6 +302,56 @@ func main() {
 		fmt.Printf("churn: epoch v%d, %d proxies; migrated %d keys (%.1f MB chunk payload), %d drops\n",
 			dep.Epoch().Version(), len(dep.ProxyInfos()), keys, float64(bytes)/(1<<20), drops)
 	}
+
+	if chaosRunner != nil {
+		chaosRunner.Stop()
+		rep := chaosRunner.Report()
+		fmt.Printf("\n%s", rep.String())
+		fmt.Print(faultCounters(cache, rep).Table())
+		// Integrity is byte-exactness: every verified hit matched the
+		// written pattern. RESETs/errors during an active fault window
+		// are availability outcomes (the caller refetches), reported
+		// separately — a corrupt read is the invariant violation.
+		var corrupt int64
+		for _, ib := range icBackends {
+			corrupt += ib.CorruptReads()
+		}
+		integrity := 100.0
+		if res != nil && res.Hits > 0 {
+			integrity = 100 * float64(int64(res.Hits)-corrupt) / float64(res.Hits)
+		}
+		fmt.Printf("chaos: fault classes landed: %d; corrupt reads: %d/%d (%.2f%% data integrity); availability: %d RESETs, %d errors of %d GETs\n",
+			rep.Classes(), corrupt, res.Hits, integrity, res.Resets, res.Errors, res.Gets)
+	}
+}
+
+// faultCounters folds the chaos report and every layer's fault/defence
+// counters into one post-run snapshot.
+func faultCounters(cache *infinicache.Cache, rep chaos.Report) stats.FaultCounters {
+	fc := stats.FaultCounters{
+		Reclaims:     rep.Reclaimed,
+		SeveredConns: rep.Severed,
+	}
+	for _, n := range rep.Injected {
+		fc.FaultsInjected += n
+	}
+	dep := cache.Deployment()
+	for _, p := range dep.Proxies {
+		st := p.Stats()
+		fc.ChecksumFailures += st.ChecksumFailures.Load()
+		fc.CorruptChunks += st.CorruptLost.Load()
+		fc.HedgedGets += st.HedgedGets.Load()
+		fc.HedgeWins += st.HedgeWins.Load()
+		fc.BreakerTrips += st.BreakerTrips.Load()
+		fc.DegradedGets += st.DegradedGets.Load()
+		fc.Repairs += st.Repairs.Load()
+	}
+	for _, cl := range dep.Clients() {
+		st := cl.Stats()
+		fc.ChecksumFailures += st.ChecksumFailures.Load()
+		fc.Recoveries += st.Recoveries.Load()
+	}
+	return fc
 }
 
 // churnEvent is one membership change scheduled at a virtual-time

@@ -101,6 +101,18 @@ type Config struct {
 	EnableRecovery bool
 	// Seed makes placement and policies deterministic.
 	Seed int64
+	// FaultInjection arms the deterministic chaos plane: a seeded fault
+	// engine is threaded through every node link and client dialer,
+	// reachable via Deployment().Faults() for chaos scheduling
+	// (internal/chaos). Off by default with zero wire-path overhead.
+	FaultInjection bool
+	// HedgedGets enables hedged degraded reads on every proxy: a GET
+	// fans out to exactly d chunks, and a slow or failed chunk is hedged
+	// with one extra request to a healthy node after HedgeDelay (0
+	// derives the delay from the observed chunk-RTT p99). Per-node
+	// circuit breakers steer requests away from black-holed nodes.
+	HedgedGets bool
+	HedgeDelay time.Duration
 }
 
 // Option adjusts the deployment configuration at New time.
@@ -196,6 +208,17 @@ func WithMigrationRate(rate, burst int64) Option {
 		c.MigrationRateBytes = rate
 		c.MigrationBurstBytes = burst
 	}
+}
+
+// WithFaultInjection arms the deterministic chaos plane (see
+// Config.FaultInjection).
+func WithFaultInjection() Option { return func(c *Config) { c.FaultInjection = true } }
+
+// WithHedgedGets enables hedged degraded reads with per-node circuit
+// breakers; delay 0 derives the hedge delay from the observed
+// chunk-RTT p99 (see Config.HedgedGets).
+func WithHedgedGets(delay time.Duration) Option {
+	return func(c *Config) { c.HedgedGets, c.HedgeDelay = true, delay }
 }
 
 // Cache is a running InfiniCache deployment.
@@ -299,6 +322,9 @@ func NewFromConfig(cfg Config) (*Cache, error) {
 		RequestTimeout:      cfg.RequestTimeout,
 		EnableRecovery:      cfg.EnableRecovery,
 		Seed:                cfg.Seed,
+		FaultInjection:      cfg.FaultInjection,
+		HedgedGets:          cfg.HedgedGets,
+		HedgeDelay:          cfg.HedgeDelay,
 	})
 	if err != nil {
 		return nil, err

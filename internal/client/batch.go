@@ -155,7 +155,7 @@ func (c *Client) mgetBurst(ctx context.Context, addr string, keys []string, idxs
 		}
 		if err := pc.conn.Forward(protocol.TGet, seq, keys[i], "", nil, nil); err != nil {
 			pc.deregister(seq)
-			res[i].Err = err
+			res[i].Err = connErr("get", err)
 			continue
 		}
 		states[seq] = &mgetKey{idx: i, g: gather{obj: newObject(total), size: -1}}
@@ -194,7 +194,7 @@ func (c *Client) mgetBurst(ctx context.Context, addr string, keys []string, idxs
 			// the result recording differs. (Unlike the single-key
 			// path, MGet does not re-insert missing chunks; the burst
 			// stays read-only.)
-			done, err := c.applyGetFrame(&st.g, msg, d, total)
+			done, err := c.applyGetFrame(&st.g, keys[st.idx], msg, d, total)
 			if !done {
 				continue
 			}
@@ -278,6 +278,12 @@ func (c *Client) MPut(ctx context.Context, pairs ...KV) []PutResult {
 			hint = wo.owner
 		case errors.Is(res[i].Err, errConnClosed):
 			// The burst's proxy died or left the cluster mid-flight.
+		case errors.Is(res[i].Err, errTransient), errors.Is(res[i].Err, errBusyWrite):
+			// Transient generation failure mid-burst: retry the pair on
+			// the single-key path (which budgets its own retries) without
+			// a ring refresh.
+			res[i].Err = c.putObject(ctx, pairs[i].Key, pairs[i].Value)
+			continue
 		default:
 			continue
 		}
@@ -326,7 +332,7 @@ func (c *Client) mputBurst(ctx context.Context, addr string, pairs []KV, idxs []
 	// shard set at peak, not the whole batch, and the writer still sees
 	// every SET back to back before any ACK is read.
 	shards := make([][]byte, total)
-	var args [7]int64
+	var args [9]int64
 	for _, i := range idxs {
 		value := pairs[i].Value
 		shardSize := c.codec.ShardSize(len(value))
@@ -355,13 +361,14 @@ func (c *Client) mputBurst(ctx context.Context, addr string, pairs []KV, idxs []
 				res[i].Err = errConnClosed
 				break
 			}
-			args = [7]int64{
+			args = [9]int64{
 				int64(j), int64(total), int64(nodes[j]),
 				int64(len(value)), int64(d), gen, 0,
+				0, protocol.ChunkSum(pairs[i].Key, j, shard),
 			}
 			if err := pc.conn.Forward(protocol.TSet, seq, pairs[i].Key, "", args[:], shard); err != nil {
 				pc.deregister(seq)
-				res[i].Err = fmt.Errorf("chunk %d: %w", j, err)
+				res[i].Err = connErr(fmt.Sprintf("put chunk %d", j), err)
 				break
 			}
 			seqIdx[seq] = mputChunk{resIdx: i, chunk: j}
@@ -381,6 +388,12 @@ func (c *Client) mputBurst(ctx context.Context, addr string, pairs []KV, idxs []
 			// recorded: the pair retries wholesale after the burst.
 			if _, isWo := res[mc.resIdx].Err.(*wrongOwnerError); !isWo {
 				res[mc.resIdx].Err = &wrongOwnerError{version: uint64(resp.Arg(0)), owner: resp.Addr}
+			}
+		case resp.Type == protocol.TErr && resp.Arg(0) == protocol.TransientFlag:
+			// Transient generation failure: the pair retries wholesale on
+			// the single-key path after the burst.
+			if res[mc.resIdx].Err == nil {
+				res[mc.resIdx].Err = errTransient
 			}
 		case resp.Type != protocol.TAck && res[mc.resIdx].Err == nil:
 			res[mc.resIdx].Err = fmt.Errorf("chunk %d: %w: %s", mc.chunk, ErrRejected, resp.Payload)

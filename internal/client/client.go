@@ -108,6 +108,10 @@ type Stats struct {
 	Recoveries    atomic.Int64 // chunks re-inserted by EC recovery
 	Redirects     atomic.Int64 // WRONG_OWNER redirects followed
 	RingRefreshes atomic.Int64 // newer epochs installed via RING fetch
+	// ChecksumFailures counts DATA frames whose payload failed the
+	// chunk-checksum verify (corruption in transit); each one was
+	// retried, never returned to the caller.
+	ChecksumFailures atomic.Int64
 }
 
 // Common errors.
@@ -308,7 +312,7 @@ func (c *Client) fetchRing(ctx context.Context, addr string) (*cluster.Epoch, er
 	ch := pc.register(seq, 2)
 	defer pc.release(seq, ch)
 	if err := pc.conn.Forward(protocol.TRing, seq, "", "", nil, nil); err != nil {
-		return nil, err
+		return nil, connErr("ring fetch", err)
 	}
 	select {
 	case resp, ok := <-ch:
@@ -377,6 +381,8 @@ func (c *Client) PutCtx(ctx context.Context, key string, value []byte) error {
 // generation.
 func (c *Client) putObject(ctx context.Context, key string, value []byte) error {
 	var lastErr error
+	backoff := busyWriteBackoff
+	transients := 0
 	for hop := 0; hop <= redirectBudget; hop++ {
 		info, err := c.proxyFor(key)
 		if err != nil {
@@ -394,6 +400,24 @@ func (c *Client) putObject(ctx context.Context, key string, value []byte) error 
 			// Learn the epoch that retired it and re-route.
 			lastErr = err
 			c.refreshRing(ctx, "")
+		case errors.Is(err, errBusyWrite), errors.Is(err, errTransient):
+			// A transient generation failure (node timeout, garbled
+			// frame, racing overwrite): retry with a fresh placement and
+			// generation, budgeted separately from redirect hops.
+			transients++
+			if transients > getRetries {
+				return fmt.Errorf("%w (after %d attempts): %v", ErrRejected, transients, err)
+			}
+			lastErr = err
+			hop--
+			if errors.Is(err, errBusyWrite) {
+				select {
+				case <-c.cfg.Clock.After(backoff):
+					backoff *= 2
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
 		default:
 			return err
 		}
@@ -474,7 +498,8 @@ func (c *Client) putChunks(ctx context.Context, pc *proxyConn, key string, objSi
 	// would wait forever for its own ACK.
 	var firstErr error
 	var woErr *wrongOwnerError
-	var args [7]int64
+	var transientErr error
+	var args [9]int64
 	pc.conn.Pin()
 	for i, shard := range shards {
 		if shard == nil {
@@ -486,18 +511,23 @@ func (c *Client) putChunks(ctx context.Context, pc *proxyConn, key string, objSi
 			return errConnClosed
 		}
 		seqIdx[seq] = i
-		args = [7]int64{
+		// Args[7] (migration flag) stays 0 on the client path; the chunk
+		// checksum rides Args[protocol.ChecksumArgSet] so the proxy can
+		// verify the payload — and the (key, idx) routing the sum is
+		// bound to — survived the wire before committing it.
+		args = [9]int64{
 			int64(i), int64(len(shards)), int64(nodes[i]),
 			objSize, int64(c.codec.DataShards()), gen, rec,
+			0, protocol.ChunkSum(key, i, shard),
 		}
 		if err := pc.conn.Forward(protocol.TSet, seq, key, "", args[:], shard); err != nil {
 			// The writer is dead; nothing later in the pipeline can land.
 			pc.conn.Flush()
-			return fmt.Errorf("chunk %d: %w", i, err)
+			return connErr(fmt.Sprintf("put chunk %d", i), err)
 		}
 	}
 	if err := pc.conn.Flush(); err != nil {
-		return fmt.Errorf("put flush: %w", err)
+		return connErr("put flush", err)
 	}
 
 	// Acked seqs are deregistered as they land, so on an abandon seqIdx
@@ -508,6 +538,18 @@ func (c *Client) putChunks(ctx context.Context, pc *proxyConn, key string, objSi
 		case resp.Type == protocol.TWrongOwner:
 			if woErr == nil {
 				woErr = &wrongOwnerError{version: uint64(resp.Arg(0)), owner: resp.Addr}
+			}
+		case resp.Type == protocol.TErr && resp.Arg(0) == protocol.TransientFlag:
+			// The proxy failed this generation for a transient reason (a
+			// node timeout, a backup swap, a frame that arrived garbled) —
+			// a retry with a fresh placement usually lands, so it must
+			// not burn the op as ErrRejected.
+			if transientErr == nil {
+				if resp.Arg(1) == protocol.TransientBusyWrite {
+					transientErr = errBusyWrite
+				} else {
+					transientErr = errTransient
+				}
 			}
 		case resp.Type != protocol.TAck && firstErr == nil:
 			firstErr = fmt.Errorf("chunk %d: %w: %s", idx, ErrRejected, resp.Payload)
@@ -528,7 +570,10 @@ func (c *Client) putChunks(ctx context.Context, pc *proxyConn, key string, objSi
 	if woErr != nil {
 		return woErr
 	}
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	return transientErr
 }
 
 // collectAcks collects exactly one response per seq in seqIdx off the
@@ -726,7 +771,17 @@ type gather struct {
 // caller releases the partial object), or with g.obj complete (decoded
 // if one of the first d was a parity chunk, geometry recorded, Hit
 // counted) and ownership ready to hand to the caller.
-func (c *Client) applyGetFrame(g *gather, msg *protocol.Message, d, total int) (done bool, err error) {
+func (c *Client) applyGetFrame(g *gather, key string, msg *protocol.Message, d, total int) (done bool, err error) {
+	// Key echo check: every proxy reply carries the key of the command
+	// it answers. A mismatch means the command's key field was garbled
+	// in transit (the proxy looked up — or missed — some other key) or
+	// the reply's was; either way the frame proves nothing about our
+	// key, so treat it as a transient failure and retry.
+	if msg.Key != "" && msg.Key != key {
+		msg.Free()
+		c.stats.ChecksumFailures.Add(1)
+		return true, fmt.Errorf("%w: reply key mismatch", errTransient)
+	}
 	switch msg.Type {
 	case protocol.TData:
 		// Every DATA frame carries the object's true RS geometry; a
@@ -743,6 +798,23 @@ func (c *Client) applyGetFrame(g *gather, msg *protocol.Message, d, total int) (
 		if idx < 0 || idx >= total || g.obj.shards[idx] != nil {
 			msg.Free() // duplicate or out-of-range frame
 			return false, nil
+		}
+		// End-to-end integrity: the shard must be the size the geometry
+		// demands and must match the checksum computed at encode time
+		// (when the frame carries one). A mismatch means corruption in
+		// transit or at rest — treat it as a transient node failure so
+		// the retry path re-fetches (and the proxy escalates repeat
+		// offenders into erasures) instead of decoding garbage.
+		if want := c.codec.ShardSize(int(msg.Arg(1))); len(msg.Payload) != want {
+			msg.Free()
+			c.stats.ChecksumFailures.Add(1)
+			return true, fmt.Errorf("%w: chunk %d: bad shard length", errTransient, idx)
+		}
+		if len(msg.Args) > protocol.ChecksumArgData &&
+			protocol.ChunkSum(key, idx, msg.Payload) != msg.Arg(protocol.ChecksumArgData) {
+			msg.Free()
+			c.stats.ChecksumFailures.Add(1)
+			return true, fmt.Errorf("%w: chunk %d: checksum mismatch", errTransient, idx)
 		}
 		g.obj.shards[idx] = msg.Payload // ownership moves to the handle
 		msg.Payload = nil
@@ -843,7 +915,7 @@ func (c *Client) getFrom(ctx context.Context, key, direct string, authoritative 
 		getArgs = []int64{1}
 	}
 	if err := pc.conn.Forward(protocol.TGet, seq, key, "", getArgs, nil); err != nil {
-		return nil, err
+		return nil, connErr("get", err)
 	}
 
 	d := c.codec.DataShards()
@@ -865,7 +937,7 @@ func (c *Client) getFrom(ctx context.Context, key, direct string, authoritative 
 			if !ok {
 				return nil, errConnClosed
 			}
-			done, ferr := c.applyGetFrame(&g, msg, d, total)
+			done, ferr := c.applyGetFrame(&g, key, msg, d, total)
 			if !done {
 				continue
 			}
@@ -971,7 +1043,7 @@ func (c *Client) delOnce(ctx context.Context, key, addr string) error {
 	ch := pc.register(seq, 2)
 	defer pc.release(seq, ch)
 	if err := pc.conn.Forward(protocol.TDel, seq, key, "", nil, nil); err != nil {
-		return err
+		return connErr("del", err)
 	}
 	select {
 	case resp, ok := <-ch:

@@ -1,12 +1,37 @@
 package client
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 
 	"infinicache/internal/protocol"
 )
+
+// connErr classifies a raw transport error from a proxy connection.
+// Frame-limit violations (oversized payload/key, too many args) are the
+// caller's bug and pass through untouched; everything else — a
+// net.OpError from a write against a crashed proxy, an injected hangup,
+// an EOF mid-stream — means the connection died, which most likely
+// means the proxy left the cluster. Those wrap into errConnClosed so
+// the retry loops above refresh the ring and re-route instead of
+// burning the transient-failure budget (PR 8 covered the dial path;
+// this covers every read/write-side escape).
+func connErr(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, protocol.ErrPayloadTooLarge) ||
+		errors.Is(err, protocol.ErrKeyTooLong) ||
+		errors.Is(err, protocol.ErrTooManyArgs) {
+		return err
+	}
+	if errors.Is(err, errConnClosed) {
+		return err
+	}
+	return fmt.Errorf("%w: %s: %v", errConnClosed, op, err)
+}
 
 // proxyConn is one connection to a proxy with a response dispatcher: a
 // single reader goroutine routes frames to per-request channels by

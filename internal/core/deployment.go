@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"net"
 	"sync"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"infinicache/internal/cluster"
 	"infinicache/internal/lambdaemu"
 	"infinicache/internal/lambdanode"
+	"infinicache/internal/netsim"
 	"infinicache/internal/proxy"
 	"infinicache/internal/vclock"
 )
@@ -65,6 +67,16 @@ type Config struct {
 	// defaults; negative rate disables pacing).
 	MigrationRateBytes  int64
 	MigrationBurstBytes int64
+	// FaultInjection arms the deterministic chaos plane: a seeded
+	// netsim.Faults engine (seeded from Seed) is threaded through the
+	// platform's node links and the client dialer, reachable via
+	// Deployment.Faults for the chaos scheduler. Off by default — the
+	// wire path then carries zero fault-filter overhead.
+	FaultInjection bool
+	// HedgedGets/HedgeDelay enable hedged degraded reads with per-node
+	// circuit breakers on every proxy (see proxy.Config).
+	HedgedGets bool
+	HedgeDelay time.Duration
 }
 
 func (c *Config) fillDefaults() error {
@@ -106,12 +118,22 @@ type Deployment struct {
 	// sweeps during churn) must go through proxySnapshot.
 	Proxies []*proxy.Proxy
 
+	// faults is the chaos plane's fault engine (nil unless
+	// Config.FaultInjection).
+	faults *netsim.Faults
+
 	// membership owns the epoch sequence; every join/leave publishes the
 	// next version and installs it on all proxies (destinations first).
 	membership *cluster.Membership
 	handler    lambdaemu.Handler
 	nextProxy  int // next proxy index for NodeName numbering
 	pmu        sync.Mutex
+
+	// clients tracks every client built via NewClient so harnesses can
+	// fold client-side counters (EC recoveries, checksum failures) into
+	// deployment-wide reports.
+	cmu     sync.Mutex
+	clients []*client.Client
 
 	stopWarm chan struct{}
 	warmWG   sync.WaitGroup
@@ -129,6 +151,10 @@ func New(cfg Config) (*Deployment, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
+	var faults *netsim.Faults
+	if cfg.FaultInjection {
+		faults = netsim.NewFaults(cfg.Clock, cfg.Seed+977)
+	}
 	platform := lambdaemu.New(lambdaemu.Config{
 		Clock:           cfg.Clock,
 		ReclaimPolicy:   cfg.ReclaimPolicy,
@@ -136,6 +162,7 @@ func New(cfg Config) (*Deployment, error) {
 		ColdStartDelay:  cfg.ColdStartDelay,
 		WarmInvokeDelay: cfg.WarmInvokeDelay,
 		HostMemoryMB:    cfg.HostMemoryMB,
+		NetFaults:       faults,
 	})
 	handler := lambdanode.NewHandler(lambdanode.Config{
 		BackupInterval: cfg.BackupInterval,
@@ -144,6 +171,7 @@ func New(cfg Config) (*Deployment, error) {
 
 	d := &Deployment{
 		cfg:        cfg,
+		faults:     faults,
 		Platform:   platform,
 		membership: cluster.NewMembership(),
 		handler:    handler,
@@ -191,6 +219,8 @@ func (d *Deployment) buildProxy(pi int) (*proxy.Proxy, error) {
 		HotMaxObjectBytes:   d.cfg.HotMaxObjectBytes,
 		MigrationRateBytes:  d.cfg.MigrationRateBytes,
 		MigrationBurstBytes: d.cfg.MigrationBurstBytes,
+		HedgedGets:          d.cfg.HedgedGets,
+		HedgeDelay:          d.cfg.HedgeDelay,
 	})
 }
 
@@ -336,7 +366,7 @@ func (d *Deployment) ProxyInfos() []client.ProxyInfo {
 // NewClient builds a client wired to every proxy in the deployment;
 // opts override the deployment-derived defaults per client.
 func (d *Deployment) NewClient(opts ...client.Option) (*client.Client, error) {
-	return client.New(client.Config{
+	ccfg := client.Config{
 		Proxies:        d.ProxyInfos(),
 		DataShards:     d.cfg.DataShards,
 		ParityShards:   d.cfg.ParityShards,
@@ -344,7 +374,63 @@ func (d *Deployment) NewClient(opts ...client.Option) (*client.Client, error) {
 		RequestTimeout: d.cfg.RequestTimeout,
 		EnableRecovery: d.cfg.EnableRecovery,
 		Seed:           d.cfg.Seed + 101,
-	}, opts...)
+	}
+	if f := d.faults; f != nil {
+		// Thread the chaos plane through the client↔proxy links too:
+		// refuse rules matching the "client" tag make dials fail, and
+		// corrupt/rot/latency/hangup rules apply to client traffic just
+		// as they do to node links.
+		ccfg.Dial = func(addr string) (net.Conn, error) {
+			if f.Refused("client") {
+				return nil, fmt.Errorf("core: dial %s refused (injected fault)", addr)
+			}
+			raw, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return netsim.NewFaultConn(raw, nil, f, "client"), nil
+		}
+	}
+	cl, err := client.New(ccfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	d.cmu.Lock()
+	d.clients = append(d.clients, cl)
+	d.cmu.Unlock()
+	return cl, nil
+}
+
+// Clients returns every client built via NewClient (closed ones
+// included — their counters remain readable).
+func (d *Deployment) Clients() []*client.Client {
+	d.cmu.Lock()
+	defer d.cmu.Unlock()
+	return append([]*client.Client(nil), d.clients...)
+}
+
+// Faults exposes the deployment's fault engine for chaos scheduling
+// (nil unless Config.FaultInjection was set).
+func (d *Deployment) Faults() *netsim.Faults { return d.faults }
+
+// NumProxies returns the current live proxy count.
+func (d *Deployment) NumProxies() int {
+	d.pmu.Lock()
+	defer d.pmu.Unlock()
+	return len(d.Proxies)
+}
+
+// SeverProxyConns abruptly closes every established connection (client
+// sessions and node links) on proxy i, modelling a proxy crash+restart
+// with its in-memory state intact. Clients observe connection resets
+// and recover through their normal redial/retry path. Returns the
+// number of connections severed; 0 if i is out of range.
+func (d *Deployment) SeverProxyConns(i int) int {
+	ps := d.proxySnapshot()
+	if i < 0 || i >= len(ps) {
+		return 0
+	}
+	return ps[i].SeverConns()
 }
 
 // TotalNodes returns the number of cache-node functions deployed.

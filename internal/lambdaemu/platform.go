@@ -59,6 +59,11 @@ type Config struct {
 	AutoScaleDelay time.Duration
 	ReclaimPolicy  ReclaimPolicy // nil disables policy-driven reclaiming
 	Seed           int64
+	// NetFaults, when set, is consulted on every handler Dial (refusal
+	// rules, tagged by function name) and every byte moved on the
+	// resulting connections (corruption/latency/hangup rules) — the
+	// chaos plane's hook into the platform's network edge.
+	NetFaults *netsim.Faults
 }
 
 func (c *Config) fillDefaults() {
@@ -442,6 +447,9 @@ func (p *Platform) Close() {
 // TCP, throttled through the instance's own bandwidth bucket and its VM
 // host's shared bucket.
 func (p *Platform) dialFrom(in *Instance, addr string) (net.Conn, error) {
+	if f := p.cfg.NetFaults; f != nil && f.Refused(in.fn.name) {
+		return nil, fmt.Errorf("lambdaemu: dial refused (injected fault) for %s", in.fn.name)
+	}
 	raw, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -451,7 +459,14 @@ func (p *Platform) dialFrom(in *Instance, addr string) (net.Conn, error) {
 		Latency: p.cfg.NetworkLatency,
 		Buckets: []*netsim.Bucket{in.host.bucket, in.bucket},
 	}
-	c := netsim.NewConn(raw, path)
+	var c net.Conn
+	if p.cfg.NetFaults != nil {
+		// Tag the conn with the function name so per-node fault rules
+		// (corrupt/rot/latency/hangup) can target it.
+		c = netsim.NewFaultConn(raw, path, p.cfg.NetFaults, in.fn.name)
+	} else {
+		c = netsim.NewConn(raw, path)
+	}
 	in.trackConn(c)
 	return c, nil
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"infinicache/internal/distrib"
+	"infinicache/internal/netsim"
 )
 
 // ReclaimPolicy models the provider's internal function-reclaiming
@@ -281,6 +282,39 @@ func (p *Platform) ForceReclaimN(function string, n int) int {
 		if p.reclaimInstance(in, "forced") {
 			count++
 		}
+	}
+	return count
+}
+
+// ForceReclaimMatching reclaims up to n instances across every function
+// whose name matches pattern (netsim.MatchTag syntax: exact, trailing
+// '*' prefix, or "*"), oldest first; n < 0 means all. The chaos plane
+// uses it to drive reclaim storms across a whole node pool.
+func (p *Platform) ForceReclaimMatching(pattern string, n int) int {
+	p.mu.Lock()
+	names := make([]string, 0, len(p.fns))
+	for name := range p.fns {
+		if netsim.MatchTag(pattern, name) {
+			names = append(names, name)
+		}
+	}
+	p.mu.Unlock()
+	// Stable order so a fixed seed reclaims the same instances.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	count := 0
+	for _, name := range names {
+		if n >= 0 && count >= n {
+			break
+		}
+		left := -1
+		if n >= 0 {
+			left = n - count
+		}
+		count += p.ForceReclaimN(name, left)
 	}
 	return count
 }

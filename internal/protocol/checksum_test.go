@@ -1,0 +1,59 @@
+package protocol
+
+import (
+	"hash/crc32"
+	"testing"
+	"testing/quick"
+)
+
+// chunkSumRef is the straightforward spelling of the (key, idx, payload)
+// chain: one crc32.Update over the concatenated prefix, then the
+// payload. ChunkSum hand-rolls the prefix byte-wise purely to keep the
+// request plane allocation-free; this pins the two spellings together.
+func chunkSumRef(key string, idx int, b []byte) int64 {
+	prefix := make([]byte, 0, len(key)+4)
+	prefix = append(prefix, key...)
+	prefix = append(prefix, byte(idx), byte(idx>>8), byte(idx>>16), byte(idx>>24))
+	return int64(crc32.Update(crc32.Update(0, crcTable, prefix), crcTable, b))
+}
+
+func TestChunkSumMatchesReference(t *testing.T) {
+	f := func(key string, idx int32, payload []byte) bool {
+		i := int(idx)
+		got, want := ChunkSum(key, i, payload), chunkSumRef(key, i, payload)
+		if got != want {
+			t.Errorf("ChunkSum(%q, %d, %d bytes) = %#x, reference %#x", key, i, len(payload), got, want)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// The empty everything case, where the hand-rolled prefix loop does
+	// all the work.
+	if ChunkSum("", 0, nil) != chunkSumRef("", 0, nil) {
+		t.Error("ChunkSum disagrees with reference on empty input")
+	}
+}
+
+// TestChunkSumBindsKeyAndIndex: the sum must change when the key or the
+// chunk index changes, not just when payload bytes do — that binding is
+// what rejects a frame whose key or index field was garbled in flight.
+func TestChunkSumBindsKeyAndIndex(t *testing.T) {
+	payload := []byte("0123456789abcdef")
+	base := ChunkSum("obj/1", 3, payload)
+	if ChunkSum("obj/2", 3, payload) == base {
+		t.Error("sum did not change with the key")
+	}
+	if ChunkSum("obj/1", 4, payload) == base {
+		t.Error("sum did not change with the chunk index")
+	}
+	flipped := append([]byte(nil), payload...)
+	flipped[7] ^= 0x10
+	if ChunkSum("obj/1", 3, flipped) == base {
+		t.Error("sum did not change with a payload bit flip")
+	}
+	if base < 0 || base > 0xFFFFFFFF {
+		t.Errorf("sum %#x outside the uint32 wire range", base)
+	}
+}

@@ -117,6 +117,28 @@ func FuzzReadMessage(f *testing.F) {
 	f.Add([]byte{byte(TGet)})
 	f.Add([]byte{byte(TData), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{byte(TGet), 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF})
+	// Chaos-style mutations of a well-formed frame, mirroring what the
+	// fault plane's corrupt/rot/hangup rules do to live traffic: torn
+	// frames (mid-write hangup), inflated length fields (bit flip in a
+	// header), and flipped checksum-arg and payload bytes (bit flip in
+	// the body — must decode fine; rejection is the verifier's job).
+	seed := encodeFrame(f, &Message{
+		Type: TData, Seq: 99, Key: "obj/7#chunk-2", Addr: "10.0.0.1:6378",
+		Args: []int64{2, 4096, 4, 6, 0x1234abcd}, Payload: bytes.Repeat([]byte{0xA5}, 64),
+	})
+	for _, cut := range []int{1, 9, 11, len(seed) / 2, len(seed) - 1} {
+		f.Add(seed[:cut])
+	}
+	mutate := func(off int, val byte) []byte {
+		m := append([]byte(nil), seed...)
+		m[off] ^= val
+		return m
+	}
+	f.Add(mutate(9, 0x7F))            // key-length inflation
+	f.Add(mutate(10, 0xFF))           // key-length inflation, low byte
+	f.Add(mutate(len(seed)-70, 0x40)) // payload-length region
+	f.Add(mutate(len(seed)-20, 0x01)) // payload bit flip
+	f.Add(mutate(30, 0x80))           // args region (checksum arg) flip
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// A header may claim a payload of up to MaxPayload and both
 		// decoders would allocate it before noticing the truncation;

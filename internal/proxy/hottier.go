@@ -79,16 +79,18 @@ type hotEntry struct {
 
 // buildWire precomputes the DATA-burst image for one admitted object.
 // Frame layout matches what serveHot's per-chunk Forward loop produced:
-// type DATA, the object key, args {index, object size, d, total}, the
-// chunk payload.
+// type DATA, the object key, args {index, object size, d, total,
+// CRC32-C}, the chunk payload. The checksum is computed here — once per
+// admission, off the hit path — so tier-served reads carry the same
+// end-to-end integrity arg as node-served ones.
 func buildWire(key string, size int64, d, total int, chunks [][]byte) *protocol.Prebuilt {
 	w := &protocol.Prebuilt{}
-	var args [4]int64
+	var args [5]int64
 	for i, chunk := range chunks {
 		if chunk == nil {
 			continue
 		}
-		args = [4]int64{int64(i), size, int64(d), int64(total)}
+		args = [5]int64{int64(i), size, int64(d), int64(total), protocol.ChunkSum(key, i, chunk)}
 		if err := w.Append(protocol.TData, key, "", args[:], chunk); err != nil {
 			return nil // over wire limits; caller falls back to Forward
 		}

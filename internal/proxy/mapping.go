@@ -12,6 +12,18 @@ type chunkLoc struct {
 	Node    int   // index into the proxy's node list
 	Size    int64 // bytes
 	Present bool  // false once known lost (node reclaimed / MISS)
+
+	// Sum is the chunk's CRC32-C, recorded at commit when the writing
+	// SET carried one (HasSum). Read-backs from nodes are verified
+	// against it; a mismatch is transit or storage corruption, never
+	// forwarded to a client.
+	Sum    int64
+	HasSum bool
+	// Strikes counts consecutive checksum failures on read-back. One
+	// strike is treated as transit corruption (retry heals it); a second
+	// means the stored bytes themselves are bad, and the chunk is
+	// escalated to a positive loss so parity reconstruction repairs it.
+	Strikes uint8
 }
 
 // objMeta is the mapping-table entry for one object.
@@ -324,7 +336,9 @@ func (t *mappingTable) Reserve(node int, size int64, protect string) ([]evictedC
 // incarnation is current. Returns false (and releases the reservation)
 // when the entry is gone or has moved on; the caller then deletes the
 // node's copy like any superseded chunk.
-func (t *mappingTable) CommitChunk(key string, idx, node int, size int64, epoch uint64) bool {
+// sum is the chunk's CRC32-C when hasSum is set (the SET frame carried
+// one); it is stored so later read-backs can be verified end to end.
+func (t *mappingTable) CommitChunk(key string, idx, node int, size int64, epoch uint64, sum int64, hasSum bool) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	o, ok := t.objects[key]
@@ -338,7 +352,36 @@ func (t *mappingTable) CommitChunk(key string, idx, node int, size int64, epoch 
 	if old.Size > 0 {
 		t.nodeUsed[old.Node] -= old.Size
 	}
-	o.Chunks[idx] = chunkLoc{Node: node, Size: size, Present: true}
+	o.Chunks[idx] = chunkLoc{Node: node, Size: size, Present: true, Sum: sum, HasSum: hasSum}
+	return true
+}
+
+// NoteChunkCorrupt records a checksum failure on a chunk read back from
+// its node. The first strike is assumed to be transit corruption (the
+// client retries; a clean re-read clears nothing — strikes only reset
+// when the chunk is rewritten), the second means the stored bytes are
+// bad: the chunk is escalated to a positive loss, which routes the
+// object through degraded-read reconstruction and recovery re-insert.
+// Epoch-guarded like MarkChunkLost. Returns whether the chunk was
+// escalated to lost by this call.
+func (t *mappingTable) NoteChunkCorrupt(key string, idx int, epoch uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	o, ok := t.objects[key]
+	if !ok || o.Epoch != epoch || idx < 0 || idx >= len(o.Chunks) {
+		return false
+	}
+	c := &o.Chunks[idx]
+	if !c.Present {
+		return false
+	}
+	if c.Strikes++; c.Strikes < 2 {
+		return false
+	}
+	c.Present = false
+	o.Lost++
+	t.nodeUsed[c.Node] -= c.Size
+	c.Size = 0
 	return true
 }
 

@@ -26,11 +26,11 @@ func TestBeginCommitLookup(t *testing.T) {
 	if _, _, err := tb.Reserve(0, 500, "a"); err != nil {
 		t.Fatal(err)
 	}
-	tb.CommitChunk("a", 0, 0, 500, 0)
+	tb.CommitChunk("a", 0, 0, 500, 0, 0, false)
 	if _, _, err := tb.Reserve(1, 500, "a"); err != nil {
 		t.Fatal(err)
 	}
-	tb.CommitChunk("a", 1, 1, 500, 0)
+	tb.CommitChunk("a", 1, 1, 500, 0, 0, false)
 
 	meta, ok := tb.Lookup("a")
 	if !ok {
@@ -51,7 +51,7 @@ func TestLookupReturnsSnapshot(t *testing.T) {
 	tb := newTable()
 	tb.BeginObject("a", 10, 1, 1)
 	tb.Reserve(0, 10, "a")
-	tb.CommitChunk("a", 0, 0, 10, 0)
+	tb.CommitChunk("a", 0, 0, 10, 0, 0, false)
 	meta, _ := tb.Lookup("a")
 	meta.Chunks[0].Present = false
 	again, _ := tb.Lookup("a")
@@ -64,9 +64,9 @@ func TestOverwriteReturnsDeletions(t *testing.T) {
 	tb := newTable()
 	tb.BeginObject("a", 100, 1, 2)
 	tb.Reserve(0, 50, "a")
-	tb.CommitChunk("a", 0, 0, 50, 0)
+	tb.CommitChunk("a", 0, 0, 50, 0, 0, false)
 	tb.Reserve(1, 50, "a")
-	tb.CommitChunk("a", 1, 1, 50, 0)
+	tb.CommitChunk("a", 1, 1, 50, 0, 0, false)
 
 	dels, _, _, _ := tb.BeginObject("a", 200, 1, 2)
 	if len(dels) != 2 {
@@ -81,7 +81,7 @@ func TestDrop(t *testing.T) {
 	tb := newTable()
 	tb.BeginObject("a", 100, 1, 1)
 	tb.Reserve(2, 100, "a")
-	tb.CommitChunk("a", 0, 2, 100, 0)
+	tb.CommitChunk("a", 0, 2, 100, 0, 0, false)
 	dels := tb.Drop("a")
 	if len(dels) != 1 || dels[0].Node != 2 || dels[0].Key != "a#0" {
 		t.Fatalf("dels = %+v", dels)
@@ -103,7 +103,7 @@ func TestReserveEvictsAtPoolPressure(t *testing.T) {
 		if _, _, err := tb.Reserve(i, 1<<20, key); err != nil {
 			t.Fatalf("reserve %d: %v", i, err)
 		}
-		tb.CommitChunk(key, 0, i, 1<<20, 0)
+		tb.CommitChunk(key, 0, i, 1<<20, 0, 0, false)
 	}
 	// A new object must evict at least one victim.
 	tb.BeginObject("new", 1<<20, 1, 1)
@@ -125,7 +125,7 @@ func TestReserveNeverEvictsProtected(t *testing.T) {
 	if _, _, err := tb.Reserve(0, 600, "self"); err != nil {
 		t.Fatal(err)
 	}
-	tb.CommitChunk("self", 0, 0, 600, 0)
+	tb.CommitChunk("self", 0, 0, 600, 0, 0, false)
 	// Second chunk exceeds the pool; the only candidate victim is the
 	// protected object itself, so Reserve must fail rather than evict it.
 	_, _, err := tb.Reserve(0, 600, "self")
@@ -156,7 +156,7 @@ func TestReleaseChunk(t *testing.T) {
 func TestCommitWithoutObjectReleases(t *testing.T) {
 	tb := newTable()
 	tb.Reserve(1, 100, "ghost")
-	tb.CommitChunk("ghost", 0, 1, 100, 0) // object never began: must release
+	tb.CommitChunk("ghost", 0, 1, 100, 0, 0, false) // object never began: must release
 	if tb.NodeUsed(1) != 0 {
 		t.Fatal("orphan commit leaked accounting")
 	}
@@ -167,7 +167,7 @@ func TestMarkChunkLost(t *testing.T) {
 	tb.BeginObject("a", 100, 2, 3)
 	for i := 0; i < 3; i++ {
 		tb.Reserve(i, 40, "a")
-		tb.CommitChunk("a", i, i, 40, 0)
+		tb.CommitChunk("a", i, i, 40, 0, 0, false)
 	}
 	epoch := mustEpoch(t, tb, "a")
 	if left := tb.MarkChunkLost("a", 0, epoch); left != 2 {
@@ -201,13 +201,13 @@ func TestEpochGuards(t *testing.T) {
 	tb := newTable()
 	tb.BeginObject("a", 100, 1, 2)
 	tb.Reserve(0, 50, "a")
-	tb.CommitChunk("a", 0, 0, 50, 0)
+	tb.CommitChunk("a", 0, 0, 50, 0, 0, false)
 	oldEpoch := mustEpoch(t, tb, "a")
 
 	// Overwrite: a fresh incarnation replaces the entry.
 	tb.BeginObject("a", 100, 1, 2)
 	tb.Reserve(1, 50, "a")
-	tb.CommitChunk("a", 0, 1, 50, 0)
+	tb.CommitChunk("a", 0, 1, 50, 0, 0, false)
 
 	// A stale GET's MISS must not mark the new chunk lost.
 	tb.MarkChunkLost("a", 0, oldEpoch)
@@ -225,7 +225,7 @@ func TestEpochGuards(t *testing.T) {
 	// A stale GET's... and a stale COMMIT: a chunk acked after another
 	// session's overwrite must not splice into the new incarnation.
 	tb.Reserve(2, 50, "a")
-	if tb.CommitChunk("a", 1, 2, 50, oldEpoch) {
+	if tb.CommitChunk("a", 1, 2, 50, oldEpoch, 0, false) {
 		t.Fatal("stale-epoch commit spliced into the new incarnation")
 	}
 	if tb.NodeUsed(2) != 0 {
@@ -233,7 +233,7 @@ func TestEpochGuards(t *testing.T) {
 	}
 	// Epoch 0 (recovery) commits into whatever incarnation is current.
 	tb.Reserve(2, 50, "a")
-	if !tb.CommitChunk("a", 1, 2, 50, 0) {
+	if !tb.CommitChunk("a", 1, 2, 50, 0, 0, false) {
 		t.Fatal("recovery commit refused")
 	}
 	// The current epoch still drops normally.
@@ -253,7 +253,7 @@ func TestDropIfIncomplete(t *testing.T) {
 	tb := newTable()
 	_, epoch, _, _ := tb.BeginObject("a", 100, 2, 3)
 	tb.Reserve(0, 40, "a")
-	tb.CommitChunk("a", 0, 0, 40, epoch) // 1 of 2 data shards: incomplete
+	tb.CommitChunk("a", 0, 0, 40, epoch, 0, false) // 1 of 2 data shards: incomplete
 	if _, ok := tb.DropIfIncomplete("a", epoch); !ok {
 		t.Fatal("incomplete entry not dropped")
 	}
@@ -264,7 +264,7 @@ func TestDropIfIncomplete(t *testing.T) {
 	// A complete entry must never be dropped by the failed-PUT path.
 	_, epoch, _, _ = tb.BeginObject("b", 100, 1, 2)
 	tb.Reserve(0, 50, "b")
-	tb.CommitChunk("b", 0, 0, 50, epoch)
+	tb.CommitChunk("b", 0, 0, 50, epoch, 0, false)
 	if _, ok := tb.DropIfIncomplete("b", epoch); ok {
 		t.Fatal("complete entry dropped")
 	}
@@ -281,9 +281,9 @@ func TestUsedBytesAggregates(t *testing.T) {
 	tb := newTable()
 	tb.BeginObject("a", 100, 1, 2)
 	tb.Reserve(0, 60, "a")
-	tb.CommitChunk("a", 0, 0, 60, 0)
+	tb.CommitChunk("a", 0, 0, 60, 0, 0, false)
 	tb.Reserve(3, 60, "a")
-	tb.CommitChunk("a", 1, 3, 60, 0)
+	tb.CommitChunk("a", 1, 3, 60, 0, 0, false)
 	if tb.UsedBytes() != 120 {
 		t.Fatalf("UsedBytes = %d, want 120", tb.UsedBytes())
 	}

@@ -345,15 +345,15 @@ func (p *Proxy) migrateKey(st *migStream, dst cluster.Member, key string) bool {
 	gen := p.migGen.Add(1)
 	seqs := make(map[uint64]bool, len(chunks))
 	st.conn.Pin()
-	var args [8]int64
+	var args [9]int64
 	sendErr := false
 	for i, c := range chunks {
 		if c == nil {
 			continue
 		}
 		seq := p.nextSeq()
-		args = [8]int64{int64(i), int64(meta.TotalShards), destLambda(key, i, dst.PoolSize),
-			meta.Size, int64(meta.DataShards), gen, 0, 1}
+		args = [9]int64{int64(i), int64(meta.TotalShards), destLambda(key, i, dst.PoolSize),
+			meta.Size, int64(meta.DataShards), gen, 0, 1, protocol.ChunkSum(key, i, c)}
 		if err := st.conn.Forward(protocol.TSet, seq, key, "", args[:], c); err != nil {
 			sendErr = true
 			break
@@ -448,6 +448,18 @@ func (p *Proxy) fetchChunks(meta *objMeta, key string) ([][]byte, []*protocol.Me
 				continue
 			}
 			if r.Msg.Type == protocol.TData {
+				if c := meta.Chunks[w.idx]; c.HasSum && protocol.ChunkSum(key, w.idx, r.Msg.Payload) != c.Sum {
+					// Corrupt read-back: never migrate garbage. Strike
+					// the chunk like the GET path would and drop it from
+					// this pass; parity still covers the handoff if at
+					// least d clean chunks arrive.
+					p.stats.ChecksumFailures.Add(1)
+					if p.table.NoteChunkCorrupt(key, w.idx, meta.Epoch) {
+						p.stats.CorruptLost.Add(1)
+					}
+					r.Msg.Free()
+					continue
+				}
 				chunks[w.idx] = r.Msg.Payload
 				pooled = append(pooled, r.Msg)
 				got++

@@ -90,6 +90,15 @@ type Config struct {
 	// MigrationBurstBytes is the pacer's bucket depth; 0 picks
 	// max(rate/8, 256 KiB).
 	MigrationBurstBytes int64
+	// HedgedGets enables hedged degraded reads: a GET fans out to only
+	// the first d present chunks (preferring nodes whose circuit breaker
+	// is closed), and after a p99-derived hedge delay on the virtual
+	// clock one extra parity chunk is requested from a healthy node.
+	// Off by default — the classic first-d-of-all fan-out is used.
+	HedgedGets bool
+	// HedgeDelay pins the hedge delay; 0 derives it from the observed
+	// chunk-RTT p99 (20ms until enough samples accumulate).
+	HedgeDelay time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -164,6 +173,14 @@ type Stats struct {
 	MigrationDrops    atomic.Int64 // keys skipped mid-migration (unfetchable or refused)
 	BackupMetaDemoted atomic.Int64 // META entries demoted for being hot-tier resident
 
+	// Fault-plane counters (chaos/integrity; zero in a healthy run).
+	ChecksumFailures atomic.Int64 // chunk payloads that failed CRC verification
+	CorruptLost      atomic.Int64 // chunks escalated to lost after repeat corruption
+	HedgedGets       atomic.Int64 // extra chunk requests issued by the hedge timer
+	HedgeWins        atomic.Int64 // hedged requests whose DATA made the first d
+	BreakerTrips     atomic.Int64 // per-node circuit-breaker open transitions
+	Repairs          atomic.Int64 // recovery re-insert chunks committed
+
 	// Wire-plane counters for client-facing connections, accumulated as
 	// sessions close; WireSnapshot folds still-open sessions in. The
 	// flushes/frames ratio is the write-coalescing factor ic-bench
@@ -205,11 +222,107 @@ type Proxy struct {
 	migPacer  *cluster.Pacer
 	migPlane  *cluster.Plane
 
+	hedge hedgeTracker // chunk-RTT sketch feeding the hedge delay
+
 	mu       sync.Mutex
 	closed   bool
 	done     chan struct{}
 	sessions map[*session]struct{}
 	wg       sync.WaitGroup
+}
+
+// hedgeTracker keeps a small ring of observed chunk round-trip times and
+// publishes a p99-derived hedge delay. Samples arrive from the node
+// readers (one per delivered response while hedging is enabled); the
+// published delay is recomputed every refresh window so delay() is one
+// atomic load on the GET path.
+type hedgeTracker struct {
+	mu       sync.Mutex
+	ring     [256]time.Duration
+	n        int // samples stored (caps at len(ring))
+	idx      int
+	sinceFit int
+	cached   atomic.Int64 // published delay in nanoseconds; 0 = default
+}
+
+const (
+	hedgeDefaultDelay = 20 * time.Millisecond
+	hedgeMinDelay     = time.Millisecond
+	hedgeMaxDelay     = 100 * time.Millisecond
+	hedgeMinSamples   = 32
+	hedgeRefitEvery   = 64
+)
+
+func (h *hedgeTracker) add(d time.Duration) {
+	h.mu.Lock()
+	h.ring[h.idx] = d
+	h.idx = (h.idx + 1) % len(h.ring)
+	if h.n < len(h.ring) {
+		h.n++
+	}
+	if h.sinceFit++; h.sinceFit >= hedgeRefitEvery && h.n >= hedgeMinSamples {
+		h.sinceFit = 0
+		buf := make([]time.Duration, h.n)
+		copy(buf, h.ring[:h.n])
+		h.mu.Unlock()
+		// Insertion sort outside the lock; 256 elements at most, and
+		// refits are amortised 1-in-64 samples.
+		for i := 1; i < len(buf); i++ {
+			for j := i; j > 0 && buf[j] < buf[j-1]; j-- {
+				buf[j], buf[j-1] = buf[j-1], buf[j]
+			}
+		}
+		p99 := buf[(len(buf)*99)/100]
+		if p99 < hedgeMinDelay {
+			p99 = hedgeMinDelay
+		}
+		if p99 > hedgeMaxDelay {
+			p99 = hedgeMaxDelay
+		}
+		h.cached.Store(int64(p99))
+		return
+	}
+	h.mu.Unlock()
+}
+
+// delay returns the current hedge delay: the configured override, the
+// fitted p99, or the default while under-sampled.
+func (p *Proxy) hedgeDelay() time.Duration {
+	if p.cfg.HedgeDelay > 0 {
+		return p.cfg.HedgeDelay
+	}
+	if d := p.hedge.cached.Load(); d > 0 {
+		return time.Duration(d)
+	}
+	return hedgeDefaultDelay
+}
+
+// SeverConns abruptly closes every live client session and node
+// connection — the observable effect of a proxy crash/restart, minus
+// the process death (listener, mapping table and dispatchers survive,
+// exactly like a crashed proxy that restarts with its state intact).
+// The chaos plane uses it to exercise mid-stream connection loss:
+// clients must classify the break as ring staleness and re-route;
+// node dispatchers re-validate and re-drive their windows.
+func (p *Proxy) SeverConns() int {
+	p.mu.Lock()
+	sessions := make([]*session, 0, len(p.sessions))
+	for s := range p.sessions {
+		sessions = append(sessions, s)
+	}
+	p.mu.Unlock()
+	n := 0
+	for _, s := range sessions {
+		s.conn.Close()
+		n++
+	}
+	for _, nm := range p.nodes {
+		if c := nm.connMirror.Load(); c != nil {
+			c.Close()
+			n++
+		}
+	}
+	return n
 }
 
 // New creates and starts a proxy: it binds its listener and launches the

@@ -1,6 +1,8 @@
 package proxy
 
 import (
+	"time"
+
 	"infinicache/internal/bufpool"
 	"infinicache/internal/protocol"
 )
@@ -17,6 +19,9 @@ import (
 //	Args[6] recovery flag (1 = re-insert of a single lost chunk)
 //	Args[7] migration flag (1 = proxy->proxy key handoff; ingest via
 //	        BeginObjectIfAbsent, never over an existing entry)
+//	Args[8] chunk CRC32-C (optional; absent on legacy frames). Verified
+//	        against the payload on arrival and stored with the chunk's
+//	        mapping so node read-backs can be verified end to end.
 //
 // GET requests may carry Args[0] = 1, the authoritative flag: serve
 // regardless of ring ownership and answer a plain MISS instead of a
@@ -28,6 +33,8 @@ import (
 //	Args[1] object size
 //	Args[2] data shards d
 //	Args[3] total chunks
+//	Args[4] chunk CRC32-C (optional; present when the stored chunk has
+//	        one, letting the client verify the proxy→client hop too)
 const (
 	setArgIdx = iota
 	setArgTotal
@@ -37,6 +44,7 @@ const (
 	setArgPutGen
 	setArgRecovery
 	setArgMigration
+	setArgChecksum // = protocol.ChecksumArgSet
 )
 
 // sessionWindow bounds the chunk requests one client session may have
@@ -80,6 +88,20 @@ type session struct {
 	// (insert) or any chunk fails/cancels/supersedes (discard). Only
 	// populated when the proxy's hot tier is enabled.
 	hotPuts map[genKey]*hotPut
+
+	// Hedge timer state (Config.HedgedGets only): GETs with unrequested
+	// backup chunks queue here with their fire time; one armed vclock
+	// timer covers the head. Delays within a session are near-constant,
+	// so FIFO order is deadline order.
+	hedgeQ []hedgeItem
+	hedgeC <-chan time.Time
+}
+
+// hedgeItem is one armed hedge: when at passes and the GET is still
+// short of d chunks, one extra backup chunk is requested.
+type hedgeItem struct {
+	op *getOp
+	at time.Time
 }
 
 // hotPut accumulates one PUT generation's hot-tier admission.
@@ -139,6 +161,15 @@ type getOp struct {
 	seqs      []uint64 // node request seqs, for cancellation
 	epoch     uint64   // mapping-entry incarnation this GET snapshotted
 
+	// chunks is the mapping entry's chunk snapshot at fan-out time:
+	// per-index node placement plus the stored checksums read-backs are
+	// verified against.
+	chunks []chunkLoc
+	// backlog holds present chunk indexes deliberately not requested by
+	// the hedged fan-out (Config.HedgedGets): replacements for misses
+	// and hedge-timer extras pop from here.
+	backlog []int
+
 	// Read-through hot-tier admission: when the tier's ghost filter
 	// marked this key warm, the first d forwarded payloads are copied
 	// here (sparse by index) and inserted on the d-th; hotToken fences
@@ -159,15 +190,18 @@ type setOp struct {
 	recovery  bool
 	cancelled bool   // the client abandoned the PUT; do not commit
 	payload   []byte // the client frame's pooled payload; recycled on completion
+	sum       int64  // chunk CRC32-C from the SET frame, stored at commit
+	hasSum    bool   // the frame carried a checksum arg
 }
 
 // pendingChunk links a node-request seq back to its op (exactly one of
 // get/set is non-nil).
 type pendingChunk struct {
-	get  *getOp
-	set  *setOp
-	idx  int // chunk index within the get
-	node int // owning node manager, for cancellation
+	get   *getOp
+	set   *setOp
+	idx   int  // chunk index within the get
+	node  int  // owning node manager, for cancellation
+	hedge bool // issued by the hedge timer (HedgeWins accounting)
 }
 
 func (s *session) run() {
@@ -205,8 +239,89 @@ func (s *session) run() {
 			s.complete(r)
 			s.drainReady(&inbox)
 			s.settleFlush()
+		case <-s.hedgeC:
+			s.conn.Pin()
+			s.hedgeC = nil
+			s.fireHedges()
+			s.drainReady(&inbox)
+			s.settleFlush()
 		}
 	}
+}
+
+// armHedge schedules one hedge for op after the proxy's current hedge
+// delay; the session's single timer is armed for the queue head.
+func (s *session) armHedge(op *getOp) {
+	delay := s.p.hedgeDelay()
+	s.hedgeQ = append(s.hedgeQ, hedgeItem{op: op, at: s.p.cfg.Clock.Now().Add(delay)})
+	if s.hedgeC == nil {
+		s.hedgeC = s.p.cfg.Clock.After(delay)
+	}
+}
+
+// fireHedges pops every due hedge: a GET still short of d chunks gets
+// one extra backup chunk requested (and re-arms if backups remain),
+// then the timer is re-armed for the new head.
+func (s *session) fireHedges() {
+	now := s.p.cfg.Clock.Now()
+	for len(s.hedgeQ) > 0 && !now.Before(s.hedgeQ[0].at) {
+		it := s.hedgeQ[0]
+		s.hedgeQ = s.hedgeQ[1:]
+		op := it.op
+		if op.done || op.remaining == 0 || len(op.backlog) == 0 {
+			continue
+		}
+		if s.requestBackup(op, true) && len(op.backlog) > 0 {
+			s.armHedge(op)
+		}
+	}
+	if s.hedgeC == nil && len(s.hedgeQ) > 0 {
+		d := s.hedgeQ[0].at.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		s.hedgeC = s.p.cfg.Clock.After(d)
+	}
+}
+
+// requestBackup pops the next backlog chunk — preferring one whose
+// node's breaker admits traffic — and issues its node GET. It does not
+// block in reserveWindow (stalling a hedge on backpressure would defeat
+// it) but still honours the hard window bound: the completions channel
+// holds exactly sessionWindow replies, and an overdrafted reply would
+// be dropped by the dispatcher, wedging the session. Reports whether a
+// request was issued.
+func (s *session) requestBackup(op *getOp, hedge bool) bool {
+	if len(op.backlog) == 0 || s.outstanding >= sessionWindow {
+		return false
+	}
+	pick := 0
+	for bi, ci := range op.backlog {
+		if s.p.nodes[op.chunks[ci].Node].allowRequest() {
+			pick = bi
+			break
+		}
+	}
+	idx := op.backlog[pick]
+	op.backlog = append(op.backlog[:pick], op.backlog[pick+1:]...)
+	node := op.chunks[idx].Node
+	seq := s.p.nextSeq()
+	s.outstanding++
+	op.requested++
+	op.remaining++
+	op.seqs = append(op.seqs, seq)
+	s.chunks[seq] = pendingChunk{get: op, idx: idx, node: node, hedge: hedge}
+	if !s.p.nodes[node].submit(protocol.TGet, seq, ChunkKey(op.key, idx), nil, s.completions) {
+		s.outstanding--
+		op.requested--
+		op.remaining--
+		delete(s.chunks, seq)
+		return false
+	}
+	if hedge {
+		s.p.stats.HedgedGets.Add(1)
+	}
+	return true
 }
 
 // settleFlush closes the wake's Pin window: flush if the wake hit a
@@ -388,12 +503,12 @@ func (s *session) serveHot(seq uint64, key string, e *hotEntry) {
 	} else {
 		// Image construction failed at admission (wire-limit edge);
 		// fall back to per-chunk forwarding.
-		var args [4]int64
+		var args [5]int64
 		for i, chunk := range e.chunks {
 			if chunk == nil {
 				continue
 			}
-			args = [4]int64{int64(i), e.size, int64(e.d), int64(e.total)}
+			args = [5]int64{int64(i), e.size, int64(e.d), int64(e.total), protocol.ChunkSum(key, i, chunk)}
 			s.conn.Forward(protocol.TData, seq, key, "", args[:], chunk)
 		}
 	}
@@ -420,6 +535,25 @@ func (s *session) handleSet(m *protocol.Message) {
 		s.sendErr(m.Seq, m.Key, "proxy: bad SET arguments")
 		m.Free()
 		return
+	}
+	sum, hasSum := int64(0), false
+	if len(m.Args) > setArgChecksum {
+		sum, hasSum = m.Arg(setArgChecksum), true
+		if protocol.ChunkSum(m.Key, idx, m.Payload) != sum {
+			// Corrupted on the client→proxy (or source-proxy→here) hop —
+			// in the payload, or in the key/index the sum is bound to:
+			// never store garbage, and never store good bytes under
+			// garbled routing. Fail the generation so its partial entry
+			// is dropped, and answer a transient so the writer retries
+			// the whole PUT with fresh bytes.
+			s.p.stats.ChecksumFailures.Add(1)
+			if !recovery && !migration && s.putGens[m.Key] == putGen {
+				s.failGen(m.Key, putGen)
+			}
+			s.sendTransient(m.Seq, m.Key, protocol.TransientNodeFailure)
+			m.Free()
+			return
+		}
 	}
 	if !migration && !s.checkOwner(m.Seq, m.Key) {
 		// A stale-ring client wrote here. Chunks of this generation that
@@ -516,6 +650,7 @@ func (s *session) handleSet(m *protocol.Message) {
 	op := &setOp{
 		clientSeq: m.Seq, seq: seq, key: m.Key, idx: idx, node: lambdaIdx,
 		size: size, gen: putGen, recovery: recovery, payload: m.Payload,
+		sum: sum, hasSum: hasSum,
 	}
 	s.outstanding++
 	s.chunks[seq] = pendingChunk{set: op, node: lambdaIdx}
@@ -628,13 +763,33 @@ func (s *session) handleGet(m *protocol.Message) {
 		s.objectLost(m.Seq, m.Key, meta.Epoch)
 		return
 	}
-	if !s.reserveWindow(len(present)) {
+	want := present
+	var backlog []int
+	if s.p.cfg.HedgedGets && len(present) > d {
+		// Hedged fan-out: request exactly d chunks up front, preferring
+		// nodes whose breaker is closed; the remainder become backups
+		// that miss-replacement and the hedge timer pop from.
+		healthy := make([]int, 0, len(present))
+		var open []int
+		for _, i := range present {
+			if s.p.nodes[meta.Chunks[i].Node].allowRequest() {
+				healthy = append(healthy, i)
+			} else {
+				open = append(open, i)
+			}
+		}
+		ordered := append(healthy, open...)
+		want = ordered[:d]
+		backlog = ordered[d:]
+	}
+	if !s.reserveWindow(len(want)) {
 		return
 	}
 	op := &getOp{
 		clientSeq: m.Seq, key: m.Key, size: meta.Size,
 		d: d, total: meta.TotalShards, epoch: meta.Epoch,
-		seqs: make([]uint64, 0, len(present)),
+		chunks: meta.Chunks, backlog: backlog,
+		seqs: make([]uint64, 0, len(want)),
 	}
 	if hotCapture && meta.Size <= s.p.hot.maxObj {
 		// Ghost-warm key: read-admit by copying the first-d payloads as
@@ -643,7 +798,7 @@ func (s *session) handleGet(m *protocol.Message) {
 		op.hotToken = hotToken
 	}
 	s.byClient[m.Seq] = pendingChunk{get: op}
-	for _, i := range present {
+	for _, i := range want {
 		seq := s.p.nextSeq()
 		s.outstanding++
 		op.requested++
@@ -660,6 +815,9 @@ func (s *session) handleGet(m *protocol.Message) {
 			}
 			return // shutting down
 		}
+	}
+	if len(op.backlog) > 0 && op.remaining > 0 {
+		s.armHedge(op)
 	}
 }
 
@@ -724,7 +882,7 @@ func (s *session) complete(r nodeReply) {
 	if pc.set != nil {
 		s.completeSet(pc.set, r.Msg)
 	} else {
-		s.completeGet(pc.get, pc.idx, r.Msg)
+		s.completeGet(pc, r.Msg)
 	}
 }
 
@@ -779,7 +937,10 @@ func (s *session) completeSet(op *setOp, resp *protocol.Message) {
 	}
 	if resp != nil && resp.Type == protocol.TAck {
 		superseded := !op.recovery && s.putGens[op.key] != op.gen
-		if !superseded && s.p.table.CommitChunk(op.key, op.idx, op.node, op.size, epoch) {
+		if !superseded && s.p.table.CommitChunk(op.key, op.idx, op.node, op.size, epoch, op.sum, op.hasSum) {
+			if op.recovery {
+				s.p.stats.Repairs.Add(1)
+			}
 			args := [1]int64{int64(op.idx)}
 			s.conn.Forward(protocol.TAck, op.clientSeq, op.key, "", args[:], nil)
 		} else {
@@ -815,20 +976,46 @@ func (s *session) completeSet(op *setOp, resp *protocol.Message) {
 	}
 }
 
-func (s *session) completeGet(op *getOp, idx int, resp *protocol.Message) {
+func (s *session) completeGet(pc pendingChunk, resp *protocol.Message) {
+	op, idx := pc.get, pc.idx
 	op.remaining--
 	if op.remaining == 0 {
 		delete(s.byClient, op.clientSeq)
 	}
 	switch {
 	case resp != nil && resp.Type == protocol.TData:
+		if c := op.chunks[idx]; !op.done && c.HasSum && protocol.ChunkSum(op.key, idx, resp.Payload) != c.Sum {
+			// The node returned bytes that do not match the checksum the
+			// writing SET carried: corruption on the node→proxy hop or in
+			// storage. Never forward it. One strike reads as transit
+			// damage (the retry refetches cleanly); a second marks the
+			// stored chunk positively lost, turning corruption into an
+			// erasure the client repairs through reconstruction.
+			s.p.stats.ChecksumFailures.Add(1)
+			if s.p.table.NoteChunkCorrupt(op.key, idx, op.epoch) {
+				s.p.stats.CorruptLost.Add(1)
+				op.missed++
+			} else {
+				op.failed++
+			}
+			s.requestBackup(op, false)
+			resp.Free()
+			break
+		}
 		if !op.done {
 			// Zero-rewrap relay: the node frame's pooled payload goes
 			// out under a rewritten header, then straight back to the
 			// pool — no copy, no fresh Message.
-			args := [4]int64{int64(idx), op.size, int64(op.d), int64(op.total)}
-			s.conn.Forward(protocol.TData, op.clientSeq, op.key, "", args[:],
+			args := [5]int64{int64(idx), op.size, int64(op.d), int64(op.total)}
+			n := 4
+			if c := op.chunks[idx]; c.HasSum {
+				args[4], n = c.Sum, 5
+			}
+			s.conn.Forward(protocol.TData, op.clientSeq, op.key, "", args[:n],
 				resp.Payload)
+			if pc.hedge {
+				s.p.stats.HedgeWins.Add(1)
+			}
 			if op.capture != nil {
 				// Read-through admission copy; GC-owned, never pooled.
 				op.capture[idx] = append([]byte(nil), resp.Payload...)
@@ -861,6 +1048,7 @@ func (s *session) completeGet(op *getOp, idx int, resp *protocol.Message) {
 			s.p.stats.ChunkMisses.Add(1)
 			s.p.table.MarkChunkLost(op.key, idx, op.epoch)
 			op.missed++
+			s.requestBackup(op, false)
 		}
 		resp.Free()
 	default:
@@ -868,6 +1056,7 @@ func (s *session) completeGet(op *getOp, idx int, resp *protocol.Message) {
 		// may still exist; do not mark it lost.
 		if !op.done {
 			op.failed++
+			s.requestBackup(op, false)
 		}
 		if resp != nil {
 			resp.Free()
@@ -878,6 +1067,12 @@ func (s *session) completeGet(op *getOp, idx int, resp *protocol.Message) {
 	}
 	// Fan-out exhausted without d chunks.
 	op.done = true
+	if len(op.backlog) > 0 {
+		// Hedged fan-out still has untried chunks it could not issue
+		// (window cap): no loss verdict can be drawn — retry.
+		s.sendTransient(op.clientSeq, op.key, protocol.TransientNodeFailure)
+		return
+	}
 	if op.requested-op.missed < op.d {
 		// Confirmed losses alone exceed parity: the object is gone.
 		s.objectLost(op.clientSeq, op.key, op.epoch)

@@ -1,9 +1,11 @@
 package replay
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"infinicache"
 	"infinicache/internal/costmodel"
@@ -16,6 +18,13 @@ import (
 type InfiniCacheBackend struct {
 	cache  *infinicache.Cache
 	client *infinicache.Client
+
+	// verify makes every GET compare the returned bytes against the
+	// deterministic payload pattern the backend wrote — the chaos
+	// harness's "zero corrupt bytes returned" oracle. corrupt counts
+	// mismatches (which are also surfaced as errors).
+	verify  bool
+	corrupt atomic.Int64
 }
 
 // NewInfiniCache wraps an existing deployment. The backend opens its
@@ -29,10 +38,34 @@ func NewInfiniCache(cache *infinicache.Cache, opts ...infinicache.ClientOption) 
 	return &InfiniCacheBackend{cache: cache, client: cl}, nil
 }
 
+// VerifyReads turns byte-exact GET verification on: every hit is
+// compared against the pattern Put wrote, and a mismatch is reported as
+// an error and counted in CorruptReads.
+func (b *InfiniCacheBackend) VerifyReads(on bool) { b.verify = on }
+
+// CorruptReads returns how many verified GETs returned wrong bytes.
+func (b *InfiniCacheBackend) CorruptReads() int64 { return b.corrupt.Load() }
+
+// checkBytes compares a hit's payload to the deterministic pattern.
+func (b *InfiniCacheBackend) checkBytes(key string, obj *infinicache.Object) error {
+	got := obj.Bytes()
+	if !bytes.Equal(got, payload(int64(len(got)))) {
+		b.corrupt.Add(1)
+		return fmt.Errorf("backend: corrupt read: key %s returned %d bytes not matching the written pattern", key, len(got))
+	}
+	return nil
+}
+
 func (b *InfiniCacheBackend) Get(ctx context.Context, key string) (bool, error) {
 	obj, err := b.client.GetObject(ctx, key)
 	switch {
 	case err == nil:
+		if b.verify {
+			if verr := b.checkBytes(key, obj); verr != nil {
+				obj.Release()
+				return false, verr
+			}
+		}
 		obj.Release()
 		return true, nil
 	case errors.Is(err, infinicache.ErrMiss):
@@ -60,6 +93,13 @@ func (b *InfiniCacheBackend) MGet(ctx context.Context, keys []string) []GetStatu
 	for i, r := range b.client.MGet(ctx, keys...) {
 		switch {
 		case r.Err == nil:
+			if b.verify {
+				if verr := b.checkBytes(keys[i], r.Object); verr != nil {
+					r.Object.Release()
+					out[i] = GetStatus{Err: verr}
+					continue
+				}
+			}
 			r.Object.Release()
 			out[i] = GetStatus{Hit: true}
 		case errors.Is(r.Err, infinicache.ErrMiss):
@@ -114,6 +154,10 @@ func (b *InfiniCacheBackend) ReportLines() []string {
 		"hot tier: %d hits / %d proxy GETs served from proxy memory (%d evictions)",
 		hits, hits+misses, evictions)}
 }
+
+// Client exposes the backend's client so harnesses can read its
+// counters (EC recoveries, checksum failures) into post-run reports.
+func (b *InfiniCacheBackend) Client() *infinicache.Client { return b.client }
 
 // Close releases the backend's client; the deployment itself stays up.
 func (b *InfiniCacheBackend) Close() error {

@@ -122,6 +122,10 @@ type Result struct {
 
 	// BackendLines carries backend-specific summary lines.
 	BackendLines []string
+
+	// ErrSamples holds the first few distinct error strings behind
+	// Errors, so a nonzero count is diagnosable from the report alone.
+	ErrSamples []string
 }
 
 // HitRatio is hits / gets.
@@ -373,6 +377,7 @@ func (e *session) finishGet(ctx context.Context, j job, hit bool, err error, lat
 	default:
 		e.res.Errors++
 		h.Errors++
+		e.sampleErr(err)
 	}
 	e.mu.Unlock()
 
@@ -384,9 +389,25 @@ func (e *session) finishGet(ctx context.Context, j job, hit bool, err error, lat
 		if insErr != nil {
 			e.res.Errors++
 			e.hour(j.rec).Errors++
+			e.sampleErr(insErr)
 		}
 		e.mu.Unlock()
 	}
+}
+
+// sampleErr keeps the first few distinct error strings for the report;
+// callers hold e.mu.
+func (e *engine) sampleErr(err error) {
+	if err == nil || len(e.res.ErrSamples) >= 8 {
+		return
+	}
+	s := err.Error()
+	for _, prev := range e.res.ErrSamples {
+		if prev == s {
+			return
+		}
+	}
+	e.res.ErrSamples = append(e.res.ErrSamples, s)
 }
 
 // claimInsert marks key as having an insertion in flight; callers hold
@@ -408,6 +429,9 @@ func (r *Result) Summary() string {
 		r.Gets, r.Hits, 100*r.HitRatio(), r.Misses, r.Resets, r.Puts, r.Inserts, r.Errors)
 	if r.BytesServed > 0 {
 		fmt.Fprintf(&b, "bytes served from cache: %.1f MB\n", float64(r.BytesServed)/(1<<20))
+	}
+	for _, s := range r.ErrSamples {
+		fmt.Fprintf(&b, "error sample: %s\n", s)
 	}
 
 	rows := [][]string{}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FaultCounters is a plain snapshot of the fault/recovery plane: what
+// the chaos scheduler injected and what the defence layers (checksums,
+// hedged reads, breakers, EC repair) did about it. Producers (the proxy
+// stats block, the chaos runner, the client) fill one by copying their
+// atomic counters; this package only holds and renders the numbers, so
+// the zero-dependency contract above is preserved.
+type FaultCounters struct {
+	// Injection side.
+	FaultsInjected int64 // link-level faults the netsim engine applied
+	Reclaims       int64 // instances killed by reclaim storms
+	SeveredConns   int64 // connections cut by proxy crashes
+
+	// Defence side.
+	ChecksumFailures int64 // frames whose CRC32-C disagreed with the carried sum
+	CorruptChunks    int64 // chunks escalated to positive loss after repeat CRC strikes
+	HedgedGets       int64 // extra chunk requests issued by the hedge timer or on failure
+	HedgeWins        int64 // hedged requests whose reply was forwarded to the client
+	BreakerTrips     int64 // per-node circuit-breaker open transitions
+	DegradedGets     int64 // GETs served with fewer than d primary chunks
+	Recoveries       int64 // client-side EC reconstructions
+	Repairs          int64 // recovered chunks re-inserted into the pool
+}
+
+// Delta returns after - before, field-wise — the standard idiom for
+// isolating one phase of a run from counters that only ever grow.
+func (before FaultCounters) Delta(after FaultCounters) FaultCounters {
+	return FaultCounters{
+		FaultsInjected:   after.FaultsInjected - before.FaultsInjected,
+		Reclaims:         after.Reclaims - before.Reclaims,
+		SeveredConns:     after.SeveredConns - before.SeveredConns,
+		ChecksumFailures: after.ChecksumFailures - before.ChecksumFailures,
+		CorruptChunks:    after.CorruptChunks - before.CorruptChunks,
+		HedgedGets:       after.HedgedGets - before.HedgedGets,
+		HedgeWins:        after.HedgeWins - before.HedgeWins,
+		BreakerTrips:     after.BreakerTrips - before.BreakerTrips,
+		DegradedGets:     after.DegradedGets - before.DegradedGets,
+		Recoveries:       after.Recoveries - before.Recoveries,
+		Repairs:          after.Repairs - before.Repairs,
+	}
+}
+
+// Add accumulates other into c (merging per-proxy snapshots).
+func (c *FaultCounters) Add(other FaultCounters) {
+	c.FaultsInjected += other.FaultsInjected
+	c.Reclaims += other.Reclaims
+	c.SeveredConns += other.SeveredConns
+	c.ChecksumFailures += other.ChecksumFailures
+	c.CorruptChunks += other.CorruptChunks
+	c.HedgedGets += other.HedgedGets
+	c.HedgeWins += other.HedgeWins
+	c.BreakerTrips += other.BreakerTrips
+	c.DegradedGets += other.DegradedGets
+	c.Recoveries += other.Recoveries
+	c.Repairs += other.Repairs
+}
+
+// Table renders the counters as the aligned two-column table the replay
+// harness prints in its post-run fault report.
+func (c FaultCounters) Table() string {
+	rows := [][]string{
+		{"faults injected (link)", fmt.Sprint(c.FaultsInjected)},
+		{"instances reclaimed", fmt.Sprint(c.Reclaims)},
+		{"conns severed", fmt.Sprint(c.SeveredConns)},
+		{"checksum failures", fmt.Sprint(c.ChecksumFailures)},
+		{"corrupt chunks lost", fmt.Sprint(c.CorruptChunks)},
+		{"hedged requests", fmt.Sprint(c.HedgedGets)},
+		{"hedge wins", fmt.Sprint(c.HedgeWins)},
+		{"breaker trips", fmt.Sprint(c.BreakerTrips)},
+		{"degraded GETs", fmt.Sprint(c.DegradedGets)},
+		{"EC recoveries", fmt.Sprint(c.Recoveries)},
+		{"chunk repairs", fmt.Sprint(c.Repairs)},
+	}
+	return Table([]string{"fault/recovery counter", "count"}, rows)
+}
+
+// String is a compact single-line rendering for logs.
+func (c FaultCounters) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "injected=%d reclaims=%d severed=%d crc-fail=%d corrupt-lost=%d hedged=%d hedge-wins=%d trips=%d degraded=%d recoveries=%d repairs=%d",
+		c.FaultsInjected, c.Reclaims, c.SeveredConns, c.ChecksumFailures, c.CorruptChunks,
+		c.HedgedGets, c.HedgeWins, c.BreakerTrips, c.DegradedGets, c.Recoveries, c.Repairs)
+	return b.String()
+}
