@@ -31,6 +31,14 @@
 //		if r.Err == nil { r.Object.WriteTo(w); r.Object.Release() }
 //	}
 //
+// Large objects stream: PutReader encodes and ships stripe windows as
+// the bytes arrive (peak memory stays a few stripes regardless of
+// object size), and GetRange fetches only the data chunks a byte range
+// intersects:
+//
+//	if err := client.PutReader(ctx, "big", size, reader); err != nil { ... }
+//	page, err := client.GetRange(ctx, "big", 512<<20, 1<<20) // 1 MiB at 512 MiB
+//
 // Objects are Reed-Solomon encoded into d+p chunks spread over a pool of
 // emulated Lambda functions; the platform reclaims functions per a
 // configurable policy, and the cache defends itself with parity chunks,
@@ -250,12 +258,17 @@ type Stats = client.Stats
 type ClientOption = client.Option
 
 // Per-client options (NewClient(...)): request timeout, EC recovery,
-// RS code and placement seed overrides.
+// RS code, placement seed and streaming stripe-shard overrides.
 var (
 	ClientTimeout  = client.WithRequestTimeout
 	ClientRecovery = client.WithRecovery
 	ClientShards   = client.WithShards
 	ClientSeed     = client.WithSeed
+	// ClientStripeShard sets the target data-shard size for streaming
+	// PUTs: each PutReader stripe carries shard×d data bytes, so it
+	// bounds both the per-chunk payload and the client's resident
+	// window. Default 1 MiB.
+	ClientStripeShard = client.WithStripeShard
 )
 
 // Errors re-exported from the client library.

@@ -71,7 +71,12 @@ func (c *Client) MGet(ctx context.Context, keys ...string) []GetResult {
 	refreshed := false
 	for i := range res {
 		var wo *wrongOwnerError
+		var eso errStreamObject
 		switch {
+		case errors.As(res[i].Err, &eso):
+			// A streamed object in the batch reads through the ranged
+			// plane, as on the single-key path.
+			res[i].Object, res[i].Err = c.streamObjectFallback(ctx, keys[i], eso.size)
 		case errors.As(res[i].Err, &wo):
 			c.stats.Redirects.Add(1)
 			if !refreshed {

@@ -60,6 +60,12 @@ type Config struct {
 	// Tests use it to instrument the client's proxy connections (e.g.
 	// counting write syscalls to pin flush coalescing).
 	Dial func(addr string) (net.Conn, error)
+	// StripeShard is the target data-shard size in bytes for streaming
+	// PUTs (PutReader): each stripe carries StripeShard×DataShards data
+	// bytes, so StripeShard bounds the payload of every chunk a stream
+	// ships. Objects at or under one stripe are stored exactly as PutCtx
+	// stores them. Default 1 MiB.
+	StripeShard int64
 }
 
 func (c *Config) fillDefaults() {
@@ -68,6 +74,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 60 * time.Second
+	}
+	if c.StripeShard <= 0 {
+		c.StripeShard = 1 << 20
 	}
 }
 
@@ -94,6 +103,13 @@ func WithShards(data, parity int) Option {
 // WithSeed makes the client's chunk placement deterministic.
 func WithSeed(seed int64) Option {
 	return func(c *Config) { c.Seed = seed }
+}
+
+// WithStripeShard sets the target data-shard size for streaming PUTs
+// (see Config.StripeShard). Tests shrink it to exercise many-stripe
+// geometry with small objects.
+func WithStripeShard(bytes int64) Option {
+	return func(c *Config) { c.StripeShard = bytes }
 }
 
 // Stats counts client-side cache outcomes.
@@ -374,21 +390,30 @@ func (c *Client) PutCtx(ctx context.Context, key string, value []byte) error {
 	return c.putObject(ctx, key, value)
 }
 
-// putObject routes one PUT through the ring, following WRONG_OWNER
+// putObject routes one whole-object PUT through the ring.
+func (c *Client) putObject(ctx context.Context, key string, value []byte) error {
+	return c.putValue(ctx, key, key, value, nil)
+}
+
+// putValue routes one PUT through the ring, following WRONG_OWNER
 // redirects: a stale-ring write is refused by the proxy (the whole
 // generation fails, nothing partial lingers), the client refreshes its
 // epoch view and retries at the owner with a fresh placement and
-// generation.
-func (c *Client) putObject(ctx context.Context, key string, value []byte) error {
+// generation. routeKey picks the owning proxy while entryKey names the
+// mapping entry written — they differ only on the streaming path, where
+// a stripe entry must land on its parent object's owner so the whole
+// family lives (and dies) together. extra args (the head stripe's
+// stream geometry) are appended to every SET frame of the generation.
+func (c *Client) putValue(ctx context.Context, routeKey, entryKey string, value []byte, extra []int64) error {
 	var lastErr error
 	backoff := busyWriteBackoff
 	transients := 0
 	for hop := 0; hop <= redirectBudget; hop++ {
-		info, err := c.proxyFor(key)
+		info, err := c.proxyFor(routeKey)
 		if err != nil {
 			return err
 		}
-		err = c.putOnce(ctx, info, key, value)
+		err = c.putOnce(ctx, info, entryKey, value, extra)
 		var wo *wrongOwnerError
 		switch {
 		case errors.As(err, &wo):
@@ -426,7 +451,7 @@ func (c *Client) putObject(ctx context.Context, key string, value []byte) error 
 }
 
 // putOnce encodes value and pipelines its chunks to one proxy.
-func (c *Client) putOnce(ctx context.Context, info ProxyInfo, key string, value []byte) error {
+func (c *Client) putOnce(ctx context.Context, info ProxyInfo, key string, value []byte, extra []int64) error {
 	pc, err := c.conn(info.Addr)
 	if err != nil {
 		return err
@@ -449,7 +474,7 @@ func (c *Client) putOnce(ctx context.Context, info ProxyInfo, key string, value 
 	nodes := c.placement(info.PoolSize, total)
 	gen := c.putGen.Add(1)
 
-	return c.putChunks(ctx, pc, key, int64(len(value)), shards, nodes, gen, false)
+	return c.putChunks(ctx, pc, key, int64(len(value)), shards, nodes, gen, false, extra)
 }
 
 // Put is PutCtx without a context.
@@ -466,7 +491,7 @@ func (c *Client) Put(key string, value []byte) error {
 // header is assembled directly by Conn.Forward around the pooled shard
 // buffer). Indexes of shards that are nil are skipped (recovery path
 // re-inserts a sparse subset).
-func (c *Client) putChunks(ctx context.Context, pc *proxyConn, key string, objSize int64, shards [][]byte, nodes []int, gen int64, recovery bool) error {
+func (c *Client) putChunks(ctx context.Context, pc *proxyConn, key string, objSize int64, shards [][]byte, nodes []int, gen int64, recovery bool, extra []int64) error {
 	deadline := c.cfg.Clock.Now().Add(c.cfg.RequestTimeout)
 	rec := int64(0)
 	if recovery {
@@ -499,7 +524,13 @@ func (c *Client) putChunks(ctx context.Context, pc *proxyConn, key string, objSi
 	var firstErr error
 	var woErr *wrongOwnerError
 	var transientErr error
-	var args [9]int64
+	// Fixed-size scratch keeps the hot path allocation-free; extra is at
+	// most the two stream-geometry args a head stripe carries.
+	var args [11]int64
+	nargs := 9 + len(extra)
+	if nargs > len(args) {
+		return fmt.Errorf("client: %d extra put args exceed frame scratch", len(extra))
+	}
 	pc.conn.Pin()
 	for i, shard := range shards {
 		if shard == nil {
@@ -515,12 +546,13 @@ func (c *Client) putChunks(ctx context.Context, pc *proxyConn, key string, objSi
 		// checksum rides Args[protocol.ChecksumArgSet] so the proxy can
 		// verify the payload — and the (key, idx) routing the sum is
 		// bound to — survived the wire before committing it.
-		args = [9]int64{
+		args = [11]int64{
 			int64(i), int64(len(shards)), int64(nodes[i]),
 			objSize, int64(c.codec.DataShards()), gen, rec,
 			0, protocol.ChunkSum(key, i, shard),
 		}
-		if err := pc.conn.Forward(protocol.TSet, seq, key, "", args[:], shard); err != nil {
+		copy(args[9:], extra)
+		if err := pc.conn.Forward(protocol.TSet, seq, key, "", args[:nargs], shard); err != nil {
 			// The writer is dead; nothing later in the pipeline can land.
 			pc.conn.Flush()
 			return connErr(fmt.Sprintf("put chunk %d", i), err)
@@ -682,7 +714,12 @@ func (c *Client) getWithRetries(ctx context.Context, key string) (*Object, error
 	for attempt := 0; attempt < getRetries; {
 		obj, err = c.getFrom(ctx, key, direct, authoritative)
 		var wo *wrongOwnerError
+		var eso errStreamObject
 		switch {
+		case errors.As(err, &eso):
+			// The object was streamed in stripes; a whole-object read is
+			// served by the ranged plane covering [0, size).
+			return c.streamObjectFallback(ctx, key, eso.size)
 		case authoritative && errors.Is(err, ErrMiss) && !fallbackMissRetried:
 			// A fallback miss can race the handoff completing: the
 			// source streamed the key and dropped its copy between
@@ -860,6 +897,13 @@ func (c *Client) applyGetFrame(g *gather, key string, msg *protocol.Message, d, 
 		msg.Free()
 		return true, wo
 	case protocol.TErr:
+		if msg.Arg(0) == protocol.StreamObjectFlag {
+			// Not an error: the object was streamed in stripes and must be
+			// read through the ranged plane; Args[1] carries its size.
+			size := msg.Arg(1)
+			msg.Free()
+			return true, errStreamObject{size: size}
+		}
 		if msg.Arg(0) == protocol.TransientFlag {
 			busy := msg.Arg(1) == protocol.TransientBusyWrite
 			msg.Free()
@@ -999,7 +1043,7 @@ func (c *Client) maybeRecover(ctx context.Context, pc *proxyConn, key string, in
 	}
 	nodes := c.placement(info.PoolSize, len(shards))
 	gen := c.putGen.Add(1)
-	if err := c.putChunks(ctx, pc, key, objSize, sparse, nodes, gen, true); err == nil {
+	if err := c.putChunks(ctx, pc, key, objSize, sparse, nodes, gen, true, nil); err == nil {
 		completed = true
 		c.stats.Recoveries.Add(int64(len(missing)))
 	}

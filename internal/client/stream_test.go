@@ -1,0 +1,91 @@
+package client
+
+import (
+	"context"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"infinicache/internal/protocol"
+)
+
+// countReader yields n bytes without generating or retaining them: the
+// content is irrelevant to the memory pin, only the byte count is.
+type countReader struct{ n int64 }
+
+func (r *countReader) Read(p []byte) (int, error) {
+	if r.n <= 0 {
+		return 0, io.EOF
+	}
+	m := int64(len(p))
+	if m > r.n {
+		m = r.n
+	}
+	r.n -= m
+	return int(m), nil
+}
+
+// TestPutReaderBoundedMemory is the CI-pinned streaming-PUT memory
+// invariant: shipping a quarter-GiB object through PutReader must keep
+// the client's heap high-water within a few stripe windows — nowhere
+// near the object size. The fake proxy acknowledges every chunk SET and
+// discards the payloads, so the measurement isolates the client.
+func TestPutReaderBoundedMemory(t *testing.T) {
+	fp := newFakeProxy(t, func(c *protocol.Conn, m *protocol.Message) {
+		seq, typ := m.Seq, m.Type
+		m.Recycle()
+		if typ == protocol.TSet {
+			c.Send(&protocol.Message{Type: protocol.TAck, Seq: seq})
+		}
+	})
+	c, err := New(Config{
+		Proxies:        []ProxyInfo{{Addr: fp.addr, PoolSize: 8}},
+		DataShards:     4,
+		ParityShards:   2,
+		RequestTimeout: 30 * time.Second,
+		Seed:           1,
+		StripeShard:    512 << 10, // 2 MiB stripes: many windows over the object
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+
+	stop := make(chan struct{})
+	peakCh := make(chan uint64)
+	go func() {
+		var ms runtime.MemStats
+		peak := uint64(0)
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+			select {
+			case <-stop:
+				peakCh <- peak
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}()
+
+	if err := c.PutReader(context.Background(), "bulk", streamPinObjectBytes, &countReader{n: streamPinObjectBytes}); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	peak := <-peakCh
+
+	high := peak - min(peak, base.HeapAlloc)
+	t.Logf("streamed %d MiB; heap high-water %.1f MiB over a %.1f MiB baseline",
+		streamPinObjectBytes>>20, float64(high)/(1<<20), float64(base.HeapAlloc)/(1<<20))
+	if high > streamPinHeapBudget {
+		t.Fatalf("peak heap delta %d MiB exceeds the %d MiB streaming budget (object is %d MiB)",
+			high>>20, streamPinHeapBudget>>20, streamPinObjectBytes>>20)
+	}
+}

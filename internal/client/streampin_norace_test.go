@@ -1,0 +1,12 @@
+//go:build !race
+
+package client
+
+// Streaming-PUT memory-pin dimensions: the full-size pin streams a
+// quarter-GiB object. Under -race the object shrinks (see the race
+// variant) so the deflake sweep stays fast; the bench-smoke CI leg runs
+// this full-size variant.
+const (
+	streamPinObjectBytes = int64(256 << 20)
+	streamPinHeapBudget  = uint64(96 << 20)
+)

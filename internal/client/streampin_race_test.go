@@ -1,0 +1,11 @@
+//go:build race
+
+package client
+
+// Reduced memory-pin dimensions for -race runs: the race runtime makes
+// byte-level streaming an order of magnitude slower, and the bound only
+// needs to stay well under the object size to keep its meaning.
+const (
+	streamPinObjectBytes = int64(64 << 20)
+	streamPinHeapBudget  = uint64(48 << 20)
+)

@@ -372,6 +372,20 @@ func (c *Codec) SplitInto(data []byte, shards [][]byte) error {
 	return nil
 }
 
+// EncodeInto splits data into the caller-provided shard buffers and
+// computes parity over them in one call: the per-stripe entry point of
+// the streaming PUT path, which encodes each stripe as its bytes
+// arrive instead of materialising the whole object. Buffer contract as
+// SplitInto (d+p slices of exactly ShardSize(len(data)) bytes; dirty
+// recycled buffers are safe — data shards are fully overwritten, zero
+// padding included, and parity shards are fully recomputed).
+func (c *Codec) EncodeInto(data []byte, shards [][]byte) error {
+	if err := c.SplitInto(data, shards); err != nil {
+		return err
+	}
+	return c.Encode(shards)
+}
+
 // Join reassembles the original object of length size from the data
 // shards (shards[0:d]). Parity shards are ignored.
 func (c *Codec) Join(shards [][]byte, size int) ([]byte, error) {

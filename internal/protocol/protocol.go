@@ -207,12 +207,13 @@ type Message struct {
 	Args    []int64 // small integers: sizes, chunk ids, flags
 	Payload []byte
 
-	// argsArr inlines up to 10 decoded args so a steady-state Recv does
+	// argsArr inlines up to 12 decoded args so a steady-state Recv does
 	// not allocate a slice per frame; Args points into it. (The widest
-	// hot-path frame is a client SET: 8 routing args plus the chunk
-	// checksum.) Copy Messages by pointer — a shallow copy's Args would
-	// alias the original.
-	argsArr [10]int64
+	// hot-path frame is a streamed object's head SET: 8 routing args,
+	// the chunk checksum, and the two stream-geometry args.) Copy
+	// Messages by pointer — a shallow copy's Args would alias the
+	// original.
+	argsArr [12]int64
 }
 
 // Arg returns Args[i], or 0 when absent.

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"infinicache/internal/clockcache"
+	"infinicache/internal/protocol"
 )
 
 // chunkLoc records where one erasure-coded chunk lives.
@@ -53,6 +54,24 @@ type objMeta struct {
 	// starts). A foreground overwrite replaces the entry via
 	// BeginObject, clearing the flag.
 	Migrating bool
+
+	// Stream geometry, set only on the head entry (stripe 0) of a
+	// multi-stripe streamed object: StreamSize is the object's total
+	// byte count across all stripes, StripeData the data bytes per full
+	// stripe. Both zero on legacy single-stripe objects and on stripe
+	// entries (whose Size is their own stripe's byte count).
+	StreamSize int64
+	StripeData int64
+}
+
+// stripeCount returns how many stripes this entry's object spans: 1
+// for legacy objects and stripe entries, ceil(StreamSize/StripeData)
+// for a multi-stripe head.
+func (o *objMeta) stripeCount() int {
+	if o.StripeData <= 0 {
+		return 1
+	}
+	return protocol.StripeCount(o.StreamSize, o.StripeData)
 }
 
 // presentChunks counts chunks still believed present.
@@ -162,11 +181,25 @@ type evictedChunk struct {
 // The hot tier's invalidate+admission decision runs under the same
 // critical section (see mappingTable.hot), so admit/token reflect the
 // tier state at exactly this epoch.
-func (t *mappingTable) BeginObject(key string, size int64, d, total int) (dels []evictedChunk, epoch uint64, admit bool, token uint64) {
+//
+// streamSize/stripeData carry a multi-stripe head's stream geometry
+// (zero for legacy objects and stripe entries). Multi-stripe heads and
+// stripe entries are never admitted to the hot tier: the tier caches
+// whole objects and the ranged read path bypasses it, so only legacy
+// single-stripe objects (which a single-stripe streamed PUT is
+// indistinguishable from) earn residency.
+func (t *mappingTable) BeginObject(key string, size int64, d, total int, streamSize, stripeData int64) (dels []evictedChunk, epoch uint64, admit bool, token uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if old, ok := t.objects[key]; ok {
-		dels = t.dropLocked(old)
+		// Overwriting a stripe entry is a replacement write for that
+		// stripe alone (a retried stripe PUT must not cascade the live
+		// head away); overwriting a head invalidates the whole family.
+		if _, stripe := protocol.ParseStripeKey(key); stripe > 0 {
+			dels = t.dropOneLocked(old)
+		} else {
+			dels = t.dropLocked(old)
+		}
 	}
 	t.epochSeq++
 	t.objects[key] = &objMeta{
@@ -176,9 +209,11 @@ func (t *mappingTable) BeginObject(key string, size int64, d, total int) (dels [
 		TotalShards: total,
 		Chunks:      make([]chunkLoc, total),
 		Epoch:       t.epochSeq,
+		StreamSize:  streamSize,
+		StripeData:  stripeData,
 	}
 	t.lru.Add(key, size)
-	if t.hot != nil {
+	if _, stripe := protocol.ParseStripeKey(key); t.hot != nil && streamSize == 0 && stripe == 0 {
 		admit, token = t.hot.beginPut(key, size)
 	}
 	return dels, t.epochSeq, admit, token
@@ -192,7 +227,7 @@ func (t *mappingTable) BeginObject(key string, size int64, d, total int) (dels [
 // the stream's copy must be refused, never spliced over it. No hot-tier
 // admission either — a migrated key earns tier residency through the
 // ghost filter like any other read.
-func (t *mappingTable) BeginObjectIfAbsent(key string, size int64, d, total int) (epoch uint64, ok bool) {
+func (t *mappingTable) BeginObjectIfAbsent(key string, size int64, d, total int, streamSize, stripeData int64) (epoch uint64, ok bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if _, exists := t.objects[key]; exists {
@@ -207,6 +242,8 @@ func (t *mappingTable) BeginObjectIfAbsent(key string, size int64, d, total int)
 		Chunks:      make([]chunkLoc, total),
 		Epoch:       t.epochSeq,
 		Migrating:   true,
+		StreamSize:  streamSize,
+		StripeData:  stripeData,
 	}
 	t.lru.Add(key, size)
 	return t.epochSeq, true
@@ -223,11 +260,37 @@ func (t *mappingTable) Keys() []string {
 	return keys
 }
 
-// dropLocked removes an object, releasing its memory accounting, and
-// returns the chunk deletions to push to nodes. Every drop — overwrite,
-// DEL, pool eviction, loss — also invalidates the hot tier, so the tier
-// can never hold an object the table no longer maps.
+// dropLocked removes an object and cascades across its stripe family:
+// a streamed object is only readable when every stripe entry is, so
+// dropping a multi-stripe head (DEL, pool eviction, loss verdict) also
+// drops its stripe entries, and dropping a stripe entry (a CLOCK
+// victim, a lost stripe) drops the head — which in turn names the
+// sibling stripes to drop. Without the upward leg an evicted stripe
+// would leave a permanently half-readable object behind an intact
+// head. Non-streamed entries behave exactly as dropOneLocked.
 func (t *mappingTable) dropLocked(o *objMeta) []evictedChunk {
+	parent, stripe := protocol.ParseStripeKey(o.Key)
+	if stripe > 0 {
+		if h, ok := t.objects[parent]; ok && h.stripeCount() > stripe {
+			o = h // dropping any stripe drops the whole object
+		} else {
+			return t.dropOneLocked(o) // orphaned stripe: head already gone
+		}
+	}
+	dels := t.dropOneLocked(o)
+	for s, n := 1, o.stripeCount(); s < n; s++ {
+		if so, ok := t.objects[protocol.StripeKey(o.Key, s)]; ok {
+			dels = append(dels, t.dropOneLocked(so)...)
+		}
+	}
+	return dels
+}
+
+// dropOneLocked removes a single entry, releasing its memory
+// accounting, and returns the chunk deletions to push to nodes. Every
+// drop also invalidates the hot tier, so the tier can never hold an
+// object the table no longer maps.
+func (t *mappingTable) dropOneLocked(o *objMeta) []evictedChunk {
 	if t.hot != nil {
 		t.hot.invalidate(o.Key)
 	}
@@ -298,16 +361,22 @@ func (t *mappingTable) Reserve(node int, size int64, protect string) ([]evictedC
 	}
 	var dels []evictedChunk
 	evicted := 0
+	// Protect the whole stripe family of the key being written: evicting
+	// the head (or a sibling stripe) of an in-flight streamed PUT would
+	// cascade the very entry the write is building.
+	protectParent, _ := protocol.ParseStripeKey(protect)
+	skips := 0
 	for used()+size > poolCap {
 		victim := t.lru.Evict()
 		if victim == nil {
 			break
 		}
-		if victim.Key == protect {
+		if vp, _ := protocol.ParseStripeKey(victim.Key); vp == protectParent {
 			// Re-add the in-flight object and try the next victim; if
-			// it is the only resident object the loop exits via nil.
+			// only protected entries remain the loop exits via the skip
+			// bound.
 			t.lru.Add(victim.Key, victim.Size)
-			if t.lru.Len() == 1 {
+			if skips++; skips > len(t.objects) {
 				break
 			}
 			continue
@@ -399,7 +468,10 @@ func (t *mappingTable) DropIfIncomplete(key string, epoch uint64) ([]evictedChun
 	if !ok || o.Epoch != epoch || o.presentChunks() >= o.DataShards {
 		return nil, false
 	}
-	return t.dropLocked(o), true
+	// No cascade: a failed stripe generation is retried by the client
+	// under the same key, so only this entry is cleared — a retry (or a
+	// client-side DEL on final failure) decides the family's fate.
+	return t.dropOneLocked(o), true
 }
 
 // ReleaseChunk undoes a reservation after a failed store.

@@ -19,7 +19,7 @@ func TestChunkKey(t *testing.T) {
 
 func TestBeginCommitLookup(t *testing.T) {
 	tb := newTable()
-	dels, _, _, _ := tb.BeginObject("a", 1000, 2, 3)
+	dels, _, _, _ := tb.BeginObject("a", 1000, 2, 3, 0, 0)
 	if len(dels) != 0 {
 		t.Fatal("fresh BeginObject returned deletions")
 	}
@@ -49,7 +49,7 @@ func TestBeginCommitLookup(t *testing.T) {
 
 func TestLookupReturnsSnapshot(t *testing.T) {
 	tb := newTable()
-	tb.BeginObject("a", 10, 1, 1)
+	tb.BeginObject("a", 10, 1, 1, 0, 0)
 	tb.Reserve(0, 10, "a")
 	tb.CommitChunk("a", 0, 0, 10, 0, 0, false)
 	meta, _ := tb.Lookup("a")
@@ -62,13 +62,13 @@ func TestLookupReturnsSnapshot(t *testing.T) {
 
 func TestOverwriteReturnsDeletions(t *testing.T) {
 	tb := newTable()
-	tb.BeginObject("a", 100, 1, 2)
+	tb.BeginObject("a", 100, 1, 2, 0, 0)
 	tb.Reserve(0, 50, "a")
 	tb.CommitChunk("a", 0, 0, 50, 0, 0, false)
 	tb.Reserve(1, 50, "a")
 	tb.CommitChunk("a", 1, 1, 50, 0, 0, false)
 
-	dels, _, _, _ := tb.BeginObject("a", 200, 1, 2)
+	dels, _, _, _ := tb.BeginObject("a", 200, 1, 2, 0, 0)
 	if len(dels) != 2 {
 		t.Fatalf("overwrite returned %d deletions, want 2", len(dels))
 	}
@@ -79,7 +79,7 @@ func TestOverwriteReturnsDeletions(t *testing.T) {
 
 func TestDrop(t *testing.T) {
 	tb := newTable()
-	tb.BeginObject("a", 100, 1, 1)
+	tb.BeginObject("a", 100, 1, 1, 0, 0)
 	tb.Reserve(2, 100, "a")
 	tb.CommitChunk("a", 0, 2, 100, 0, 0, false)
 	dels := tb.Drop("a")
@@ -99,14 +99,14 @@ func TestReserveEvictsAtPoolPressure(t *testing.T) {
 	// Fill the pool with 4 x 1 MB objects (one chunk each).
 	for i := 0; i < 4; i++ {
 		key := fmt.Sprintf("o%d", i)
-		tb.BeginObject(key, 1<<20, 1, 1)
+		tb.BeginObject(key, 1<<20, 1, 1, 0, 0)
 		if _, _, err := tb.Reserve(i, 1<<20, key); err != nil {
 			t.Fatalf("reserve %d: %v", i, err)
 		}
 		tb.CommitChunk(key, 0, i, 1<<20, 0, 0, false)
 	}
 	// A new object must evict at least one victim.
-	tb.BeginObject("new", 1<<20, 1, 1)
+	tb.BeginObject("new", 1<<20, 1, 1, 0, 0)
 	dels, evicted, err := tb.Reserve(0, 1<<20, "new")
 	if err != nil {
 		t.Fatal(err)
@@ -121,7 +121,7 @@ func TestReserveEvictsAtPoolPressure(t *testing.T) {
 
 func TestReserveNeverEvictsProtected(t *testing.T) {
 	tb := newMappingTable(1, 1000)
-	tb.BeginObject("self", 900, 1, 2)
+	tb.BeginObject("self", 900, 1, 2, 0, 0)
 	if _, _, err := tb.Reserve(0, 600, "self"); err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestCommitWithoutObjectReleases(t *testing.T) {
 
 func TestMarkChunkLost(t *testing.T) {
 	tb := newTable()
-	tb.BeginObject("a", 100, 2, 3)
+	tb.BeginObject("a", 100, 2, 3, 0, 0)
 	for i := 0; i < 3; i++ {
 		tb.Reserve(i, 40, "a")
 		tb.CommitChunk("a", i, i, 40, 0, 0, false)
@@ -199,13 +199,13 @@ func mustEpoch(t *testing.T, tb *mappingTable, key string) uint64 {
 // entry's chunks nor drop it.
 func TestEpochGuards(t *testing.T) {
 	tb := newTable()
-	tb.BeginObject("a", 100, 1, 2)
+	tb.BeginObject("a", 100, 1, 2, 0, 0)
 	tb.Reserve(0, 50, "a")
 	tb.CommitChunk("a", 0, 0, 50, 0, 0, false)
 	oldEpoch := mustEpoch(t, tb, "a")
 
 	// Overwrite: a fresh incarnation replaces the entry.
-	tb.BeginObject("a", 100, 1, 2)
+	tb.BeginObject("a", 100, 1, 2, 0, 0)
 	tb.Reserve(1, 50, "a")
 	tb.CommitChunk("a", 0, 1, 50, 0, 0, false)
 
@@ -251,7 +251,7 @@ func TestEpochGuards(t *testing.T) {
 // is left alone.
 func TestDropIfIncomplete(t *testing.T) {
 	tb := newTable()
-	_, epoch, _, _ := tb.BeginObject("a", 100, 2, 3)
+	_, epoch, _, _ := tb.BeginObject("a", 100, 2, 3, 0, 0)
 	tb.Reserve(0, 40, "a")
 	tb.CommitChunk("a", 0, 0, 40, epoch, 0, false) // 1 of 2 data shards: incomplete
 	if _, ok := tb.DropIfIncomplete("a", epoch); !ok {
@@ -262,7 +262,7 @@ func TestDropIfIncomplete(t *testing.T) {
 	}
 
 	// A complete entry must never be dropped by the failed-PUT path.
-	_, epoch, _, _ = tb.BeginObject("b", 100, 1, 2)
+	_, epoch, _, _ = tb.BeginObject("b", 100, 1, 2, 0, 0)
 	tb.Reserve(0, 50, "b")
 	tb.CommitChunk("b", 0, 0, 50, epoch, 0, false)
 	if _, ok := tb.DropIfIncomplete("b", epoch); ok {
@@ -270,7 +270,7 @@ func TestDropIfIncomplete(t *testing.T) {
 	}
 
 	// A superseded epoch must not drop the new incarnation.
-	_, epoch2, _, _ := tb.BeginObject("b", 100, 1, 2)
+	_, epoch2, _, _ := tb.BeginObject("b", 100, 1, 2, 0, 0)
 	if _, ok := tb.DropIfIncomplete("b", epoch); ok {
 		t.Fatal("stale epoch dropped the new incarnation")
 	}
@@ -279,7 +279,7 @@ func TestDropIfIncomplete(t *testing.T) {
 
 func TestUsedBytesAggregates(t *testing.T) {
 	tb := newTable()
-	tb.BeginObject("a", 100, 1, 2)
+	tb.BeginObject("a", 100, 1, 2, 0, 0)
 	tb.Reserve(0, 60, "a")
 	tb.CommitChunk("a", 0, 0, 60, 0, 0, false)
 	tb.Reserve(3, 60, "a")

@@ -154,7 +154,7 @@ func (p *Proxy) fallbackOwner(key string) (string, uint64, bool) {
 		return "", 0, false
 	}
 	e := p.epoch.Load()
-	src := prev.Owner(key)
+	src := prev.Owner(routeKey(key))
 	if src == "" || src == p.addr || e == nil {
 		return "", 0, false
 	}
@@ -225,10 +225,13 @@ func (p *Proxy) migrateOut(prev, next *cluster.Epoch) {
 	for pass := 0; pass < maxPasses; pass++ {
 		migrated := 0
 		for _, key := range p.table.Keys() {
-			if prev.Owner(key) != p.addr {
+			// Stripe entries route (and therefore move) with their
+			// parent key, so a streamed object's whole family lands on
+			// one destination.
+			if prev.Owner(routeKey(key)) != p.addr {
 				continue
 			}
-			dst := next.Owner(key)
+			dst := next.Owner(routeKey(key))
 			if dst == "" || dst == p.addr {
 				continue
 			}
@@ -345,16 +348,24 @@ func (p *Proxy) migrateKey(st *migStream, dst cluster.Member, key string) bool {
 	gen := p.migGen.Add(1)
 	seqs := make(map[uint64]bool, len(chunks))
 	st.conn.Pin()
-	var args [9]int64
+	var args [11]int64
+	// A multi-stripe head's stream geometry must survive the handoff,
+	// or the destination could not plan ranged reads over the family.
+	nargs := 9
+	if meta.StreamSize > 0 {
+		args[protocol.StreamArgSize] = meta.StreamSize
+		args[protocol.StreamArgStripeData] = meta.StripeData
+		nargs = 11
+	}
 	sendErr := false
 	for i, c := range chunks {
 		if c == nil {
 			continue
 		}
 		seq := p.nextSeq()
-		args = [9]int64{int64(i), int64(meta.TotalShards), destLambda(key, i, dst.PoolSize),
-			meta.Size, int64(meta.DataShards), gen, 0, 1, protocol.ChunkSum(key, i, c)}
-		if err := st.conn.Forward(protocol.TSet, seq, key, "", args[:], c); err != nil {
+		copy(args[:9], []int64{int64(i), int64(meta.TotalShards), destLambda(key, i, dst.PoolSize),
+			meta.Size, int64(meta.DataShards), gen, 0, 1, protocol.ChunkSum(key, i, c)})
+		if err := st.conn.Forward(protocol.TSet, seq, key, "", args[:nargs], c); err != nil {
 			sendErr = true
 			break
 		}

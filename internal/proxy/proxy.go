@@ -145,6 +145,8 @@ type Stats struct {
 	ObjectLosses  atomic.Int64 // mapped objects that lost > p chunks
 	DegradedGets  atomic.Int64 // hits that needed EC reconstruction
 	ChunkMisses   atomic.Int64 // chunk requests answered MISS by a node
+	RangedGets    atomic.Int64 // ranged (sub-object) GET requests
+	NodeChunkGets atomic.Int64 // chunk GET requests submitted to nodes
 	Puts          atomic.Int64 // chunk SET requests from clients
 	Dels          atomic.Int64
 	Evictions     atomic.Int64 // objects evicted by the CLOCK policy

@@ -45,7 +45,22 @@ const (
 	setArgRecovery
 	setArgMigration
 	setArgChecksum // = protocol.ChecksumArgSet
+
+	// Stream geometry, present only on the head (stripe 0) SETs of a
+	// multi-stripe streamed object: total object size and data bytes
+	// per full stripe (see internal/protocol/stream.go).
+	setArgStreamSize // = protocol.StreamArgSize
+	setArgStripeData // = protocol.StreamArgStripeData
 )
+
+// routeKey maps a mapping key to the key it routes by: every stripe of
+// a streamed object lives on (and migrates with) its parent key's
+// proxy, so ring ownership, fallback redirects and tombstones are all
+// decided on the parent.
+func routeKey(key string) string {
+	parent, _ := protocol.ParseStripeKey(key)
+	return parent
+}
 
 // sessionWindow bounds the chunk requests one client session may have
 // in flight across all nodes; past it, the session drains completions
@@ -194,11 +209,44 @@ type setOp struct {
 	hasSum    bool   // the frame carried a checksum arg
 }
 
+// rangeOp tracks one client ranged GET across its per-stripe chunk
+// fan-out: each planned chunk forwards straight to the client as it
+// lands; the op closes with a terminal frame once every fetch has
+// completed, or a transient verdict if any failed (the client retries
+// with a fresh plan — losses recorded here change the next plan).
+type rangeOp struct {
+	clientSeq uint64
+	key       string // parent object key (reply key)
+	size      int64  // total object size (terminal-frame answer)
+	remaining int    // chunk fetches outstanding
+	done      bool   // verdict or terminal already sent (or client left)
+	failed    bool   // a fetch missed/failed; answer transient at drain
+	seqs      []uint64
+}
+
+// rangeChunk carries one planned chunk's forwarding context: which
+// stripe entry it belongs to, where the stripe's data sits in the
+// object, and the stored checksum to verify the read-back against.
+type rangeChunk struct {
+	op        *rangeOp
+	stripeKey string // mapping-entry key (parent or stripe key)
+	idx       int    // shard index within the stripe
+	stripe    int
+	start     int64 // object offset of the stripe's data
+	slen      int64 // data bytes in the stripe
+	d, total  int
+	epoch     uint64
+	sum       int64
+	hasSum    bool
+	degraded  bool // part of a reconstruct-d fan-out, not an exact read
+}
+
 // pendingChunk links a node-request seq back to its op (exactly one of
-// get/set is non-nil).
+// get/set/rng is non-nil).
 type pendingChunk struct {
 	get   *getOp
 	set   *setOp
+	rng   *rangeChunk
 	idx   int  // chunk index within the get
 	node  int  // owning node manager, for cancellation
 	hedge bool // issued by the hedge timer (HedgeWins accounting)
@@ -318,6 +366,7 @@ func (s *session) requestBackup(op *getOp, hedge bool) bool {
 		delete(s.chunks, seq)
 		return false
 	}
+	s.p.stats.NodeChunkGets.Add(1)
 	if hedge {
 		s.p.stats.HedgedGets.Add(1)
 	}
@@ -419,7 +468,7 @@ func (s *session) checkOwner(seq uint64, key string) bool {
 	if e == nil {
 		return true
 	}
-	owner := e.Owner(key)
+	owner := e.Owner(routeKey(key))
 	if owner == "" || owner == s.p.addr {
 		return true
 	}
@@ -447,6 +496,13 @@ func (s *session) handleCancel(m *protocol.Message) {
 	if pc.get != nil {
 		pc.get.done = true // suppress DATA forwarding and the final verdict
 		for _, seq := range pc.get.seqs {
+			if ch, live := s.chunks[seq]; live {
+				s.p.nodes[ch.node].cancel(seq)
+			}
+		}
+	} else if pc.rng != nil {
+		pc.rng.op.done = true
+		for _, seq := range pc.rng.op.seqs {
 			if ch, live := s.chunks[seq]; live {
 				s.p.nodes[ch.node].cancel(seq)
 			}
@@ -530,6 +586,11 @@ func (s *session) handleSet(m *protocol.Message) {
 	putGen := m.Arg(setArgPutGen)
 	recovery := m.Arg(setArgRecovery) == 1
 	migration := m.Arg(setArgMigration) == 1
+	var streamSize, stripeData int64
+	if len(m.Args) > setArgStripeData {
+		streamSize = m.Arg(setArgStreamSize)
+		stripeData = m.Arg(setArgStripeData)
+	}
 
 	if lambdaIdx < 0 || lambdaIdx >= len(s.p.nodes) || idx < 0 || idx >= total || total <= 0 || dShards <= 0 {
 		s.sendErr(m.Seq, m.Key, "proxy: bad SET arguments")
@@ -580,10 +641,10 @@ func (s *session) handleSet(m *protocol.Message) {
 		if s.putGens[m.Key] != putGen {
 			s.putGens[m.Key] = putGen
 			gs := &genState{}
-			if s.p.tombstoned(m.Key) {
+			if s.p.tombstoned(routeKey(m.Key)) {
 				gs.refused = true
 			} else {
-				epoch, fresh := s.p.table.BeginObjectIfAbsent(m.Key, objSize, dShards, total)
+				epoch, fresh := s.p.table.BeginObjectIfAbsent(m.Key, objSize, dShards, total, streamSize, stripeData)
 				gs.epoch, gs.refused = epoch, !fresh
 			}
 			s.genPending[gk] = gs
@@ -612,7 +673,7 @@ func (s *session) handleSet(m *protocol.Message) {
 		// PUTs to one key.
 		if s.putGens[m.Key] != putGen {
 			s.putGens[m.Key] = putGen
-			dels, epoch, admit, token := s.p.table.BeginObject(m.Key, objSize, dShards, total)
+			dels, epoch, admit, token := s.p.table.BeginObject(m.Key, objSize, dShards, total, streamSize, stripeData)
 			s.queueDels(dels)
 			gk := genKey{m.Key, putGen}
 			s.genPending[gk] = &genState{epoch: epoch}
@@ -709,12 +770,16 @@ func (s *session) handleGet(m *protocol.Message) {
 	// redirected here by the key's new owner (fallback), so ownership is
 	// not re-checked and a miss is answered plainly.
 	authoritative := m.Arg(0) == 1
+	ranged := m.Arg(protocol.RangeArgFlag) == 1
 	if !authoritative && !s.checkOwner(m.Seq, m.Key) {
 		return
 	}
 	var hotToken uint64
 	var hotCapture bool
-	if s.p.hot != nil {
+	if s.p.hot != nil && !ranged {
+		// Ranged GETs bypass the hot tier entirely: the tier caches
+		// whole objects and a sub-object read must not earn residency
+		// for (or be served) bytes it did not ask for.
 		e, token, capture := s.p.hot.get(m.Key)
 		if e != nil {
 			s.serveHot(m.Seq, m.Key, e)
@@ -734,6 +799,23 @@ func (s *session) handleGet(m *protocol.Message) {
 		s.p.stats.GetMisses.Add(1)
 		s.needFlush = true
 		s.conn.Send(&protocol.Message{Type: protocol.TMiss, Seq: m.Seq, Key: m.Key})
+		return
+	}
+	if ranged {
+		s.handleGetRange(m, meta)
+		return
+	}
+	if meta.StreamSize > 0 {
+		// A whole-object GET of a multi-stripe streamed object: redirect
+		// the client to the ranged path with the object's total size —
+		// materialising every stripe through the single-stripe fan-in
+		// would defeat the plane's memory bound.
+		s.needFlush = true
+		s.conn.Send(&protocol.Message{
+			Type: protocol.TErr, Seq: m.Seq, Key: m.Key,
+			Args:    []int64{protocol.StreamObjectFlag, meta.StreamSize},
+			Payload: []byte("proxy: streamed object; read it ranged"),
+		})
 		return
 	}
 	var present []int
@@ -815,10 +897,231 @@ func (s *session) handleGet(m *protocol.Message) {
 			}
 			return // shutting down
 		}
+		s.p.stats.NodeChunkGets.Add(1)
 	}
 	if len(op.backlog) > 0 && op.remaining > 0 {
 		s.armHedge(op)
 	}
+}
+
+// handleGetRange serves a ranged GET: the byte range is planned onto
+// exactly the data chunks it intersects (per stripe, never parity,
+// never a full-d fan-out for a sub-stripe read) and each chunk streams
+// to the client as it lands, tagged with its stripe geometry; a
+// terminal frame (chunk index -1) closes the reply. A stripe whose
+// exact chunks are unavailable but which still has d present chunks is
+// served degraded — d present chunks, flagged, for the client to
+// reconstruct. meta is the parent key's entry, already looked up.
+func (s *session) handleGetRange(m *protocol.Message, meta objMeta) {
+	s.p.stats.RangedGets.Add(1)
+	off, n := m.Arg(protocol.RangeArgOff), m.Arg(protocol.RangeArgLen)
+	// A legacy (or single-stripe streamed) object is one stripe whose
+	// data bytes are the whole object.
+	size, stripeData := meta.Size, meta.Size
+	if meta.StreamSize > 0 {
+		size, stripeData = meta.StreamSize, meta.StripeData
+	}
+	spans := protocol.PlanRange(size, stripeData, meta.DataShards, off, n)
+	if len(spans) == 0 {
+		// Empty or fully past-EOF request: the terminal frame alone,
+		// which also tells the client the object's true size.
+		s.sendRangeTerminal(m.Seq, m.Key, size)
+		return
+	}
+	type fetch struct {
+		rc       rangeChunk
+		node     int
+		chunkKey string
+	}
+	var fetches []fetch
+	degradedAny := false
+	for _, sp := range spans {
+		smeta, skey := meta, m.Key
+		if sp.Stripe > 0 {
+			skey = protocol.StripeKey(m.Key, sp.Stripe)
+			var ok bool
+			if smeta, ok = s.p.table.Lookup(skey); !ok {
+				// Head present but this stripe's entry missing: the
+				// streamed write (or a stripe retry) is still in flight —
+				// the drop cascade guarantees eviction/loss never leaves
+				// this shape behind, so busy-write is the honest answer.
+				s.sendTransient(m.Seq, m.Key, protocol.TransientBusyWrite)
+				return
+			}
+		}
+		need := sp.Shards
+		degraded := false
+		for _, i := range need {
+			if i >= len(smeta.Chunks) || !smeta.Chunks[i].Present {
+				degraded = true
+				break
+			}
+		}
+		if degraded {
+			var present []int
+			for i, c := range smeta.Chunks {
+				if c.Present {
+					present = append(present, i)
+				}
+			}
+			if len(present) < smeta.DataShards {
+				if smeta.Lost == 0 {
+					s.sendTransient(m.Seq, m.Key, protocol.TransientBusyWrite)
+					return
+				}
+				// Confirmed losses exceed parity on this stripe: the whole
+				// streamed object is gone (the drop cascades).
+				s.rangeObjectLost(m.Seq, m.Key, skey, smeta.Epoch)
+				return
+			}
+			need = present[:smeta.DataShards]
+			degradedAny = true
+		}
+		for _, i := range need {
+			c := smeta.Chunks[i]
+			fetches = append(fetches, fetch{
+				rc: rangeChunk{
+					stripeKey: skey, idx: i, stripe: sp.Stripe,
+					start: sp.Start, slen: sp.Len,
+					d: smeta.DataShards, total: smeta.TotalShards,
+					epoch: smeta.Epoch, sum: c.Sum, hasSum: c.HasSum,
+					degraded: degraded,
+				},
+				node:     c.Node,
+				chunkKey: ChunkKey(skey, i),
+			})
+		}
+	}
+	if degradedAny {
+		s.p.stats.DegradedGets.Add(1)
+	}
+	if !s.reserveWindow(len(fetches)) {
+		return
+	}
+	op := &rangeOp{clientSeq: m.Seq, key: m.Key, size: size}
+	s.byClient[m.Seq] = pendingChunk{rng: &rangeChunk{op: op}}
+	for i := range fetches {
+		f := &fetches[i]
+		f.rc.op = op
+		seq := s.p.nextSeq()
+		s.outstanding++
+		op.remaining++
+		op.seqs = append(op.seqs, seq)
+		rc := f.rc
+		s.chunks[seq] = pendingChunk{rng: &rc, node: f.node}
+		if !s.p.nodes[f.node].submit(protocol.TGet, seq, f.chunkKey, nil, s.completions) {
+			s.outstanding--
+			op.remaining--
+			delete(s.chunks, seq)
+			if op.remaining == 0 {
+				delete(s.byClient, m.Seq)
+			}
+			return // shutting down
+		}
+		s.p.stats.NodeChunkGets.Add(1)
+	}
+}
+
+// completeRange advances a ranged GET on one finished chunk fetch.
+// Unlike the whole-object fan-in there is no first-d race: every
+// planned chunk must land, so any miss or failure fails the whole op
+// with a transient (the loss is recorded; the client's retry plans
+// around it, degrading the stripe or drawing the loss verdict).
+func (s *session) completeRange(pc pendingChunk, resp *protocol.Message) {
+	rc := pc.rng
+	op := rc.op
+	op.remaining--
+	if op.remaining == 0 {
+		delete(s.byClient, op.clientSeq)
+	}
+	switch {
+	case resp != nil && resp.Type == protocol.TData:
+		if !op.done && rc.hasSum && protocol.ChunkSum(rc.stripeKey, rc.idx, resp.Payload) != rc.sum {
+			// Corrupt read-back: same strike ladder as the whole-object
+			// path — first strike is transit damage (the retry refetches),
+			// the second escalates to a positive loss so the retry plans a
+			// degraded stripe around it.
+			s.p.stats.ChecksumFailures.Add(1)
+			if s.p.table.NoteChunkCorrupt(rc.stripeKey, rc.idx, rc.epoch) {
+				s.p.stats.CorruptLost.Add(1)
+			}
+			op.failed = true
+		} else if !op.done && !op.failed {
+			var args [9]int64
+			args[protocol.RangeDataArgIdx] = int64(rc.idx)
+			args[protocol.RangeDataArgSize] = op.size
+			args[protocol.RangeDataArgShards] = int64(rc.d)
+			args[protocol.RangeDataArgTotal] = int64(rc.total)
+			args[protocol.RangeDataArgStripe] = int64(rc.stripe)
+			args[protocol.RangeDataArgStripeStart] = rc.start
+			args[protocol.RangeDataArgStripeLen] = rc.slen
+			var flags int64
+			if rc.degraded {
+				flags |= protocol.RangeFlagDegraded
+			}
+			if rc.hasSum {
+				args[protocol.RangeDataArgSum] = rc.sum
+				flags |= protocol.RangeFlagHasSum
+			}
+			args[protocol.RangeDataArgFlags] = flags
+			s.conn.Forward(protocol.TData, op.clientSeq, op.key, "", args[:], resp.Payload)
+		}
+		resp.Free()
+	case resp != nil && resp.Type == protocol.TMiss:
+		if !op.done {
+			s.p.stats.ChunkMisses.Add(1)
+			s.p.table.MarkChunkLost(rc.stripeKey, rc.idx, rc.epoch)
+			op.failed = true
+		}
+		resp.Free()
+	default:
+		// Transient failure (timeout, mid-backup swap): not a loss.
+		if !op.done {
+			op.failed = true
+		}
+		if resp != nil {
+			resp.Free()
+		}
+	}
+	if op.done || op.remaining > 0 {
+		return
+	}
+	op.done = true
+	if op.failed {
+		s.sendTransient(op.clientSeq, op.key, protocol.TransientNodeFailure)
+		return
+	}
+	s.p.stats.GetHits.Add(1)
+	s.sendRangeTerminal(op.clientSeq, op.key, op.size)
+}
+
+// sendRangeTerminal closes a ranged reply: chunk index -1, no payload,
+// the object's total size in the size slot. Sent strictly after every
+// data frame (the client conn is FIFO), it doubles as the whole answer
+// for an empty or past-EOF range.
+func (s *session) sendRangeTerminal(seq uint64, key string, size int64) {
+	s.needFlush = true
+	var args [9]int64
+	args[protocol.RangeDataArgIdx] = -1
+	args[protocol.RangeDataArgSize] = size
+	s.conn.Forward(protocol.TData, seq, key, "", args[:], nil)
+}
+
+// rangeObjectLost is objectLost for a stripe entry: the drop (and its
+// cascade across the stripe family) is keyed by the stripe's entry,
+// the loss verdict by the parent key the client asked about.
+func (s *session) rangeObjectLost(seq uint64, replyKey, entryKey string, epoch uint64) {
+	dels, ok := s.p.table.DropIfEpoch(entryKey, epoch)
+	if !ok {
+		s.sendTransient(seq, replyKey, protocol.TransientBusyWrite)
+		return
+	}
+	s.p.stats.ObjectLosses.Add(1)
+	s.queueDels(dels)
+	s.needFlush = true
+	s.conn.Send(&protocol.Message{
+		Type: protocol.TMiss, Seq: seq, Key: replyKey, Args: []int64{1}, // 1 = loss, not cold miss
+	})
 }
 
 // markGenFailed records that one of a generation's chunks did not
@@ -879,9 +1182,12 @@ func (s *session) complete(r nodeReply) {
 	}
 	delete(s.chunks, r.Seq)
 	s.outstanding--
-	if pc.set != nil {
+	switch {
+	case pc.set != nil:
 		s.completeSet(pc.set, r.Msg)
-	} else {
+	case pc.rng != nil:
+		s.completeRange(pc, r.Msg)
+	default:
 		s.completeGet(pc, r.Msg)
 	}
 }

@@ -1,0 +1,277 @@
+package proxy
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"infinicache/internal/client"
+	"infinicache/internal/lambdanode"
+	"infinicache/internal/protocol"
+)
+
+// The tests in this file pin the streaming object plane's proxy-side
+// contract against scripted always-warm nodes: a sub-stripe ranged GET
+// must cost exactly the intersecting data chunks (no parity, no full-d
+// fan-out), and a corrupt intersecting chunk must escalate through the
+// checksum strike ladder into a degraded fan-out the client can
+// reconstruct byte-exactly.
+
+// rangePool is an always-warm fake node pool whose chunk store is
+// SHARED across nodes and keyed by chunk key, so a test can corrupt a
+// specific stored chunk computed from the range plan.
+type rangePool struct {
+	mu      sync.Mutex
+	started map[string]bool
+	store   map[string][]byte
+	gets    atomic.Int64
+}
+
+func newRangePool() *rangePool {
+	return &rangePool{started: make(map[string]bool), store: make(map[string][]byte)}
+}
+
+func (rp *rangePool) Invoke(function string, payload []byte) error {
+	pl, err := lambdanode.DecodePayload(payload)
+	if err != nil {
+		return err
+	}
+	rp.mu.Lock()
+	if rp.started[function] {
+		rp.mu.Unlock()
+		return nil
+	}
+	rp.started[function] = true
+	rp.mu.Unlock()
+	go rp.run(function, pl.ProxyAddr)
+	return nil
+}
+
+func (rp *rangePool) run(name, proxyAddr string) {
+	raw, err := net.Dial("tcp", proxyAddr)
+	if err != nil {
+		return
+	}
+	c := protocol.NewConn(raw)
+	defer c.Close()
+	c.Send(&protocol.Message{Type: protocol.TJoinLambda, Key: name})
+	c.Send(&protocol.Message{Type: protocol.TPong, Key: name})
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case protocol.TPing:
+			c.Send(&protocol.Message{Type: protocol.TPong, Seq: m.Seq})
+		case protocol.TGet:
+			rp.gets.Add(1)
+			rp.mu.Lock()
+			b, ok := rp.store[m.Key]
+			rp.mu.Unlock()
+			if ok {
+				c.Forward(protocol.TData, m.Seq, m.Key, "", nil, b)
+			} else {
+				c.Forward(protocol.TMiss, m.Seq, m.Key, "", nil, nil)
+			}
+		case protocol.TSet:
+			rp.mu.Lock()
+			rp.store[m.Key] = append([]byte(nil), m.Payload...)
+			rp.mu.Unlock()
+			m.Recycle()
+			c.Send(&protocol.Message{Type: protocol.TAck, Seq: m.Seq})
+		case protocol.TDel:
+			rp.mu.Lock()
+			delete(rp.store, m.Key)
+			rp.mu.Unlock()
+			c.Send(&protocol.Message{Type: protocol.TAck, Seq: m.Seq})
+		}
+	}
+}
+
+// corrupt flips one byte of the stored chunk, reporting whether the
+// chunk was resident.
+func (rp *rangePool) corrupt(chunkKey string) bool {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	b, ok := rp.store[chunkKey]
+	if !ok || len(b) == 0 {
+		return false
+	}
+	b[len(b)/2] ^= 0x40
+	return true
+}
+
+// streamStack wires an RS(10+2) client over a real proxy and 12 fake
+// nodes, with the client's stripe shard pinned so tests control the
+// range→chunk geometry exactly.
+func streamStack(t *testing.T, stripeShard int64) (*Proxy, *client.Client, *rangePool) {
+	t.Helper()
+	pool := newRangePool()
+	names := make([]string, 12)
+	for i := range names {
+		names[i] = fmt.Sprintf("rng-node%d", i)
+	}
+	p, err := New(Config{
+		Invoker:        pool,
+		Nodes:          names,
+		NodeMemoryMB:   512,
+		PingTimeout:    time.Second,
+		InvokeTimeout:  5 * time.Second,
+		RequestTimeout: 3 * time.Second,
+		Retries:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	c, err := client.New(client.Config{
+		Proxies:        []client.ProxyInfo{{Addr: p.Addr(), PoolSize: len(names)}},
+		DataShards:     10,
+		ParityShards:   2,
+		RequestTimeout: 20 * time.Second,
+		Seed:           23,
+		StripeShard:    stripeShard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return p, c, pool
+}
+
+// rangePattern fills a deterministic test payload distinct from the
+// replay harness pattern.
+func rangePattern(n int64) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + i>>11)
+	}
+	return b
+}
+
+// TestGetRangeFetchCountPin is the CI-pinned fan-out invariant: a 1 MiB
+// GetRange of a 64 MiB RS(10+2) streamed object must cost exactly the
+// data chunks the range intersects — two 1 MiB shards for a mid-shard
+// start — with no parity fetch and no full-d fan-out.
+func TestGetRangeFetchCountPin(t *testing.T) {
+	const (
+		stripeShard = 1 << 20
+		d           = 10
+		stripeData  = int64(stripeShard * d)
+		objSize     = int64(64 << 20)
+	)
+	p, c, pool := streamStack(t, stripeShard)
+	ctx := context.Background()
+	val := rangePattern(objSize)
+
+	if err := c.PutReader(ctx, "pin", objSize, bytes.NewReader(val)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-shard start inside stripe 2: the 1 MiB range straddles exactly
+	// two shard boundaries' worth of data chunks.
+	off := 2*stripeData + 3*int64(stripeShard) + 511
+	n := int64(1 << 20)
+	plan := protocol.PlanRange(objSize, stripeData, d, off, n)
+	planned := 0
+	for _, sp := range plan {
+		planned += len(sp.Shards)
+	}
+	if planned != 2 {
+		t.Fatalf("plan covers %d chunks, want 2 (test geometry drifted)", planned)
+	}
+
+	proxyBefore := p.Stats().NodeChunkGets.Load()
+	nodeBefore := pool.gets.Load()
+	got, err := c.GetRange(ctx, "pin", off, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val[off:off+n]) {
+		t.Fatalf("GetRange returned wrong bytes (len %d, want %d)", len(got), n)
+	}
+	if moved := p.Stats().NodeChunkGets.Load() - proxyBefore; moved != int64(planned) {
+		t.Fatalf("proxy submitted %d chunk GETs, want exactly %d (the intersecting data chunks)", moved, planned)
+	}
+	if moved := pool.gets.Load() - nodeBefore; moved != int64(planned) {
+		t.Fatalf("nodes served %d chunk GETs, want exactly %d — parity or full-d fan-out leaked in", moved, planned)
+	}
+	if p.Stats().RangedGets.Load() == 0 {
+		t.Fatal("RangedGets did not register the ranged request")
+	}
+
+	// The whole object still reads back byte-exactly through the ranged
+	// plane (whole-object GETs of streamed objects redirect here).
+	full, err := c.GetRange(ctx, "pin", 0, objSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(full, val) {
+		t.Fatal("full-range read is not byte-exact")
+	}
+}
+
+// TestGetRangeCorruptChunkEscalates pins the PR 9 integrity ladder on
+// the ranged path: a corrupt intersecting chunk draws a checksum strike
+// per attempt, escalates to CorruptLost on the second, and the third
+// attempt serves the stripe degraded — the client reconstructs and the
+// caller still sees byte-exact data.
+func TestGetRangeCorruptChunkEscalates(t *testing.T) {
+	const (
+		stripeShard = int64(64 << 10)
+		d           = 10
+		stripeData  = stripeShard * d
+		objSize     = 2 << 20
+	)
+	p, c, pool := streamStack(t, stripeShard)
+	ctx := context.Background()
+	val := rangePattern(objSize)
+
+	if err := c.PutReader(ctx, "rot", objSize, bytes.NewReader(val)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the first chunk the planned range will fetch.
+	off, n := stripeData+10_000, int64(100_000)
+	plan := protocol.PlanRange(objSize, stripeData, d, off, n)
+	if len(plan) == 0 || len(plan[0].Shards) == 0 {
+		t.Fatal("empty range plan; test geometry drifted")
+	}
+	sp := plan[0]
+	chunkKey := ChunkKey(protocol.StripeKey("rot", sp.Stripe), sp.Shards[0])
+	if !pool.corrupt(chunkKey) {
+		t.Fatalf("chunk %q not resident in the fake pool", chunkKey)
+	}
+
+	got, err := c.GetRange(ctx, "rot", off, n)
+	if err != nil {
+		t.Fatalf("GetRange over a corrupt chunk: %v", err)
+	}
+	if !bytes.Equal(got, val[off:off+n]) {
+		t.Fatal("reconstructed range is not byte-exact")
+	}
+	st := p.Stats()
+	if cs := st.ChecksumFailures.Load(); cs < 2 {
+		t.Fatalf("ChecksumFailures = %d, want >= 2 (one per strike)", cs)
+	}
+	if cl := st.CorruptLost.Load(); cl != 1 {
+		t.Fatalf("CorruptLost = %d, want 1 (second strike escalates)", cl)
+	}
+	if dg := st.DegradedGets.Load(); dg == 0 {
+		t.Fatal("corrupt chunk never forced a degraded stripe fan-out")
+	}
+
+	// The degraded read must not have poisoned the object: a clean
+	// follow-up range over an untouched stripe is still exact and cheap.
+	off2, n2 := int64(5_000), int64(20_000)
+	got2, err := c.GetRange(ctx, "rot", off2, n2)
+	if err != nil || !bytes.Equal(got2, val[off2:off2+n2]) {
+		t.Fatalf("follow-up range after escalation: %v", err)
+	}
+}

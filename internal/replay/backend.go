@@ -3,6 +3,7 @@ package replay
 import (
 	"context"
 	"errors"
+	"io"
 	"sync"
 
 	"infinicache/internal/workload"
@@ -177,3 +178,28 @@ var (
 	payloadMu  sync.RWMutex
 	payloadBuf []byte
 )
+
+// payloadReader streams the same deterministic pattern payload returns
+// — byte i is byte(i*131) — without materialising the object, so a
+// backend can ship a multi-hundred-MB synthetic PUT through a streaming
+// path (client.PutReader) while GET-side verification against
+// payload(size) still matches byte for byte.
+func payloadReader(size int64) io.Reader {
+	return &patternReader{n: size}
+}
+
+type patternReader struct {
+	off, n int64
+}
+
+func (r *patternReader) Read(p []byte) (int, error) {
+	if r.off >= r.n {
+		return 0, io.EOF
+	}
+	m := min(int64(len(p)), r.n-r.off)
+	for i := int64(0); i < m; i++ {
+		p[i] = byte((r.off + i) * 131)
+	}
+	r.off += m
+	return int(m), nil
+}

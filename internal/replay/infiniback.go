@@ -83,7 +83,19 @@ func (b *InfiniCacheBackend) Get(ctx context.Context, key string) (bool, error) 
 	}
 }
 
+// streamPutThreshold is the object size above which Put ships bytes
+// through the streaming PutReader path instead of materialising the
+// whole payload: production traces carry multi-hundred-MB blobs, and
+// the replay harness should not need an object's worth of resident
+// memory per in-flight PUT any more than the client does. Below the
+// threshold the materialised PutCtx path stays — it reuses the shared
+// pattern buffer and exercises the non-streamed protocol.
+const streamPutThreshold = 8 << 20
+
 func (b *InfiniCacheBackend) Put(ctx context.Context, key string, size int64) error {
+	if size > streamPutThreshold {
+		return b.client.PutReader(ctx, key, size, payloadReader(size))
+	}
 	return b.client.PutCtx(ctx, key, payload(size))
 }
 
@@ -113,19 +125,31 @@ func (b *InfiniCacheBackend) MGet(ctx context.Context, keys []string) []GetStatu
 	return out
 }
 
-// MPut stores a batch in one pipelined burst per owning proxy.
+// MPut stores a batch in one pipelined burst per owning proxy. Records
+// over streamPutThreshold leave the burst and stream individually, so a
+// preload over a trace with multi-hundred-MB blobs never materialises
+// them.
 func (b *InfiniCacheBackend) MPut(ctx context.Context, keys []string, sizes []int64) []error {
-	pairs := make([]infinicache.KV, len(keys))
+	out := make([]error, len(keys))
+	pairs := make([]infinicache.KV, 0, len(keys))
+	idx := make([]int, 0, len(keys))
 	for i, k := range keys {
 		var size int64
 		if i < len(sizes) {
 			size = sizes[i]
 		}
-		pairs[i] = infinicache.KV{Key: k, Value: payload(size)}
+		if size > streamPutThreshold {
+			out[i] = b.Put(ctx, k, size)
+			continue
+		}
+		pairs = append(pairs, infinicache.KV{Key: k, Value: payload(size)})
+		idx = append(idx, i)
 	}
-	out := make([]error, len(keys))
-	for i, r := range b.client.MPut(ctx, pairs...) {
-		out[i] = r.Err
+	if len(pairs) == 0 {
+		return out
+	}
+	for j, r := range b.client.MPut(ctx, pairs...) {
+		out[idx[j]] = r.Err
 	}
 	return out
 }
